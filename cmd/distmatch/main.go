@@ -1,0 +1,149 @@
+// Command distmatch runs any of the repository's distributed approximation
+// algorithms on a graph read from a file (or generated on the fly) and prints
+// the solution quality and communication costs.
+//
+// Usage:
+//
+//	distmatch -algo maxis   -in graph.txt
+//	distmatch -algo mwm2    -gen gnp -n 64 -p 0.1 -maxw 100
+//	distmatch -algo fastmcm -gen regular -n 128 -d 8 -eps 0.5
+//
+// Algorithms: maxis, maxis-det, seq-maxis, mwm2, mwm2-det, fastmcm, fastmwm,
+// oneeps, proposal, nmis.
+//
+// The graph file format is the one produced by repro.WriteGraph:
+//
+//	n m
+//	w(0) … w(n-1)
+//	u v w     (per edge)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("distmatch: ")
+	algo := flag.String("algo", "maxis", "algorithm to run")
+	in := flag.String("in", "", "input graph file (omit to generate)")
+	gen := flag.String("gen", "gnp", "generator when -in is absent: gnp, regular, star, path, cycle, complete")
+	n := flag.Int("n", 64, "nodes for generated graphs")
+	p := flag.Float64("p", 0.1, "edge probability for gnp")
+	d := flag.Int("d", 4, "degree for regular graphs")
+	maxw := flag.Int64("maxw", 64, "max random node/edge weight (1 = unweighted)")
+	eps := flag.Float64("eps", 0.5, "ε for the (1+ε)/(2+ε) algorithms")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	g, err := loadGraph(*in, *gen, *n, *p, *d, *maxw, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d ∆=%d W=%d\n", g.N(), g.M(), g.MaxDegree(), g.MaxNodeWeight())
+
+	switch *algo {
+	case "maxis":
+		report(repro.MaxIS(g, repro.WithSeed(*seed)))
+	case "maxis-det":
+		report(repro.MaxISDeterministic(g, repro.WithSeed(*seed)))
+	case "seq-maxis":
+		res := repro.SequentialMaxIS(g)
+		fmt.Printf("weight=%d (sequential; no round metrics)\n", res.Weight)
+	case "mwm2":
+		reportM(repro.MWM2(g, repro.WithSeed(*seed)))
+	case "mwm2-det":
+		reportM(repro.MWM2Deterministic(g, repro.WithSeed(*seed)))
+	case "fastmcm":
+		reportM(repro.FastMCM(g, *eps, repro.WithSeed(*seed)))
+	case "fastmwm":
+		reportM(repro.FastMWM(g, *eps, repro.WithSeed(*seed)))
+	case "oneeps":
+		reportM(repro.OneEpsMCM(g, *eps, repro.WithSeed(*seed)))
+	case "proposal":
+		reportM(repro.ProposalMCM(g, *eps, repro.WithSeed(*seed)))
+	case "nmis":
+		res, err := repro.NearlyMaximalIS(g, 2, 0.1, repro.WithSeed(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		size := 0
+		for _, in := range res.InSet {
+			if in {
+				size++
+			}
+		}
+		fmt.Printf("set size=%d uncovered=%d rounds=%d\n", size, res.Uncovered, res.Cost.Rounds)
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+}
+
+func loadGraph(in, gen string, n int, p float64, d int, maxw int64, seed uint64) (*repro.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.DecodeGraph(f)
+	}
+	var g *repro.Graph
+	var err error
+	switch gen {
+	case "gnp":
+		g = repro.GNP(n, p, seed)
+	case "regular":
+		g, err = repro.RandomRegular(n, d, seed)
+	case "star":
+		g = repro.Star(n)
+	case "path":
+		g = repro.Path(n)
+	case "cycle":
+		g = repro.Cycle(n)
+	case "complete":
+		g = repro.Complete(n)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", gen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if maxw > 1 {
+		repro.AssignUniformNodeWeights(g, maxw, seed+1)
+		repro.AssignUniformEdgeWeights(g, maxw, seed+2)
+	}
+	return g, nil
+}
+
+func report(res *repro.ISResult, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := 0
+	for _, in := range res.InSet {
+		if in {
+			size++
+		}
+	}
+	fmt.Printf("independent set: size=%d weight=%d\n", size, res.Weight)
+	printCost(res.Cost)
+}
+
+func reportM(res *repro.MatchingResult, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matching: size=%d weight=%d\n", len(res.Edges), res.Weight)
+	printCost(res.Cost)
+}
+
+func printCost(c repro.CostStats) {
+	fmt.Printf("rounds=%d real_rounds=%d messages=%d bits=%d max_msg_bits=%d budget=%d\n",
+		c.Rounds, c.RealRounds, c.Messages, c.Bits, c.MaxMessageBits, c.BitBudget)
+}

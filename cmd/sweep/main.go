@@ -1,0 +1,160 @@
+// Command sweep emits CSV parameter sweeps for the experiments in DESIGN.md:
+// round complexity and approximation ratio as functions of n, W, ∆ and ε.
+//
+// Usage:
+//
+//	sweep -exp E1 [-trials k] > e1.csv
+//
+// Experiments: E1 (Alg 2 vs n and W), E2 (Alg 3 vs ∆), E3 (FastMWM vs ∆),
+// E4 (OneEpsMCM vs ε), E6 (NMIS coverage vs δ), E9 (proposal vs ∆).
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/exact"
+	"repro/internal/nmis"
+	"repro/internal/simul"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	exp := flag.String("exp", "E1", "experiment id (E1, E2, E3, E4, E6, E9)")
+	trials := flag.Int("trials", 3, "trials per configuration")
+	flag.Parse()
+
+	var table *stats.Table
+	var err error
+	switch *exp {
+	case "E1":
+		table, err = sweepE1(*trials)
+	case "E2":
+		table, err = sweepE2(*trials)
+	case "E3":
+		table, err = sweepE3(*trials)
+	case "E4":
+		table, err = sweepE4(*trials)
+	case "E6":
+		table, err = sweepE6(*trials)
+	case "E9":
+		table, err = sweepE9(*trials)
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := table.CSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func sweepE1(trials int) (*stats.Table, error) {
+	t := stats.NewTable("n", "W", "trial", "rounds", "weight")
+	for _, n := range []int{64, 128, 256, 512} {
+		for _, w := range []int64{1, 16, 256, 4096} {
+			for k := 0; k < trials; k++ {
+				g := repro.GNP(n, 8/float64(n), uint64(n)+uint64(w))
+				repro.AssignUniformNodeWeights(g, w, uint64(w)+uint64(k))
+				res, err := repro.MaxIS(g, repro.WithSeed(uint64(k)))
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(n, w, k, res.Cost.Rounds, res.Weight)
+			}
+		}
+	}
+	return t, nil
+}
+
+func sweepE2(trials int) (*stats.Table, error) {
+	t := stats.NewTable("delta", "trial", "rounds", "coloring_rounds_included", "weight")
+	for _, d := range []int{2, 4, 8, 16, 32} {
+		for k := 0; k < trials; k++ {
+			g, err := repro.RandomRegular(128, d, uint64(d)+uint64(k))
+			if err != nil {
+				return nil, err
+			}
+			repro.AssignUniformNodeWeights(g, 512, uint64(d)+7)
+			res, err := repro.MaxISDeterministic(g, repro.WithSeed(uint64(k)))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(d, k, res.Cost.Rounds, true, res.Weight)
+		}
+	}
+	return t, nil
+}
+
+func sweepE3(trials int) (*stats.Table, error) {
+	t := stats.NewTable("delta", "trial", "rounds", "weight", "greedy_lower_bound")
+	for _, d := range []int{4, 8, 16, 32} {
+		for k := 0; k < trials; k++ {
+			g, err := repro.RandomRegular(128, d, uint64(d)*3+uint64(k))
+			if err != nil {
+				return nil, err
+			}
+			repro.AssignUniformEdgeWeights(g, 512, uint64(d)+11)
+			res, err := repro.FastMWM(g, 0.5, repro.WithSeed(uint64(k)))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(d, k, res.Cost.Rounds, res.Weight, g.MatchingWeight(exact.GreedyMatching(g)))
+		}
+	}
+	return t, nil
+}
+
+func sweepE4(trials int) (*stats.Table, error) {
+	t := stats.NewTable("eps", "trial", "rounds", "matched", "opt")
+	g := repro.GNP(96, 0.06, 77)
+	opt := len(exact.MaxCardinalityMatching(g))
+	for _, eps := range []float64{1, 0.5, 0.34, 0.25} {
+		for k := 0; k < trials; k++ {
+			res, err := repro.OneEpsMCM(g, eps, repro.WithSeed(uint64(k)))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(eps, k, res.Cost.Rounds, len(res.Edges), opt)
+		}
+	}
+	return t, nil
+}
+
+func sweepE6(trials int) (*stats.Table, error) {
+	t := stats.NewTable("delta_target", "trial", "rounds", "uncovered_fraction")
+	g := repro.GNP(256, 0.03, 9)
+	for _, delta := range []float64{0.5, 0.2, 0.1, 0.05} {
+		for k := 0; k < trials; k++ {
+			res, err := nmis.Run(g, nmis.Params{K: 2, Delta: delta}, simul.Config{Seed: uint64(k)})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(delta, k, res.VirtualRounds, float64(res.UncoveredCount())/float64(g.N()))
+		}
+	}
+	return t, nil
+}
+
+func sweepE9(trials int) (*stats.Table, error) {
+	t := stats.NewTable("delta", "trial", "rounds", "matched", "opt")
+	for _, d := range []int{4, 16, 64} {
+		for k := 0; k < trials; k++ {
+			g, err := repro.RandomRegular(256, d, uint64(d)+uint64(k)+17)
+			if err != nil {
+				return nil, err
+			}
+			res, err := repro.ProposalMCM(g, 0.5, repro.WithSeed(uint64(k)))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(d, k, res.Cost.Rounds, len(res.Edges), len(exact.MaxCardinalityMatching(g)))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,64 @@
+// Congestdemo: shows the CONGEST machinery that distinguishes this
+// reproduction from a plain algorithm library. It runs the same local
+// aggregation machine on the line graph twice — once through the paper's
+// Theorem 2.8 simulation, once through the naive per-edge relay — and prints
+// rounds, messages and bit counts, demonstrating the Θ(∆) congestion gap and
+// the per-message bit budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+	"repro/internal/nmis"
+	"repro/internal/simul"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A star maximizes ∆ and therefore the naive simulation's penalty.
+	g := graph.Star(64)
+	fmt.Printf("star graph: n=%d, ∆=%d, edges=%d\n", g.N(), g.MaxDegree(), g.M())
+	fmt.Println("workload: nearly-maximal matching machine (§3.1) on L(G)")
+	fmt.Println()
+
+	build, err := nmis.NewMachine(nmis.Params{K: 2, Delta: 0.2, MaxDegree: 2 * g.MaxDegree()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	smart, err := agg.RunLine(g, simul.Config{Seed: 1}, func(e int) agg.Machine { return build(e) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := agg.RunLineNaive(g, simul.Config{Seed: 1, Model: simul.LOCAL}, func(e int) agg.Machine { return build(e) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %10s %10s %12s %14s\n", "simulation", "rounds", "messages", "total bits", "max msg bits")
+	fmt.Printf("%-28s %10d %10d %12d %14d\n",
+		"Theorem 2.8 (aggregation)", smart.Metrics.Rounds, smart.Metrics.Messages,
+		smart.Metrics.TotalBits, smart.Metrics.MaxMessageBits)
+	fmt.Printf("%-28s %10d %10d %12d %14d\n",
+		"naive per-edge relay", naive.Metrics.Rounds, naive.Metrics.Messages,
+		naive.Metrics.TotalBits, naive.Metrics.MaxMessageBits)
+	fmt.Println()
+	fmt.Printf("round inflation of the naive simulation: %.1f× (theory: Θ(∆) = %d)\n",
+		float64(naive.Metrics.Rounds)/float64(smart.Metrics.Rounds), g.MaxDegree())
+	fmt.Printf("CONGEST budget enforced for the aggregation run: %d bits/message\n", smart.Metrics.BitBudget)
+	fmt.Println()
+
+	// Both simulations compute the same answer.
+	same := true
+	for e := range smart.Outputs {
+		if smart.Outputs[e] != naive.Outputs[e] {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("identical outputs across simulations: %v\n", same)
+}

@@ -1,0 +1,215 @@
+// Package agg implements the paper's "local aggregation algorithm" framework
+// (§2.4, Definitions 2.4–2.7) and the congestion-free line-graph simulation
+// of Theorem 2.8.
+//
+// A local aggregation algorithm accesses its neighborhood's data only through
+// order-invariant aggregate functions that admit a joining function φ with
+// f(X) = φ(f(X₁), f(X₂)) for any disjoint partition X₁ ∪ X₂ of the inputs
+// (Definition 2.5). Algorithms are expressed as Machines: per (virtual) node
+// state machines that publish O(log n)-bit Data each round and consume the
+// results of aggregate Queries over their live neighbors' Data.
+//
+// Three runtimes execute a Machine:
+//
+//   - RunDirect: on the graph itself — one real round per virtual round, one
+//     message per edge per round (each node broadcasts its Data).
+//   - RunLine: on the line graph L(G) — Theorem 2.8's simulation. Each edge
+//     e = {u, v} of G is a virtual node simulated by its primary endpoint
+//     min(u, v); the secondary endpoint max(u, v) mirrors e's Data. Because
+//     every edge e' ∈ N_{L(G)}(e) shares an endpoint with e, each endpoint
+//     can compute the partial aggregate over its own side, and the joining
+//     function combines the halves — two real rounds and exactly one message
+//     per edge per round, independent of ∆.
+//   - RunLineNaive: the naive simulation the paper warns about, which relays
+//     every incident edge's data individually and pays a Θ(∆) round factor;
+//     kept as the ablation baseline (experiment E8).
+package agg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/simul"
+)
+
+// Data is the published per-node data D_{v,i} (Definition 2.7): a small tuple
+// of integer fields. Implementations must keep it O(log n + log W) bits; the
+// runtimes meter the actual encoded size against the CONGEST budget.
+type Data []int64
+
+// Clone returns a copy of d.
+func (d Data) Clone() Data {
+	c := make(Data, len(d))
+	copy(c, d)
+	return c
+}
+
+// Bits returns the number of bits needed to encode d: for each field a sign
+// bit plus its magnitude.
+func (d Data) Bits() int {
+	b := 0
+	for _, f := range d {
+		mag := f
+		if mag < 0 {
+			mag = -mag
+		}
+		b += 1 + simul.BitsForRange(mag)
+	}
+	return b
+}
+
+// Aggregate is an order-invariant function with a joining function
+// (Definitions 2.4–2.5). Join must be associative and commutative with
+// Identity as neutral element, which makes any evaluation order — and any
+// disjoint partition of the inputs — produce the same result.
+type Aggregate interface {
+	Name() string
+	Identity() int64
+	Join(a, b int64) int64
+}
+
+type sumAgg struct{}
+
+func (sumAgg) Name() string          { return "sum" }
+func (sumAgg) Identity() int64       { return 0 }
+func (sumAgg) Join(a, b int64) int64 { return a + b }
+
+type minAgg struct{}
+
+func (minAgg) Name() string    { return "min" }
+func (minAgg) Identity() int64 { return math.MaxInt64 }
+func (minAgg) Join(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type maxAgg struct{}
+
+func (maxAgg) Name() string    { return "max" }
+func (maxAgg) Identity() int64 { return math.MinInt64 }
+func (maxAgg) Join(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type andAgg struct{}
+
+func (andAgg) Name() string    { return "and" }
+func (andAgg) Identity() int64 { return 1 }
+func (andAgg) Join(a, b int64) int64 {
+	if a != 0 && b != 0 {
+		return 1
+	}
+	return 0
+}
+
+type orAgg struct{}
+
+func (orAgg) Name() string    { return "or" }
+func (orAgg) Identity() int64 { return 0 }
+func (orAgg) Join(a, b int64) int64 {
+	if a != 0 || b != 0 {
+		return 1
+	}
+	return 0
+}
+
+type bitOrAgg struct{}
+
+func (bitOrAgg) Name() string          { return "bitor" }
+func (bitOrAgg) Identity() int64       { return 0 }
+func (bitOrAgg) Join(a, b int64) int64 { return a | b }
+
+// The aggregate functions used by the paper's algorithms. "and"/"or" are the
+// Boolean aggregates of Observation 2.6; Sum is the weight-update aggregate
+// from the proof of Theorem 2.9; Min/Max implement priority comparisons.
+var (
+	Sum Aggregate = sumAgg{}
+	Min Aggregate = minAgg{}
+	Max Aggregate = maxAgg{}
+	And Aggregate = andAgg{}
+	Or  Aggregate = orAgg{}
+	// BitOr unions small bitmasks (≤ 63 bits per chunk); used by the coloring
+	// machines to learn which palette colors the neighborhood occupies.
+	BitOr Aggregate = bitOrAgg{}
+)
+
+// Query asks for Agg over Proj(D_u) for every live neighbor u. Proj must be a
+// pure function of the neighbor's Data (it is evaluated independently at both
+// endpoints in the line-graph runtime).
+type Query struct {
+	Agg  Aggregate
+	Proj func(Data) int64
+}
+
+// Eval evaluates q over the given neighbor data set.
+func (q Query) Eval(neighbors []Data) int64 {
+	acc := q.Agg.Identity()
+	for _, d := range neighbors {
+		acc = q.Agg.Join(acc, q.Proj(d))
+	}
+	return acc
+}
+
+// NodeInfo describes a virtual node to its Machine.
+type NodeInfo struct {
+	// ID is the virtual node's identifier: the node ID under RunDirect, the
+	// edge ID under RunLine.
+	ID int
+	// N is the number of virtual nodes.
+	N int
+	// Degree is the virtual node's degree (deg_G(v), or deg_{L(G)}(e) =
+	// deg(u)+deg(v)-2 under RunLine).
+	Degree int
+	// Weight is the virtual node's weight: w(v) under RunDirect, the edge
+	// weight under RunLine (the node weight of L(G), §2.4).
+	Weight int64
+	// Rand is the virtual node's private randomness. Only Init and Update
+	// may draw from it; Queries must be pure.
+	Rand *rng.Stream
+}
+
+// Machine is a local aggregation algorithm for one virtual node.
+//
+// Protocol, in virtual rounds t = 0, 1, …:
+//
+//	data₀ = Init()
+//	results_t = [q.Eval over live neighbors' data_t) for q in Queries(t, data_t)]
+//	halt, output = Update(t, data_t, results_t)   // mutates data in place → data_{t+1}
+//
+// A machine that halts at Update(t) disappears from its neighbors'
+// aggregations from round t+1 on; its final visible data is data_t. To
+// announce a decision before leaving (the paper's addedToIS/removed
+// messages), publish the decision in data at round t and halt at round t+1.
+//
+// Queries must depend only on (info, t, data) — never on private state or
+// info.Rand — because the line-graph runtime re-evaluates them at the
+// secondary endpoint.
+type Machine interface {
+	Fields() int
+	Init(info *NodeInfo) Data
+	Queries(info *NodeInfo, t int, data Data) []Query
+	Update(info *NodeInfo, t int, data Data, results []int64) (halt bool, output any)
+}
+
+// Result is the outcome of running a Machine under one of the runtimes.
+type Result struct {
+	// Outputs[i] is virtual node i's Halt output.
+	Outputs []any
+	// VirtualRounds is the number of Machine rounds executed (the paper's
+	// round complexity); Metrics.Rounds counts real network rounds.
+	VirtualRounds int
+	Metrics       simul.Metrics
+}
+
+func validateData(id int, want int, d Data) error {
+	if len(d) != want {
+		return fmt.Errorf("agg: virtual node %d produced %d data fields, want %d", id, len(d), want)
+	}
+	return nil
+}

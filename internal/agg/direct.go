@@ -1,0 +1,125 @@
+package agg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/simul"
+)
+
+// dataMsg carries a virtual node's published Data to a neighbor.
+type dataMsg struct {
+	fields Data
+}
+
+func (m dataMsg) Bits() int { return m.fields.Bits() }
+
+// directNode adapts a Machine to a simul.Automaton running on the graph
+// itself: each round the node broadcasts its Data and evaluates its queries
+// over the Data received from live neighbors.
+type directNode struct {
+	m    Machine
+	info *NodeInfo
+	data Data
+	err  error
+}
+
+func (a *directNode) Step(ctx *simul.Context, inbox []simul.Envelope) {
+	if ctx.Round() == 0 {
+		a.data = a.m.Init(a.info)
+		if err := validateData(a.info.ID, a.m.Fields(), a.data); err != nil {
+			a.err = err
+			ctx.Halt(nil)
+			return
+		}
+		// Broadcast a copy: the live slice is mutated by future Updates while
+		// receivers still hold the message.
+		ctx.Broadcast(dataMsg{fields: a.data.Clone()})
+		return
+	}
+	// The virtual round whose queries we are resolving.
+	t := ctx.Round() - 1
+	neighborData := make([]Data, 0, len(inbox))
+	for _, env := range inbox {
+		neighborData = append(neighborData, env.Msg.(dataMsg).fields)
+	}
+	queries := a.m.Queries(a.info, t, a.data)
+	results := make([]int64, len(queries))
+	for i, q := range queries {
+		results[i] = q.Eval(neighborData)
+	}
+	halt, output := a.m.Update(a.info, t, a.data, results)
+	if halt {
+		ctx.Halt(output)
+		return
+	}
+	ctx.Broadcast(dataMsg{fields: a.data.Clone()})
+}
+
+// RunDirect executes the machines on the nodes of g. Virtual round t occupies
+// real round t+1 (round 0 publishes the initial data), so one virtual round
+// costs one real round and one message per edge per direction per round.
+func RunDirect(g *graph.Graph, cfg simul.Config, build func(v int) Machine) (*Result, error) {
+	nodes := make([]*directNode, g.N())
+	master := rng.New(cfg.Seed)
+	res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
+		nodes[v] = &directNode{
+			m: build(v),
+			info: &NodeInfo{
+				ID:     v,
+				N:      g.N(),
+				Degree: g.Degree(v),
+				Weight: g.NodeWeight(v),
+				Rand:   master.Split(uint64(v)),
+			},
+		}
+		return nodes[v]
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, nd := range nodes {
+		if nd.err != nil {
+			return nil, nd.err
+		}
+	}
+	out := &Result{
+		Outputs:       res.Outputs,
+		VirtualRounds: max(0, res.Metrics.Rounds-1),
+		Metrics:       res.Metrics,
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// edgeInfo builds the NodeInfo of the virtual node for edge id of g: its
+// L(G)-degree is deg(u)+deg(v)-2 and its weight is the edge weight (the node
+// weight in L(G), §2.4). The randomness stream depends only on (seed, id), so
+// executions on L(G)-via-RunLine and on an explicitly constructed L(G) via
+// RunDirect coincide exactly.
+func edgeInfo(g *graph.Graph, id int, seed uint64) *NodeInfo {
+	e := g.EdgeByID(id)
+	return &NodeInfo{
+		ID:     id,
+		N:      g.M(),
+		Degree: g.Degree(e.U) + g.Degree(e.V) - 2,
+		Weight: g.EdgeWeight(id),
+		Rand:   rng.New(seed).Split(uint64(id)),
+	}
+}
+
+// checkQueryCount guards against machines that change their query count
+// between the two endpoints' evaluations; both runtimes call it.
+func checkQueryCount(id int, got, want int) error {
+	if got != want {
+		return fmt.Errorf("agg: virtual node %d query count changed between endpoints: %d vs %d (Queries must be pure)", id, got, want)
+	}
+	return nil
+}

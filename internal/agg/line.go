@@ -1,0 +1,249 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/simul"
+)
+
+// Theorem 2.8 simulation: run a local aggregation algorithm on L(G) in the
+// CONGEST model of G with no round or congestion overhead beyond a factor 2.
+//
+// Edge e = {u, v} with u < v is simulated by primary node u; the secondary v
+// mirrors e's Data (the invariant from the proof of Theorem 2.8: "D_{v,i} is
+// always present in both the primary and secondary nodes"). A virtual round t
+// spans two real rounds:
+//
+//	real round 2t   (A): every secondary computes, for each of e's queries,
+//	    the partial aggregate over its own other incident live edges, and
+//	    sends the vector of partials to the primary across e itself.
+//	real round 2t+1 (B): the primary joins the secondary's partials with the
+//	    partials over its own side (the two sides are disjoint — a common
+//	    edge would be a parallel edge — so the joining function of
+//	    Definition 2.5 applies), runs Update, and sends the new Data plus a
+//	    halt flag back across e.
+//
+// Exactly one message traverses each live edge per real round.
+
+// partialMsg carries the secondary's per-query partial aggregates.
+type partialMsg struct {
+	values Data
+}
+
+func (m partialMsg) Bits() int {
+	b := 0
+	for _, v := range m.values {
+		b += partialValueBits(v)
+	}
+	return b
+}
+
+// partialValueBits sizes one partial-aggregate value. The Min/Max identities
+// (±MaxInt64) arise only as "my side is empty" markers; a real wire encoding
+// reserves a short empty-set symbol for them rather than 64 bits.
+func partialValueBits(v int64) int {
+	if v == math.MaxInt64 || v == math.MinInt64 {
+		return 2
+	}
+	if v < 0 {
+		v = -v
+	}
+	return 1 + simul.BitsForRange(v)
+}
+
+// updateMsg carries the primary's new Data and the halt flag.
+type updateMsg struct {
+	fields Data
+	halted bool
+}
+
+func (m updateMsg) Bits() int { return m.fields.Bits() + 1 }
+
+// lineEdgeState is one endpoint's view of the virtual node for edge id.
+type lineEdgeState struct {
+	id      int
+	other   int // the other endpoint of the edge
+	primary bool
+	m       Machine // authoritative at the primary, query shadow at the secondary
+	info    *NodeInfo
+	data    Data
+	live    bool
+}
+
+// lineNode is the real-node automaton that simulates all its incident edges.
+type lineNode struct {
+	states  []*lineEdgeState // indexed by position in IncidentEdges order
+	byOther map[int]*lineEdgeState
+	outputs map[int]any // edge ID -> output, for edges this node primaries
+	err     error
+}
+
+func (a *lineNode) fail(ctx *simul.Context, err error) {
+	a.err = err
+	ctx.Halt(nil)
+}
+
+// sidePartials computes, for each query of edge st, the aggregate over the
+// data of this endpoint's other live incident edges. The liveness and data
+// snapshots must predate any Update of the current virtual round, so callers
+// run it before mutating anything.
+func (a *lineNode) sidePartials(st *lineEdgeState, queries []Query) Data {
+	out := make(Data, len(queries))
+	for i, q := range queries {
+		acc := q.Agg.Identity()
+		for _, other := range a.states {
+			if other == st || !other.live {
+				continue
+			}
+			acc = q.Agg.Join(acc, q.Proj(other.data))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func (a *lineNode) anyLive() bool {
+	for _, st := range a.states {
+		if st.live {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *lineNode) Step(ctx *simul.Context, inbox []simul.Envelope) {
+	if len(a.states) == 0 {
+		ctx.Halt(a.outputs)
+		return
+	}
+	t := ctx.Round() / 2
+	if ctx.Round()%2 == 0 {
+		// A round. First fold in the primaries' B messages from the previous
+		// virtual round (secondary side).
+		for _, env := range inbox {
+			st, ok := a.byOther[env.From]
+			if !ok {
+				continue
+			}
+			upd := env.Msg.(updateMsg)
+			copy(st.data, upd.fields)
+			if upd.halted {
+				st.live = false
+			}
+		}
+		if !a.anyLive() {
+			ctx.Halt(a.outputs)
+			return
+		}
+		// Then send partials for every live edge we secondary.
+		for _, st := range a.states {
+			if !st.live || st.primary {
+				continue
+			}
+			queries := st.m.Queries(st.info, t, st.data)
+			ctx.Send(st.other, partialMsg{values: a.sidePartials(st, queries)})
+		}
+		return
+	}
+
+	// B round: primaries resolve virtual round t.
+	partials := make(map[int]Data, len(inbox))
+	for _, env := range inbox {
+		partials[env.From] = env.Msg.(partialMsg).values
+	}
+	// Pass 1: compute all aggregations against the pre-update snapshot.
+	type pending struct {
+		st      *lineEdgeState
+		results []int64
+	}
+	var work []pending
+	for _, st := range a.states {
+		if !st.live || !st.primary {
+			continue
+		}
+		queries := st.m.Queries(st.info, t, st.data)
+		secondary, ok := partials[st.other]
+		if !ok {
+			// The secondary endpoint vanished without handing over; this
+			// indicates a machine protocol bug.
+			a.fail(ctx, fmt.Errorf("agg: line runtime: no partial aggregate from secondary %d for edge %d at virtual round %d", st.other, st.id, t))
+			return
+		}
+		if err := checkQueryCount(st.id, len(secondary), len(queries)); err != nil {
+			a.fail(ctx, err)
+			return
+		}
+		mine := a.sidePartials(st, queries)
+		results := make([]int64, len(queries))
+		for i, q := range queries {
+			results[i] = q.Agg.Join(mine[i], secondary[i])
+		}
+		work = append(work, pending{st: st, results: results})
+	}
+	// Pass 2: run the updates and ship the new data to the secondaries.
+	for _, p := range work {
+		halt, output := p.st.m.Update(p.st.info, t, p.st.data, p.results)
+		ctx.Send(p.st.other, updateMsg{fields: p.st.data.Clone(), halted: halt})
+		if halt {
+			a.outputs[p.st.id] = output
+			p.st.live = false
+		}
+	}
+	if !a.anyLive() {
+		ctx.Halt(a.outputs)
+	}
+}
+
+// RunLine executes the machines on the virtual nodes of L(G) — one per edge
+// of g — inside the CONGEST model of g, per Theorem 2.8. Outputs are indexed
+// by edge ID. Virtual round t spans real rounds 2t and 2t+1.
+func RunLine(g *graph.Graph, cfg simul.Config, build func(edgeID int) Machine) (*Result, error) {
+	nodes := make([]*lineNode, g.N())
+	res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
+		ln := &lineNode{
+			byOther: make(map[int]*lineEdgeState),
+			outputs: make(map[int]any),
+		}
+		for _, id := range g.IncidentEdges(v) {
+			e := g.EdgeByID(id)
+			st := &lineEdgeState{
+				id:      id,
+				other:   e.Other(v),
+				primary: v == e.U, // canonical edges have U < V
+				m:       build(id),
+				info:    edgeInfo(g, id, cfg.Seed),
+				live:    true,
+			}
+			// Both endpoints derive the identical initial data from the
+			// edge's deterministic stream; no bootstrap message is needed.
+			st.data = st.m.Init(st.info)
+			if err := validateData(id, st.m.Fields(), st.data); err != nil {
+				st.live = false
+				ln.err = err
+			}
+			ln.states = append(ln.states, st)
+			ln.byOther[st.other] = st
+		}
+		nodes[v] = ln
+		return ln
+	})
+	if err != nil {
+		return nil, err
+	}
+	outputs := make([]any, g.M())
+	for _, ln := range nodes {
+		if ln.err != nil {
+			return nil, ln.err
+		}
+		for id, out := range ln.outputs {
+			outputs[id] = out
+		}
+	}
+	return &Result{
+		Outputs:       outputs,
+		VirtualRounds: res.Metrics.Rounds / 2,
+		Metrics:       res.Metrics,
+	}, nil
+}

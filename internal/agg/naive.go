@@ -1,0 +1,230 @@
+package agg
+
+import (
+	"repro/internal/graph"
+	"repro/internal/simul"
+)
+
+// RunLineNaive is the straw-man simulation of L(G) the paper warns about in
+// §2.4: instead of exchanging partial aggregates, every node relays the Data
+// of each of its incident edges to each neighbor, one item per edge per
+// round. A node of degree d needs d-1 relay rounds per virtual round, so the
+// schedule reserves ∆-1 relay rounds plus one update round — the Θ(∆)
+// multiplicative congestion penalty that Theorem 2.8 eliminates.
+//
+// The relay schedule length is derived from the globally known ∆(G); all
+// nodes must agree on it for the synchronous schedule to line up.
+
+// relayMsg carries one edge's Data, tagged with the edge ID so the receiver
+// can attribute it.
+type relayMsg struct {
+	edgeID int
+	fields Data
+}
+
+func (m relayMsg) Bits() int {
+	return simul.BitsForRange(int64(m.edgeID)) + m.fields.Bits()
+}
+
+type naiveNode struct {
+	g       *graph.Graph
+	relayR  int // relay rounds per virtual round
+	states  []*lineEdgeState
+	byOther map[int]*lineEdgeState
+	outputs map[int]any
+	err     error
+
+	// received accumulates this virtual round's relayed remote edge data.
+	received map[int]Data
+	// queues[i] is the per-neighbor relay queue for the current virtual
+	// round, parallel to states.
+	queues [][]relayMsg
+}
+
+func (a *naiveNode) anyLive() bool {
+	for _, st := range a.states {
+		if st.live {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildQueues prepares, for each neighbor, the list of our other live
+// edges' data to relay this virtual round.
+func (a *naiveNode) rebuildQueues() {
+	for i, st := range a.states {
+		a.queues[i] = a.queues[i][:0]
+		if !st.live {
+			continue
+		}
+		for _, other := range a.states {
+			if other == st || !other.live {
+				continue
+			}
+			a.queues[i] = append(a.queues[i], relayMsg{edgeID: other.id, fields: other.data.Clone()})
+		}
+	}
+}
+
+func (a *naiveNode) Step(ctx *simul.Context, inbox []simul.Envelope) {
+	if len(a.states) == 0 {
+		ctx.Halt(a.outputs)
+		return
+	}
+	period := a.relayR + 1
+	phase := ctx.Round() % period
+	t := ctx.Round() / period
+
+	// Fold in whatever arrived: relayed remote data during relay rounds,
+	// update messages at the start of a new virtual round.
+	for _, env := range inbox {
+		switch m := env.Msg.(type) {
+		case relayMsg:
+			a.received[m.edgeID] = m.fields
+		case updateMsg:
+			st, ok := a.byOther[env.From]
+			if !ok {
+				continue
+			}
+			copy(st.data, m.fields)
+			if m.halted {
+				st.live = false
+			}
+		}
+	}
+
+	if phase == 0 {
+		if !a.anyLive() {
+			ctx.Halt(a.outputs)
+			return
+		}
+		// A fresh virtual round: drop stale remote data, rebuild queues.
+		for k := range a.received {
+			delete(a.received, k)
+		}
+		a.rebuildQueues()
+	}
+
+	if phase < a.relayR {
+		// Relay round: pop one queued item per neighbor.
+		for i, st := range a.states {
+			if len(a.queues[i]) == 0 || !st.live {
+				continue
+			}
+			ctx.Send(st.other, a.queues[i][0])
+			a.queues[i] = a.queues[i][1:]
+		}
+		return
+	}
+
+	// Update round: primaries now hold the data of every L(G)-neighbor of
+	// their edges — own-side locally, other-side via relays.
+	type pending struct {
+		st      *lineEdgeState
+		results []int64
+	}
+	var work []pending
+	for _, st := range a.states {
+		if !st.live || !st.primary {
+			continue
+		}
+		queries := st.m.Queries(st.info, t, st.data)
+		results := make([]int64, len(queries))
+		for qi, q := range queries {
+			acc := q.Agg.Identity()
+			for _, other := range a.states {
+				if other == st || !other.live {
+					continue
+				}
+				acc = q.Agg.Join(acc, q.Proj(other.data))
+			}
+			for edgeID, d := range a.received {
+				if edgeID == st.id {
+					continue
+				}
+				// Only edges sharing the *other* endpoint: the relay sender
+				// was st.other, and it relayed exactly its other live edges.
+				if sharesEndpoint(a.g, edgeID, st.other) {
+					acc = q.Agg.Join(acc, q.Proj(d))
+				}
+			}
+			results[qi] = acc
+		}
+		work = append(work, pending{st: st, results: results})
+	}
+	for _, p := range work {
+		halt, output := p.st.m.Update(p.st.info, t, p.st.data, p.results)
+		ctx.Send(p.st.other, updateMsg{fields: p.st.data.Clone(), halted: halt})
+		if halt {
+			a.outputs[p.st.id] = output
+			p.st.live = false
+		}
+	}
+	if !a.anyLive() {
+		ctx.Halt(a.outputs)
+	}
+}
+
+func sharesEndpoint(g *graph.Graph, edgeID, v int) bool {
+	e := g.EdgeByID(edgeID)
+	return e.U == v || e.V == v
+}
+
+// RunLineNaive executes the machines on L(G) using the naive relay schedule.
+// Outputs are indexed by edge ID. One virtual round costs ∆(G)-1 relay rounds
+// plus one update round.
+func RunLineNaive(g *graph.Graph, cfg simul.Config, build func(edgeID int) Machine) (*Result, error) {
+	relayR := g.MaxDegree() - 1
+	if relayR < 1 {
+		relayR = 1
+	}
+	nodes := make([]*naiveNode, g.N())
+	res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
+		nn := &naiveNode{
+			g:        g,
+			relayR:   relayR,
+			byOther:  make(map[int]*lineEdgeState),
+			outputs:  make(map[int]any),
+			received: make(map[int]Data),
+		}
+		for _, id := range g.IncidentEdges(v) {
+			e := g.EdgeByID(id)
+			st := &lineEdgeState{
+				id:      id,
+				other:   e.Other(v),
+				primary: v == e.U,
+				m:       build(id),
+				info:    edgeInfo(g, id, cfg.Seed),
+				live:    true,
+			}
+			st.data = st.m.Init(st.info)
+			if err := validateData(id, st.m.Fields(), st.data); err != nil {
+				st.live = false
+				nn.err = err
+			}
+			nn.states = append(nn.states, st)
+			nn.byOther[st.other] = st
+		}
+		nn.queues = make([][]relayMsg, len(nn.states))
+		nodes[v] = nn
+		return nn
+	})
+	if err != nil {
+		return nil, err
+	}
+	outputs := make([]any, g.M())
+	for _, nn := range nodes {
+		if nn.err != nil {
+			return nil, nn.err
+		}
+		for id, out := range nn.outputs {
+			outputs[id] = out
+		}
+	}
+	return &Result{
+		Outputs:       outputs,
+		VirtualRounds: res.Metrics.Rounds / (relayR + 1),
+		Metrics:       res.Metrics,
+	}, nil
+}

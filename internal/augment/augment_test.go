@@ -1,0 +1,302 @@
+package augment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func allActive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestEnumerateLength1(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	mate := []int{-1, -1, -1, -1}
+	paths, err := EnumerateAugmentingPaths(g, mate, 1, allActive(4), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("free edges on an empty matching: got %d paths, want 3", len(paths))
+	}
+}
+
+func TestEnumerateLength3(t *testing.T) {
+	// P4 with the middle edge matched: the unique augmenting path is the
+	// whole path.
+	g := graph.Path(4)
+	mate := []int{-1, 2, 1, -1}
+	paths, err := EnumerateAugmentingPaths(g, mate, 3, allActive(4), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	want := []int{0, 1, 2, 3}
+	for i, v := range want {
+		if paths[0][i] != v {
+			t.Fatalf("path = %v, want %v", paths[0], want)
+		}
+	}
+	// No length-1 paths exist (0 and 3 are not adjacent).
+	paths, err = EnumerateAugmentingPaths(g, mate, 1, allActive(4), 100)
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("unexpected length-1 paths: %v err=%v", paths, err)
+	}
+}
+
+func TestEnumerateRespectsActive(t *testing.T) {
+	g := graph.Path(4)
+	mate := []int{-1, 2, 1, -1}
+	active := allActive(4)
+	active[1] = false
+	paths, err := EnumerateAugmentingPaths(g, mate, 3, active, 100)
+	if err != nil || len(paths) != 0 {
+		t.Fatalf("deactivated interior node still produced paths: %v", paths)
+	}
+}
+
+func TestEnumerateCap(t *testing.T) {
+	g := graph.Complete(10)
+	mate := make([]int, 10)
+	for i := range mate {
+		mate[i] = -1
+	}
+	if _, err := EnumerateAugmentingPaths(g, mate, 1, allActive(10), 3); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+func TestEnumerateRejectsEvenLength(t *testing.T) {
+	g := graph.Path(3)
+	mate := []int{-1, -1, -1}
+	if _, err := EnumerateAugmentingPaths(g, mate, 2, allActive(3), 10); err == nil {
+		t.Fatal("even length accepted")
+	}
+}
+
+func TestFlipPath(t *testing.T) {
+	g := graph.Path(4)
+	mate := []int{-1, 2, 1, -1}
+	if err := FlipPath(g, mate, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 3, 2}
+	for v, m := range want {
+		if mate[v] != m {
+			t.Fatalf("mate = %v, want %v", mate, want)
+		}
+	}
+	// Flipping a non-augmenting path must fail loudly.
+	if err := FlipPath(g, mate, []int{0, 1, 2, 3}); err == nil {
+		t.Fatal("flip of matched endpoints accepted")
+	}
+}
+
+func TestMateMatchingRoundTrip(t *testing.T) {
+	g := graph.GNP(14, 0.3, rng.New(1))
+	m := exact.MaxCardinalityMatching(g)
+	mate := MateFromMatching(g, m)
+	back, err := MatchingFromMate(g, mate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(m) {
+		t.Fatalf("round trip changed size: %d vs %d", len(back), len(m))
+	}
+}
+
+func TestCountPathsHandExample(t *testing.T) {
+	// a0 — b0 = a1 — b1  (= is the matching edge): one augmenting path of
+	// length 3 through every node.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1) // a0-b0
+	g.MustAddEdge(1, 2) // b0-a1 (matched)
+	g.MustAddEdge(2, 3) // a1-b1
+	side := []int{0, 1, 0, 1}
+	mate := []int{-1, 2, 1, -1}
+	pc, err := CountPaths(g, side, mate, 3, allActive(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		if pc.Through[v] != 1 {
+			t.Fatalf("Through[%d] = %d, want 1 (layers %v forward %v suffix %v)",
+				v, pc.Through[v], pc.Layer, pc.Forward, pc.Suffix)
+		}
+	}
+	if pc.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 2d = 6", pc.Rounds)
+	}
+}
+
+// bruteThrough counts length-d augmenting paths through each node by
+// explicit enumeration.
+func bruteThrough(g *graph.Graph, mate []int, d int, t *testing.T) []int64 {
+	t.Helper()
+	paths, err := EnumerateAugmentingPaths(g, mate, d, allActive(g.N()), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, g.N())
+	for _, p := range paths {
+		for _, v := range p {
+			out[v]++
+		}
+	}
+	return out
+}
+
+func TestClaimB5CountsMatchEnumeration(t *testing.T) {
+	// On a bipartite graph with a maximal matching (no length-1 augmenting
+	// paths), the layered traversal must count exactly the length-3
+	// augmenting paths through every node.
+	r := rng.New(2)
+	for trial := 0; trial < 25; trial++ {
+		g, side := graph.RandomBipartite(7, 7, 0.35, r.Split(uint64(trial)))
+		mate := MateFromMatching(g, exact.GreedyMatching(g))
+		pc, err := CountPaths(g, side, mate, 3, allActive(g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteThrough(g, mate, 3, t)
+		for v := 0; v < g.N(); v++ {
+			if pc.Through[v] != want[v] {
+				t.Fatalf("trial %d: Through[%d] = %d, enumeration says %d",
+					trial, v, pc.Through[v], want[v])
+			}
+		}
+	}
+}
+
+func TestClaimB6AttenuatedSums(t *testing.T) {
+	// With attenuations α, ThroughMass[v] must equal Σ over enumerated
+	// length-3 augmenting paths through v of Π_{u∈P} α(u).
+	r := rng.New(3)
+	for trial := 0; trial < 15; trial++ {
+		g, side := graph.RandomBipartite(6, 6, 0.4, r.Split(uint64(trial)))
+		mate := MateFromMatching(g, exact.GreedyMatching(g))
+		alpha := make([]float64, g.N())
+		for v := range alpha {
+			alpha[v] = 0.25 + 0.75*r.Split(uint64(900+trial)).Float64()
+			if side[v] == 1 && mate[v] != -1 {
+				alpha[v] = 1 // matched B-nodes carry no attenuation (§B.3)
+			}
+		}
+		as, err := Attenuated(g, side, mate, 3, allActive(g.N()), alpha, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := EnumerateAugmentingPaths(g, mate, 3, allActive(g.N()), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, g.N())
+		for _, p := range paths {
+			prod := 1.0
+			for _, u := range p {
+				prod *= alpha[u]
+			}
+			for _, u := range p {
+				want[u] += prod
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(as.ThroughMass[v]-want[v]) > 1e-9 {
+				t.Fatalf("trial %d: ThroughMass[%d] = %v, want %v", trial, v, as.ThroughMass[v], want[v])
+			}
+		}
+	}
+}
+
+func TestAttenuatedWithUnitAlphaMatchesCounts(t *testing.T) {
+	g, side := graph.RandomBipartite(8, 8, 0.3, rng.New(4))
+	mate := MateFromMatching(g, exact.GreedyMatching(g))
+	alpha := make([]float64, g.N())
+	for v := range alpha {
+		alpha[v] = 1
+	}
+	pc, err := CountPaths(g, side, mate, 3, allActive(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Attenuated(g, side, mate, 3, allActive(g.N()), alpha, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(float64(pc.Through[v])-as.ThroughMass[v]) > 1e-9 {
+			t.Fatalf("node %d: count %d vs mass %v", v, pc.Through[v], as.ThroughMass[v])
+		}
+	}
+}
+
+func TestOneEpsLocalApproximation(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 8; trial++ {
+		g := graph.GNP(26, 0.15, r.Split(uint64(trial)))
+		res, err := OneEpsLocal(g, OneEpsParams{Eps: 0.34, K: 2}, r.Split(uint64(700+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsMatching(res.Matching) {
+			t.Fatalf("trial %d: output not a matching", trial)
+		}
+		opt := len(exact.MaxCardinalityMatching(g))
+		// (1+ε) among active nodes; deactivated nodes can each cost at most
+		// one matched edge.
+		bound := float64(opt) - float64(2*res.Deactivated)
+		if (1.34)*float64(len(res.Matching)) < bound {
+			t.Fatalf("trial %d: |M|=%d, OPT=%d, deactivated=%d — (1+ε) violated",
+				trial, len(res.Matching), opt, res.Deactivated)
+		}
+	}
+}
+
+func TestOneEpsLocalTightEps(t *testing.T) {
+	// ε = 1 only requires clearing length-1 and length-3 paths; the result
+	// must at least be a maximal matching (≥ OPT/2).
+	g := graph.GNP(30, 0.2, rng.New(6))
+	res, err := OneEpsLocal(g, OneEpsParams{Eps: 1, K: 2}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := len(exact.MaxCardinalityMatching(g))
+	if 2*len(res.Matching)+2*res.Deactivated < opt {
+		t.Fatalf("|M|=%d below OPT/2=%d/2", len(res.Matching), opt)
+	}
+}
+
+func TestOneEpsParamsValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := OneEpsLocal(g, OneEpsParams{Eps: 0, K: 2}, rng.New(8)); err == nil {
+		t.Fatal("ε=0 accepted")
+	}
+	if _, err := OneEpsLocal(g, OneEpsParams{Eps: 0.5, K: 1}, rng.New(9)); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+}
+
+func TestOneEpsRoundsScaleWithPhases(t *testing.T) {
+	g := graph.GNP(24, 0.2, rng.New(10))
+	coarse, err := OneEpsLocal(g, OneEpsParams{Eps: 1, K: 2}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := OneEpsLocal(g, OneEpsParams{Eps: 0.25, K: 2}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Rounds < coarse.Rounds {
+		t.Fatalf("smaller ε should not use fewer rounds: %d vs %d", fine.Rounds, coarse.Rounds)
+	}
+}

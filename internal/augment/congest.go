@@ -1,0 +1,361 @@
+package augment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Appendix B.3: the CONGEST-model (1+ε)-approximation. The conflict graph of
+// augmenting paths is never built; instead each node carries an attenuation
+// parameter α(v), the marking probability of a path is p(P) = Π_{v∈P} α(v),
+// and the forward/backward traversals of Claims B.5/B.6 compute the per-node
+// path masses Σ_{P∋v} p(P) by message passing. Paths are sampled link by
+// link by tokens that die on collision; heavy nodes throttle themselves, and
+// nodes that stay in "good" iterations too long are deactivated.
+//
+// The traversals and token passes are executed here as data-parallel sweeps
+// with the paper's round charges (each sweep = 2d CONGEST rounds, each token
+// pass = 2d); DESIGN.md §3 records this simulation shortcut.
+
+// CongestOneEpsParams configures the §B.3 algorithm.
+type CongestOneEpsParams struct {
+	// Eps is the target approximation slack.
+	Eps float64
+	// K is the attenuation adjustment factor (≥ 2).
+	K int
+	// Delta is the per-phase deactivation probability target (0 → Θ(ε²)).
+	Delta float64
+	// Beta scales the iteration budgets (0 → 2).
+	Beta int
+}
+
+// CongestOneEpsResult reports the outcome.
+type CongestOneEpsResult struct {
+	Matching []int
+	// Rounds is the total CONGEST round charge: traversals, token passes and
+	// bookkeeping across all stages and path lengths.
+	Rounds int
+	// Deactivated counts nodes removed by the good-iteration cap or the
+	// iteration-budget fallback.
+	Deactivated int
+	// Stages is the number of random bipartitions used (general graphs).
+	Stages int
+}
+
+func (p CongestOneEpsParams) validate() error {
+	if p.Eps <= 0 || p.Eps > 1 {
+		return fmt.Errorf("augment: ε must be in (0,1], got %v", p.Eps)
+	}
+	if p.K < 2 {
+		return fmt.Errorf("augment: K must be ≥ 2, got %d", p.K)
+	}
+	return nil
+}
+
+// BipartiteOneEpsCongest runs the §B.3 algorithm on a bipartite graph: for
+// each odd d up to 2⌈1/ε⌉-1 it finds a nearly-maximal set of length-d
+// augmenting paths via attenuated traversals and token marking, flips them,
+// and deactivates stragglers. mate is mutated in place; active marks the
+// nodes still in the problem.
+func BipartiteOneEpsCongest(g *graph.Graph, side, mate []int, params CongestOneEpsParams, active []bool, r *rng.Stream) (rounds, deactivated int, err error) {
+	if err := params.validate(); err != nil {
+		return 0, 0, err
+	}
+	maxLen := 2*int(math.Ceil(1/params.Eps)) - 1
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	for d := 1; d <= maxLen; d += 2 {
+		dr, dd, err := augmentLengthPhase(g, side, mate, d, params, active, r)
+		if err != nil {
+			return rounds, deactivated, err
+		}
+		rounds += dr
+		deactivated += dd
+	}
+	return rounds, deactivated, nil
+}
+
+// augmentLengthPhase eliminates (nearly) all length-d augmenting paths among
+// active nodes.
+func augmentLengthPhase(g *graph.Graph, side, mate []int, d int, params CongestOneEpsParams, active []bool, r *rng.Stream) (rounds, deactivated int, err error) {
+	n := g.N()
+	K := float64(params.K)
+	delta := params.Delta
+	if delta == 0 {
+		delta = params.Eps * params.Eps / 4
+	}
+	beta := params.Beta
+	if beta == 0 {
+		beta = 2
+	}
+	df := float64(d)
+	// Iteration budget (Lemma B.11 shape) and good-iteration cap
+	// (Lemma B.10). K^{2d} is the paper's attenuation step; it dominates the
+	// constants, so d beyond ~5 needs small K.
+	k2d := math.Pow(K, 2*df)
+	maxDeg := float64(g.MaxDegree() + 2)
+	budget := int(math.Ceil(float64(beta) * (df*df*k2d*math.Log(1/delta) + df*df*df*math.Log(maxDeg)/math.Log(K))))
+	goodCap := int(math.Ceil(float64(beta) * df * k2d * math.Log(1/delta)))
+	heavyThreshold := 1 / (10 * df)
+	goodThreshold := 1 / (df * k2d)
+	alphaFloor := math.Pow(maxDeg, -20/params.Eps)
+
+	// Attenuations: 1/K at unmatched A-nodes, 1 elsewhere (§B.3).
+	alpha := make([]float64, n)
+	resetAlpha := func(v int) {
+		if side[v] == 0 && mate[v] == -1 {
+			alpha[v] = 1 / K
+		} else {
+			alpha[v] = 1
+		}
+	}
+	for v := 0; v < n; v++ {
+		resetAlpha(v)
+	}
+	goodRounds := make([]int, n)
+	heavy := make([]bool, n)
+	notHeavy := make([]bool, n)
+
+	for iter := 0; ; iter++ {
+		// Do any length-d augmenting paths remain among active nodes? The
+		// unattenuated traversal answers in 2d rounds.
+		pc, err := CountPaths(g, side, mate, d, active)
+		if err != nil {
+			return rounds, deactivated, err
+		}
+		rounds += pc.Rounds
+		remaining := false
+		for v := 0; v < n && !remaining; v++ {
+			if side[v] == 1 && mate[v] == -1 && active[v] && pc.Layer[v] == d && pc.Forward[v] > 0 {
+				remaining = true
+			}
+		}
+		if !remaining {
+			return rounds, deactivated, nil
+		}
+		if iter >= budget {
+			// Budget exhausted (Lemma B.11 says this is rare): deactivate
+			// every node still carrying a path, preserving the phase
+			// postcondition at bounded deactivation cost.
+			for v := 0; v < n; v++ {
+				if active[v] && pc.Through[v] > 0 {
+					active[v] = false
+					deactivated++
+				}
+			}
+			return rounds, deactivated, nil
+		}
+
+		// Attenuated masses (Claim B.6) and the heavy set.
+		as, err := Attenuated(g, side, mate, d, active, alpha, nil)
+		if err != nil {
+			return rounds, deactivated, err
+		}
+		rounds += as.Rounds
+		for v := 0; v < n; v++ {
+			heavy[v] = as.ThroughMass[v] >= heavyThreshold
+			notHeavy[v] = !heavy[v]
+		}
+
+		// Light-path masses: the same traversal restricted to non-heavy
+		// nodes; drives good-iteration counting and deactivation.
+		light, err := Attenuated(g, side, mate, d, active, alpha, notHeavy)
+		if err != nil {
+			return rounds, deactivated, err
+		}
+		rounds += light.Rounds
+		for v := 0; v < n; v++ {
+			if !active[v] || light.ThroughMass[v] < goodThreshold {
+				continue
+			}
+			goodRounds[v]++
+			if goodRounds[v] > goodCap {
+				active[v] = false
+				deactivated++
+			}
+		}
+
+		// Token marking: each non-heavy unmatched B endpoint initiates a
+		// token with probability equal to its ending path mass, then walks
+		// it backwards link by link, choosing predecessors proportionally to
+		// their forward masses. Tokens sharing a node all die.
+		tokens := sampleTokens(g, side, mate, d, active, as, heavy, r)
+		rounds += 2 * d
+		visits := make(map[int]int)
+		for _, tok := range tokens {
+			for _, v := range tok {
+				visits[v]++
+			}
+		}
+		for _, tok := range tokens {
+			lone := true
+			for _, v := range tok {
+				if visits[v] > 1 {
+					lone = false
+					break
+				}
+			}
+			if !lone {
+				continue
+			}
+			// Reverse to run from the unmatched A-node, then flip.
+			path := make([]int, len(tok))
+			for i, v := range tok {
+				path[len(tok)-1-i] = v
+			}
+			if err := FlipPath(g, mate, path); err != nil {
+				return rounds, deactivated, fmt.Errorf("augment: congest flip: %w", err)
+			}
+			for _, v := range path {
+				resetAlpha(v) // roles changed; matched nodes carry α = 1
+			}
+		}
+		rounds += 2 // attenuation updates and bookkeeping
+
+		// Attenuation dynamics (§B.3).
+		for v := 0; v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			if heavy[v] {
+				alpha[v] = math.Max(alpha[v]*math.Pow(K, -2*df), alphaFloor)
+				continue
+			}
+			limit := 1.0
+			if side[v] == 0 && mate[v] == -1 {
+				limit = 1 / K
+			}
+			alpha[v] = math.Min(limit, alpha[v]*K)
+		}
+	}
+}
+
+// sampleTokens performs the link-by-link backward sampling of marked paths.
+// Each returned token is a node sequence from an unmatched B-node (layer d)
+// down to an unmatched A-node (layer 0).
+func sampleTokens(g *graph.Graph, side, mate []int, d int, active []bool, as *AttenuatedSums, heavy []bool, r *rng.Stream) [][]int {
+	var tokens [][]int
+	for b := 0; b < g.N(); b++ {
+		if !active[b] || side[b] != 1 || mate[b] != -1 || as.Layer[b] != d || heavy[b] {
+			continue
+		}
+		if !r.Bernoulli(math.Min(1, as.EndMass[b])) {
+			continue
+		}
+		tok := []int{b}
+		cur := b
+		ok := true
+		for t := d; t > 0 && ok; t-- {
+			if t%2 == 1 {
+				// B-node at odd layer t: predecessor is an A-neighbor at
+				// layer t-1 (non-matching edge), chosen ∝ forward mass.
+				var opts []int
+				var weights []float64
+				total := 0.0
+				for _, a := range g.Neighbors(cur) {
+					if active[a] && side[a] == 0 && as.Layer[a] == t-1 && mate[a] != cur && as.ForwardMass[a] > 0 {
+						opts = append(opts, a)
+						weights = append(weights, as.ForwardMass[a])
+						total += as.ForwardMass[a]
+					}
+				}
+				if total <= 0 {
+					ok = false
+					break
+				}
+				x := r.Float64() * total
+				pick := opts[len(opts)-1]
+				for i, w := range weights {
+					if x < w {
+						pick = opts[i]
+						break
+					}
+					x -= w
+				}
+				cur = pick
+			} else {
+				// Matched A-node at even layer t: predecessor is its mate.
+				m := mate[cur]
+				if m == -1 || !active[m] || as.Layer[m] != t-1 {
+					ok = false
+					break
+				}
+				cur = m
+			}
+			tok = append(tok, cur)
+		}
+		if ok && len(tok) == d+1 {
+			tokens = append(tokens, tok)
+		}
+	}
+	return tokens
+}
+
+// OneEpsCongest computes a (1+ε)-approximate maximum cardinality matching on
+// a general graph in the CONGEST model, following §B.3: 2^O(1/ε) stages each
+// draw a random red/blue bipartition (keeping unmatched nodes and
+// bichromatically matched pairs), then run the bipartite §B.3 phase for all
+// odd lengths up to 2⌈1/ε⌉-1.
+func OneEpsCongest(g *graph.Graph, params CongestOneEpsParams, r *rng.Stream) (*CongestOneEpsResult, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	mate := make([]int, n)
+	for v := range mate {
+		mate[v] = -1
+	}
+	activeGlobal := make([]bool, n)
+	for v := range activeGlobal {
+		activeGlobal[v] = true
+	}
+	stages := int(math.Ceil(math.Pow(2, 1/params.Eps))) + 2
+	res := &CongestOneEpsResult{Stages: stages}
+
+	side := make([]int, n)
+	kept := make([]bool, n)
+	work := make([]bool, n)
+	for s := 0; s < stages; s++ {
+		for v := 0; v < n; v++ {
+			if r.Bernoulli(0.5) {
+				side[v] = 0
+			} else {
+				side[v] = 1
+			}
+		}
+		res.Rounds++ // announcing colors
+		// Keep unmatched nodes and bichromatic matched pairs (§B.3).
+		for v := 0; v < n; v++ {
+			m := mate[v]
+			kept[v] = activeGlobal[v] && (m == -1 || (side[v] != side[m] && activeGlobal[m]))
+			work[v] = kept[v]
+		}
+		rounds, dead, err := BipartiteOneEpsCongest(g, side, mate, params, work, r)
+		if err != nil {
+			return nil, err
+		}
+		res.Rounds += rounds
+		res.Deactivated += dead
+		// Only genuine deactivations persist across stages; nodes merely
+		// left out of this stage's bipartition stay available.
+		for v := 0; v < n; v++ {
+			if kept[v] && !work[v] {
+				activeGlobal[v] = false
+			}
+		}
+	}
+
+	matching, err := MatchingFromMate(g, mate)
+	if err != nil {
+		return nil, err
+	}
+	if !g.IsMatching(matching) {
+		return nil, fmt.Errorf("augment: congest produced a non-matching")
+	}
+	res.Matching = matching
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package augment
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestBipartiteOneEpsCongest(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 8; trial++ {
+		g, side := graph.RandomBipartite(12, 12, 0.3, r.Split(uint64(trial)))
+		if g.M() == 0 {
+			continue
+		}
+		mate := make([]int, g.N())
+		for v := range mate {
+			mate[v] = -1
+		}
+		active := allActive(g.N())
+		rounds, dead, err := BipartiteOneEpsCongest(g, side, mate,
+			CongestOneEpsParams{Eps: 0.5, K: 2}, active, r.Split(uint64(100+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := MatchingFromMate(g, mate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsMatching(m) {
+			t.Fatalf("trial %d: not a matching", trial)
+		}
+		if rounds <= 0 {
+			t.Fatalf("trial %d: no rounds charged", trial)
+		}
+		opt := len(exact.MaxCardinalityMatching(g))
+		// ε=0.5 ⇒ lengths {1,3} cleared among active nodes ⇒ (1.5)-approx
+		// up to deactivations (each can cost one OPT edge).
+		if 2*(len(m)+dead) < opt {
+			t.Fatalf("trial %d: |M|=%d dead=%d OPT=%d", trial, len(m), dead, opt)
+		}
+	}
+}
+
+func TestBipartitePhaseClearsPaths(t *testing.T) {
+	// After a length-d phase, no length-d augmenting path may survive among
+	// active nodes — the Hopcroft–Karp progress invariant.
+	r := rng.New(2)
+	for trial := 0; trial < 10; trial++ {
+		g, side := graph.RandomBipartite(10, 10, 0.35, r.Split(uint64(trial)))
+		mate := make([]int, g.N())
+		for v := range mate {
+			mate[v] = -1
+		}
+		active := allActive(g.N())
+		if _, _, err := augmentLengthPhase(g, side, mate, 1,
+			CongestOneEpsParams{Eps: 1, K: 2}, active, r.Split(uint64(50+trial))); err != nil {
+			t.Fatal(err)
+		}
+		paths, err := EnumerateAugmentingPaths(g, mate, 1, active, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) != 0 {
+			t.Fatalf("trial %d: %d length-1 paths survive among active nodes", trial, len(paths))
+		}
+	}
+}
+
+func TestOneEpsCongestGeneralGraphs(t *testing.T) {
+	r := rng.New(3)
+	var got, dead, opt int
+	for trial := 0; trial < 6; trial++ {
+		g := graph.GNP(24, 0.18, r.Split(uint64(trial)))
+		res, err := OneEpsCongest(g, CongestOneEpsParams{Eps: 0.5, K: 2}, r.Split(uint64(900+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsMatching(res.Matching) {
+			t.Fatalf("trial %d: not a matching", trial)
+		}
+		got += len(res.Matching)
+		dead += res.Deactivated
+		opt += len(exact.MaxCardinalityMatching(g))
+	}
+	// Aggregate sanity: within (1+ε) of OPT modulo deactivation losses, with
+	// slack for the randomized stages.
+	if 2*(got+dead) < opt {
+		t.Fatalf("aggregate: got %d (+%d dead) vs OPT %d", got, dead, opt)
+	}
+}
+
+func TestOneEpsCongestRoundsGrowWithPrecision(t *testing.T) {
+	g := graph.GNP(20, 0.2, rng.New(4))
+	coarse, err := OneEpsCongest(g, CongestOneEpsParams{Eps: 1, K: 2}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := OneEpsCongest(g, CongestOneEpsParams{Eps: 0.5, K: 2}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Rounds <= coarse.Rounds {
+		t.Fatalf("ε=0.5 (%d rounds) should cost more than ε=1 (%d rounds)", fine.Rounds, coarse.Rounds)
+	}
+	if fine.Stages <= coarse.Stages {
+		t.Fatalf("stage count should grow as ε shrinks: %d vs %d", fine.Stages, coarse.Stages)
+	}
+}
+
+func TestOneEpsCongestValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := OneEpsCongest(g, CongestOneEpsParams{Eps: 0, K: 2}, rng.New(6)); err == nil {
+		t.Fatal("ε=0 accepted")
+	}
+	if _, err := OneEpsCongest(g, CongestOneEpsParams{Eps: 0.5, K: 1}, rng.New(7)); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+}
+
+func TestOneEpsCongestOnPerfectMatchableGraph(t *testing.T) {
+	// An even cycle has a perfect matching; ε=0.5 must find ≥ 2/3 of it.
+	g := graph.Cycle(16)
+	res, err := OneEpsCongest(g, CongestOneEpsParams{Eps: 0.5, K: 2}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matching)+res.Deactivated < 6 {
+		t.Fatalf("matched only %d of 8 on C16 (dead=%d)", len(res.Matching), res.Deactivated)
+	}
+}

@@ -1,0 +1,235 @@
+package augment
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// PathCounts holds the results of the bipartite forward/backward traversals
+// of Appendix B.3 (Figure 1, Claims B.5 and B.6).
+type PathCounts struct {
+	// Length is the augmenting-path length d the traversal targeted.
+	Length int
+	// Layer[v] is the BFS layer of v in the alternating layering (-1 if v is
+	// not reached by any shortest half-augmenting path).
+	Layer []int
+	// Forward[v] is the number of half-augmenting paths of length Layer[v]
+	// ending at v (the black numbers of Figure 1).
+	Forward []int64
+	// Suffix[v] is the number of ways to complete a path from v to an
+	// unmatched B-node at layer d.
+	Suffix []int64
+	// Through[v] = Forward[v]·Suffix[v] is the number of length-d augmenting
+	// paths through v (the purple numbers of Figure 1; Claim B.5).
+	Through []int64
+	// Rounds is the CONGEST round cost of the two traversals (d each).
+	Rounds int
+}
+
+// CountPaths runs the layered forward and backward traversals on a bipartite
+// graph. side[v] ∈ {0,1} (0 = A, 1 = B), mate is the current matching, d the
+// odd target length, and active restricts the traversal. Each message of the
+// real protocol carries one O(log n + d·log ∆)-bit counter; the Rounds field
+// charges 2d rounds as in the paper.
+func CountPaths(g *graph.Graph, side, mate []int, d int, active []bool) (*PathCounts, error) {
+	if d < 1 || d%2 == 0 {
+		return nil, fmt.Errorf("augment: traversal length must be odd, got %d", d)
+	}
+	n := g.N()
+	pc := &PathCounts{
+		Length:  d,
+		Layer:   make([]int, n),
+		Forward: make([]int64, n),
+		Suffix:  make([]int64, n),
+		Through: make([]int64, n),
+		Rounds:  2 * d,
+	}
+	for v := range pc.Layer {
+		pc.Layer[v] = -1
+	}
+	// Forward: layer 0 = unmatched A-nodes.
+	for v := 0; v < n; v++ {
+		if active[v] && side[v] == 0 && mate[v] == -1 {
+			pc.Layer[v] = 0
+			pc.Forward[v] = 1
+		}
+	}
+	for t := 1; t <= d; t++ {
+		if t%2 == 1 {
+			// A→B along non-matching edges: a fresh B-node sums the counts
+			// of its layer-(t-1) A-neighbors.
+			for v := 0; v < n; v++ {
+				if !active[v] || side[v] != 1 || pc.Layer[v] != -1 {
+					continue
+				}
+				var s int64
+				for _, a := range g.Neighbors(v) {
+					if active[a] && side[a] == 0 && pc.Layer[a] == t-1 && mate[a] != v {
+						s += pc.Forward[a]
+					}
+				}
+				if s > 0 {
+					pc.Layer[v] = t
+					pc.Forward[v] = s
+				}
+			}
+		} else {
+			// B→A along the matching edge.
+			for v := 0; v < n; v++ {
+				if !active[v] || side[v] != 1 || pc.Layer[v] != t-1 || mate[v] == -1 {
+					continue
+				}
+				a := mate[v]
+				if active[a] && pc.Layer[a] == -1 {
+					pc.Layer[a] = t
+					pc.Forward[a] = pc.Forward[v]
+				}
+			}
+		}
+	}
+	// Backward: suffix counts from unmatched B-nodes at layer d.
+	for v := 0; v < n; v++ {
+		if active[v] && side[v] == 1 && pc.Layer[v] == d && mate[v] == -1 {
+			pc.Suffix[v] = 1
+		}
+	}
+	for t := d - 1; t >= 0; t-- {
+		for v := 0; v < n; v++ {
+			if !active[v] || pc.Layer[v] != t {
+				continue
+			}
+			if t%2 == 0 {
+				// A-node at even layer: continue along non-matching edges to
+				// layer t+1 B-nodes.
+				var s int64
+				for _, b := range g.Neighbors(v) {
+					if active[b] && side[b] == 1 && pc.Layer[b] == t+1 && mate[v] != b {
+						s += pc.Suffix[b]
+					}
+				}
+				pc.Suffix[v] = s
+			} else if side[v] == 1 && mate[v] != -1 {
+				// Matched B-node at odd layer: the path continues through the
+				// matching edge.
+				a := mate[v]
+				if active[a] && pc.Layer[a] == t+1 {
+					pc.Suffix[v] = pc.Suffix[a]
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		pc.Through[v] = pc.Forward[v] * pc.Suffix[v]
+	}
+	return pc, nil
+}
+
+// AttenuatedSums is the probability-weighted version of CountPaths used by
+// the CONGEST algorithm of Appendix B.3: each path P carries probability
+// p(P) = Π_{v∈P} α(v), and ThroughMass[v] = Σ_{P∋v} p(P) (Claim B.6).
+type AttenuatedSums struct {
+	Layer       []int
+	ForwardMass []float64 // Σ over half-paths ending at v of Π α (inclusive)
+	SuffixMass  []float64 // Σ over suffixes from v of Π α (inclusive)
+	ThroughMass []float64 // Σ_{P∋v} p(P)
+	EndMass     []float64 // for unmatched B-nodes: Σ over paths ending there
+	Rounds      int
+}
+
+// Attenuated runs the forward/backward traversals with attenuation
+// parameters alpha. restrict, when non-nil, removes nodes from the traversal
+// (used to sum only over light paths).
+func Attenuated(g *graph.Graph, side, mate []int, d int, active []bool, alpha []float64, restrict []bool) (*AttenuatedSums, error) {
+	if d < 1 || d%2 == 0 {
+		return nil, fmt.Errorf("augment: traversal length must be odd, got %d", d)
+	}
+	n := g.N()
+	ok := func(v int) bool {
+		if !active[v] {
+			return false
+		}
+		return restrict == nil || restrict[v]
+	}
+	as := &AttenuatedSums{
+		Layer:       make([]int, n),
+		ForwardMass: make([]float64, n),
+		SuffixMass:  make([]float64, n),
+		ThroughMass: make([]float64, n),
+		EndMass:     make([]float64, n),
+		Rounds:      2 * d,
+	}
+	for v := range as.Layer {
+		as.Layer[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if ok(v) && side[v] == 0 && mate[v] == -1 {
+			as.Layer[v] = 0
+			as.ForwardMass[v] = alpha[v]
+		}
+	}
+	for t := 1; t <= d; t++ {
+		if t%2 == 1 {
+			for v := 0; v < n; v++ {
+				if !ok(v) || side[v] != 1 || as.Layer[v] != -1 {
+					continue
+				}
+				s := 0.0
+				for _, a := range g.Neighbors(v) {
+					if ok(a) && side[a] == 0 && as.Layer[a] == t-1 && mate[a] != v {
+						s += as.ForwardMass[a]
+					}
+				}
+				if s > 0 {
+					as.Layer[v] = t
+					as.ForwardMass[v] = s * alpha[v]
+				}
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				if !ok(v) || side[v] != 1 || as.Layer[v] != t-1 || mate[v] == -1 {
+					continue
+				}
+				a := mate[v]
+				if ok(a) && as.Layer[a] == -1 {
+					as.Layer[a] = t
+					as.ForwardMass[a] = as.ForwardMass[v] * alpha[a]
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if ok(v) && side[v] == 1 && as.Layer[v] == d && mate[v] == -1 {
+			as.SuffixMass[v] = alpha[v]
+			as.EndMass[v] = as.ForwardMass[v]
+		}
+	}
+	for t := d - 1; t >= 0; t-- {
+		for v := 0; v < n; v++ {
+			if !ok(v) || as.Layer[v] != t {
+				continue
+			}
+			if t%2 == 0 {
+				s := 0.0
+				for _, b := range g.Neighbors(v) {
+					if ok(b) && side[b] == 1 && as.Layer[b] == t+1 && mate[v] != b {
+						s += as.SuffixMass[b]
+					}
+				}
+				as.SuffixMass[v] = s * alpha[v]
+			} else if side[v] == 1 && mate[v] != -1 {
+				a := mate[v]
+				if ok(a) && as.Layer[a] == t+1 {
+					as.SuffixMass[v] = as.SuffixMass[a] * alpha[v]
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if as.Layer[v] >= 0 && alpha[v] > 0 {
+			// Forward and suffix both include α(v); divide one copy out.
+			as.ThroughMass[v] = as.ForwardMass[v] * as.SuffixMass[v] / alpha[v]
+		}
+	}
+	return as, nil
+}

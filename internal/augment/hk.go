@@ -1,0 +1,119 @@
+package augment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+// OneEpsParams configures the (1+ε)-approximation (Theorem B.4).
+type OneEpsParams struct {
+	// Eps is the approximation slack; the matching is (1+ε)-approximate
+	// among nodes that stay active.
+	Eps float64
+	// K is the probability factor of the hypergraph matcher (≥ 2; the paper
+	// uses log^{0.1}∆).
+	K int
+	// Delta is the per-phase deactivation probability δ (0 picks the
+	// paper's Θ(ε²)).
+	Delta float64
+	// PathCap bounds the number of enumerated augmenting paths per phase.
+	// Zero means 1 << 20.
+	PathCap int
+}
+
+// OneEpsResult is the outcome of the Hopcroft–Karp style (1+ε) algorithm.
+type OneEpsResult struct {
+	Matching []int
+	// Rounds charges each hypergraph-matcher iteration of the length-ℓ phase
+	// ℓ+2 graph rounds — the cost of simulating one conflict-graph round in
+	// the LOCAL model (§3.2).
+	Rounds int
+	// Deactivated counts nodes removed by the near-maximality cap; the
+	// analysis keeps E[Deactivated] ≤ δ'·n with δ' = O(δ/ε).
+	Deactivated int
+	// PhaseIterations records the hypergraph matcher's iteration count per
+	// odd path length.
+	PhaseIterations map[int]int
+}
+
+// OneEpsLocal computes a (1+ε)-approximation of maximum cardinality matching
+// following §B.2: for each odd ℓ up to 2⌈1/ε⌉+1, find a nearly-maximal set
+// of vertex-disjoint length-ℓ augmenting paths — a nearly-maximal matching
+// in the rank-(ℓ+1) hypergraph whose hyperedges are the paths — flip them
+// all, and deactivate the nodes the matcher gave up on.
+func OneEpsLocal(g *graph.Graph, p OneEpsParams, r *rng.Stream) (*OneEpsResult, error) {
+	if p.Eps <= 0 || p.Eps > 1 {
+		return nil, fmt.Errorf("augment: ε must be in (0,1], got %v", p.Eps)
+	}
+	if p.K < 2 {
+		return nil, fmt.Errorf("augment: K must be ≥ 2, got %d", p.K)
+	}
+	delta := p.Delta
+	if delta == 0 {
+		delta = p.Eps * p.Eps / 4
+	}
+	pathCap := p.PathCap
+	if pathCap == 0 {
+		pathCap = 1 << 20
+	}
+	maxLen := 2*int(math.Ceil(1/p.Eps)) + 1
+
+	n := g.N()
+	mate := make([]int, n)
+	for v := range mate {
+		mate[v] = -1
+	}
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	res := &OneEpsResult{PhaseIterations: make(map[int]int)}
+
+	for l := 1; l <= maxLen; l += 2 {
+		paths, err := EnumerateAugmentingPaths(g, mate, l, active, pathCap)
+		if err != nil {
+			return nil, fmt.Errorf("augment: phase ℓ=%d: %w", l, err)
+		}
+		if len(paths) == 0 {
+			res.Rounds += l + 2 // the emptiness check itself costs a sweep
+			continue
+		}
+		h := hypergraph.New(n, l+1)
+		for _, path := range paths {
+			if _, err := h.AddEdge(path); err != nil {
+				return nil, fmt.Errorf("augment: phase ℓ=%d: %w", l, err)
+			}
+		}
+		nm, err := h.NearlyMaximalMatching(hypergraph.Params{K: p.K, Delta: delta}, r)
+		if err != nil {
+			return nil, fmt.Errorf("augment: phase ℓ=%d: %w", l, err)
+		}
+		res.PhaseIterations[l] = nm.Iterations
+		res.Rounds += nm.Iterations * (l + 2)
+		for _, id := range nm.Matching {
+			// Hyperedge id corresponds to paths[id] (AddEdge preserves
+			// insertion order); h.Edge(id) is sorted and loses the path
+			// sequence FlipPath needs.
+			if err := FlipPath(g, mate, paths[id]); err != nil {
+				return nil, fmt.Errorf("augment: phase ℓ=%d flip: %w", l, err)
+			}
+		}
+		for v, dead := range nm.Deactivated {
+			if dead && active[v] {
+				active[v] = false
+				res.Deactivated++
+			}
+		}
+	}
+
+	matching, err := MatchingFromMate(g, mate)
+	if err != nil {
+		return nil, err
+	}
+	res.Matching = matching
+	return res, nil
+}

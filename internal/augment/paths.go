@@ -1,0 +1,140 @@
+// Package augment implements the augmenting-path machinery behind the
+// paper's (1+ε)-approximation of maximum cardinality matching (§3.2,
+// Appendices B.2–B.3): path enumeration and flipping, the Hopcroft–Karp
+// phase framework driven by nearly-maximal hypergraph matchings, and the
+// bipartite forward/backward counting traversals of Claims B.5/B.6
+// (Figure 1).
+package augment
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// MateFromMatching converts a matching (edge IDs) to a mate vector.
+func MateFromMatching(g *graph.Graph, matching []int) []int {
+	return g.MatchedMates(matching)
+}
+
+// MatchingFromMate converts a mate vector back to edge IDs.
+func MatchingFromMate(g *graph.Graph, mate []int) ([]int, error) {
+	var out []int
+	for v, u := range mate {
+		if u < 0 || u < v {
+			continue
+		}
+		if mate[u] != v {
+			return nil, fmt.Errorf("augment: asymmetric mate vector at %d↔%d", v, u)
+		}
+		id, ok := g.EdgeID(v, u)
+		if !ok {
+			return nil, fmt.Errorf("augment: mate pair {%d,%d} is not an edge", v, u)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// EnumerateAugmentingPaths returns every augmenting path with exactly length
+// edges with respect to mate, restricted to active nodes. A path is returned
+// once (canonical direction: smaller endpoint first). The search aborts with
+// an error if more than cap paths exist, to keep the ∆^length blowup of the
+// conflict structure in check.
+func EnumerateAugmentingPaths(g *graph.Graph, mate []int, length int, active []bool, cap int) ([][]int, error) {
+	if length < 1 || length%2 == 0 {
+		return nil, fmt.Errorf("augment: augmenting paths have odd length, got %d", length)
+	}
+	var out [][]int
+	inPath := make([]bool, g.N())
+	path := make([]int, 0, length+1)
+
+	var extend func(v int, depth int) error
+	extend = func(v int, depth int) error {
+		if depth == length {
+			if mate[v] == -1 && path[0] < v {
+				cp := make([]int, len(path), len(path)+1)
+				copy(cp, path)
+				out = append(out, append(cp, v))
+				if len(out) > cap {
+					return fmt.Errorf("augment: more than %d augmenting paths of length %d; raise the cap or lower ∆", cap, length)
+				}
+			}
+			return nil
+		}
+		// Odd depth steps use non-matching edges; even ones follow the
+		// matching edge.
+		if depth%2 == 0 {
+			for _, u := range g.Neighbors(v) {
+				if !active[u] || inPath[u] || mate[v] == u {
+					continue
+				}
+				if depth+1 == length {
+					// Final hop: endpoint must be unmatched.
+					if mate[u] != -1 {
+						continue
+					}
+				} else if mate[u] == -1 {
+					continue // interior nodes on this side must be matched
+				}
+				path = append(path, v)
+				inPath[v] = true
+				if err := extend(u, depth+1); err != nil {
+					return err
+				}
+				inPath[v] = false
+				path = path[:len(path)-1]
+			}
+			return nil
+		}
+		u := mate[v]
+		if u == -1 || !active[u] || inPath[u] {
+			return nil
+		}
+		path = append(path, v)
+		inPath[v] = true
+		err := extend(u, depth+1)
+		inPath[v] = false
+		path = path[:len(path)-1]
+		return err
+	}
+
+	for v := 0; v < g.N(); v++ {
+		if mate[v] != -1 || !active[v] {
+			continue
+		}
+		if err := extend(v, 0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// FlipPath augments the matching with the given augmenting path, mutating
+// mate. The path must alternate correctly; FlipPath validates and reports
+// violations.
+func FlipPath(g *graph.Graph, mate []int, path []int) error {
+	if len(path)%2 != 0 {
+		return fmt.Errorf("augment: augmenting path must have an even node count, got %d", len(path))
+	}
+	if mate[path[0]] != -1 || mate[path[len(path)-1]] != -1 {
+		return fmt.Errorf("augment: path endpoints must be unmatched")
+	}
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		if !g.HasEdge(u, v) {
+			return fmt.Errorf("augment: path step {%d,%d} is not an edge", u, v)
+		}
+		if i%2 == 1 && mate[u] != v {
+			return fmt.Errorf("augment: path step {%d,%d} should be a matching edge", u, v)
+		}
+	}
+	// Unmatch the old pairs, then match the new ones.
+	for i := 1; i+1 < len(path); i += 2 {
+		mate[path[i]], mate[path[i+1]] = -1, -1
+	}
+	for i := 0; i+1 < len(path); i += 2 {
+		mate[path[i]], mate[path[i+1]] = path[i+1], path[i]
+	}
+	return nil
+}

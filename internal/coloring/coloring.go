@@ -1,0 +1,201 @@
+// Package coloring implements the (∆+1)-coloring black boxes consumed by the
+// paper's Algorithm 3 (§2.3).
+//
+// Two algorithms are provided:
+//
+//   - RandomGreedy: the classical randomized free-palette coloring — every
+//     round each uncolored node proposes a uniformly random color from its
+//     palette minus the colors its neighborhood already fixed, and keeps the
+//     proposal if no neighbor proposed the same color. O(log n) rounds
+//     w.h.p. It is a local aggregation algorithm (palette occupancy travels
+//     as BitOr masks), so it also colors line graphs through agg.RunLine.
+//
+//   - LinialDeterministic: Linial's iterated polynomial color reduction
+//     [Lin87] down to O((d·∆)²) colors in O(log* n) exchanges, followed by
+//     the standard one-color-class-per-round reduction to ∆+1. Fully
+//     deterministic; it substitutes for the O(∆ + log* n) algorithm of
+//     [BEK14, Bar15] that the paper cites (see DESIGN.md §3).
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/agg"
+	"repro/internal/graph"
+	"repro/internal/simul"
+)
+
+// Result of a coloring computation.
+type Result struct {
+	// Colors[v] ∈ [0, NumColors). Indexed by node under RandomGreedy /
+	// LinialDeterministic, by edge ID under RandomGreedyOnLine.
+	Colors    []int
+	NumColors int
+	// VirtualRounds is the algorithm's round complexity; Metrics.Rounds the
+	// real network rounds (they differ by 2× for the line runtime).
+	VirtualRounds int
+	Metrics       simul.Metrics
+}
+
+// Verify returns an error unless colors is a proper coloring of g.
+func Verify(g *graph.Graph, colors []int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("coloring: %d colors for %d nodes", len(colors), g.N())
+	}
+	for v, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("coloring: node %d uncolored (%d)", v, c)
+		}
+	}
+	for _, e := range g.Edges() {
+		if colors[e.U] == colors[e.V] {
+			return fmt.Errorf("coloring: edge %v monochromatic with color %d", e, colors[e.U])
+		}
+	}
+	return nil
+}
+
+const chunkBits = 62 // palette bits carried per BitOr mask
+
+// paletteMachine is the randomized free-palette coloring as an agg.Machine.
+// Data layout: [state, candidate, color]; state 0 = undecided, 1 = decided.
+type paletteMachine struct {
+	palette int // global palette size (∆+1 of the virtual graph)
+}
+
+func (m *paletteMachine) Fields() int { return 3 }
+
+func (m *paletteMachine) chunks() int { return (m.palette + chunkBits - 1) / chunkBits }
+
+func (m *paletteMachine) Init(info *agg.NodeInfo) agg.Data {
+	d := agg.Data{0, 0, -1}
+	d[1] = int64(info.Rand.Intn(min(info.Degree+1, m.palette)))
+	return d
+}
+
+func (m *paletteMachine) Queries(info *agg.NodeInfo, t int, data agg.Data) []agg.Query {
+	qs := make([]agg.Query, 0, 2*m.chunks()+1)
+	for c := 0; c < m.chunks(); c++ {
+		lo := int64(c * chunkBits)
+		hi := lo + chunkBits
+		// Candidates proposed by undecided neighbors this round.
+		qs = append(qs, agg.Query{Agg: agg.BitOr, Proj: func(nd agg.Data) int64 {
+			if nd[0] == 0 && nd[1] >= lo && nd[1] < hi {
+				return 1 << uint(nd[1]-lo)
+			}
+			return 0
+		}})
+		// Colors fixed by decided neighbors.
+		qs = append(qs, agg.Query{Agg: agg.BitOr, Proj: func(nd agg.Data) int64 {
+			if nd[0] == 1 && nd[2] >= lo && nd[2] < hi {
+				return 1 << uint(nd[2]-lo)
+			}
+			return 0
+		}})
+	}
+	qs = append(qs, agg.Query{Agg: agg.And, Proj: func(nd agg.Data) int64 {
+		return nd[0] // all neighbors decided?
+	}})
+	return qs
+}
+
+func (m *paletteMachine) maskHas(results []int64, stride, value int) bool {
+	chunk := value / chunkBits
+	return results[2*chunk+stride]&(1<<uint(value%chunkBits)) != 0
+}
+
+func (m *paletteMachine) Update(info *agg.NodeInfo, t int, data agg.Data, results []int64) (bool, any) {
+	allDecided := results[len(results)-1] != 0
+	if data[0] == 1 {
+		// Already colored; linger until every neighbor is decided so they
+		// can keep reading our color, then leave.
+		if allDecided {
+			return true, int(data[2])
+		}
+		return false, nil
+	}
+	cand := int(data[1])
+	conflict := m.maskHas(results, 0, cand) || m.maskHas(results, 1, cand)
+	if !conflict {
+		data[0] = 1
+		data[2] = data[1]
+		return false, nil // stay visible; halt once neighbors are done
+	}
+	// Redraw from the palette minus decided neighbors' colors. The palette of
+	// size deg+1 always has a free color.
+	limit := min(info.Degree+1, m.palette)
+	free := make([]int, 0, limit)
+	for c := 0; c < limit; c++ {
+		if !m.maskHas(results, 1, c) {
+			free = append(free, c)
+		}
+	}
+	if len(free) == 0 {
+		// Cannot happen on a correct run; fall back to full palette so the
+		// failure is visible as non-termination rather than a panic.
+		free = append(free, info.Rand.Intn(m.palette))
+	}
+	data[1] = int64(free[info.Rand.Intn(len(free))])
+	return false, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RandomGreedy colors g with at most ∆+1 colors in O(log n) rounds w.h.p.
+func RandomGreedy(g *graph.Graph, cfg simul.Config) (*Result, error) {
+	palette := g.MaxDegree() + 1
+	res, err := agg.RunDirect(g, cfg, func(v int) agg.Machine {
+		return &paletteMachine{palette: palette}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return paletteResult(res, g.N(), palette)
+}
+
+// RandomGreedyOnLine colors the line graph L(g) — i.e., properly edge-colors
+// g with at most 2∆-1 colors — through the Theorem 2.8 simulation. Colors are
+// indexed by edge ID.
+func RandomGreedyOnLine(g *graph.Graph, cfg simul.Config) (*Result, error) {
+	palette := maxLineDegree(g) + 1
+	res, err := agg.RunLine(g, cfg, func(e int) agg.Machine {
+		return &paletteMachine{palette: palette}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return paletteResult(res, g.M(), palette)
+}
+
+func maxLineDegree(g *graph.Graph) int {
+	d := 0
+	for _, e := range g.Edges() {
+		ld := g.Degree(e.U) + g.Degree(e.V) - 2
+		if ld > d {
+			d = ld
+		}
+	}
+	return d
+}
+
+func paletteResult(res *agg.Result, n, palette int) (*Result, error) {
+	out := &Result{
+		Colors:        make([]int, n),
+		NumColors:     palette,
+		VirtualRounds: res.VirtualRounds,
+		Metrics:       res.Metrics,
+	}
+	for i, o := range res.Outputs {
+		c, ok := o.(int)
+		if !ok {
+			return nil, fmt.Errorf("coloring: node %d output %v, want int", i, o)
+		}
+		out.Colors[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/simul"
+)
+
+func TestRandomGreedyProperColoring(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 12; trial++ {
+		g := graph.GNP(40, 0.15, r.Split(uint64(trial)))
+		res, err := RandomGreedy(g, simul.Config{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(g, res.Colors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, c := range res.Colors {
+			if c >= g.MaxDegree()+1 {
+				t.Fatalf("trial %d: color %d exceeds ∆+1 = %d", trial, c, g.MaxDegree()+1)
+			}
+		}
+	}
+}
+
+func TestRandomGreedyStructured(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"star":     graph.Star(30),
+		"complete": graph.Complete(15),
+		"path":     graph.Path(20),
+		"cycle":    graph.Cycle(21),
+		"edgeless": graph.New(6),
+	} {
+		res, err := RandomGreedy(g, simul.Config{Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := Verify(g, res.Colors); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// A complete graph needs exactly n distinct colors.
+	g := graph.Complete(8)
+	res, _ := RandomGreedy(g, simul.Config{Seed: 3})
+	seen := map[int]bool{}
+	for _, c := range res.Colors {
+		seen[c] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("K8 colored with %d colors, want 8", len(seen))
+	}
+}
+
+func TestRandomGreedyRoundScaling(t *testing.T) {
+	r := rng.New(4)
+	for _, n := range []int{64, 256, 1024} {
+		g := graph.GNP(n, 6.0/float64(n), r.Split(uint64(n)))
+		res, err := RandomGreedy(g, simul.Config{Seed: uint64(n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.VirtualRounds > 20*(bitsLen(n)+2) {
+			t.Errorf("n=%d: %d rounds, want O(log n)", n, res.VirtualRounds)
+		}
+	}
+}
+
+func bitsLen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+func TestRandomGreedyOnLineIsEdgeColoring(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 8; trial++ {
+		g := graph.GNP(16, 0.3, r.Split(uint64(trial)))
+		if g.M() == 0 {
+			continue
+		}
+		res, err := RandomGreedyOnLine(g, simul.Config{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Proper edge coloring: incident edges get distinct colors.
+		for v := 0; v < g.N(); v++ {
+			seen := map[int]bool{}
+			for _, id := range g.IncidentEdges(v) {
+				c := res.Colors[id]
+				if seen[c] {
+					t.Fatalf("trial %d: node %d has two incident edges of color %d", trial, v, c)
+				}
+				seen[c] = true
+			}
+		}
+	}
+}
+
+func TestRandomGreedyRunsInCongest(t *testing.T) {
+	g := graph.GNP(64, 0.1, rng.New(6))
+	if _, err := RandomGreedy(g, simul.Config{Seed: 7, Model: simul.CONGEST}); err != nil {
+		t.Fatalf("CONGEST violation: %v", err)
+	}
+}
+
+func TestLinialDeterministic(t *testing.T) {
+	r := rng.New(8)
+	graphs := map[string]*graph.Graph{
+		"path":     graph.Path(50),
+		"cycle":    graph.Cycle(33),
+		"star":     graph.Star(12),
+		"grid":     graph.Grid(6, 7),
+		"gnp":      graph.GNP(60, 0.08, r),
+		"tree":     graph.RandomTree(80, r),
+		"complete": graph.Complete(9),
+	}
+	for name, g := range graphs {
+		res, err := LinialDeterministic(g, simul.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := Verify(g, res.Colors); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, c := range res.Colors {
+			if c > g.MaxDegree() {
+				t.Fatalf("%s: color %d exceeds ∆ = %d", name, c, g.MaxDegree())
+			}
+		}
+	}
+}
+
+func TestLinialIsDeterministic(t *testing.T) {
+	g := graph.GNP(40, 0.1, rng.New(9))
+	a, err := LinialDeterministic(g, simul.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LinialDeterministic(g, simul.Config{Seed: 999, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatal("deterministic coloring depends on the seed or engine")
+		}
+	}
+}
+
+func TestLinialCongestCompliant(t *testing.T) {
+	g := graph.GNP(128, 0.05, rng.New(10))
+	if _, err := LinialDeterministic(g, simul.Config{Model: simul.CONGEST}); err != nil {
+		t.Fatalf("CONGEST violation: %v", err)
+	}
+}
+
+func TestReductionScheduleShrinks(t *testing.T) {
+	steps, m := reductionSchedule(1<<20, 8)
+	if len(steps) == 0 {
+		t.Fatal("no reduction steps for n = 2^20")
+	}
+	if m >= 1<<20 {
+		t.Fatalf("schedule did not shrink colors: m = %d", m)
+	}
+	// log* behaviour: a handful of steps suffice even for huge n.
+	if len(steps) > 6 {
+		t.Fatalf("suspiciously many reduction steps: %d", len(steps))
+	}
+}
+
+func TestVerifyRejectsBadColorings(t *testing.T) {
+	g := graph.Path(3)
+	if err := Verify(g, []int{0, 0, 1}); err == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	if err := Verify(g, []int{0, 1}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if err := Verify(g, []int{0, -1, 0}); err == nil {
+		t.Fatal("uncolored node accepted")
+	}
+	if err := Verify(g, []int{0, 1, 0}); err != nil {
+		t.Fatalf("valid coloring rejected: %v", err)
+	}
+}
+
+func TestPrimeHelpers(t *testing.T) {
+	for k, want := range map[int]int{0: 2, 2: 2, 3: 3, 4: 5, 14: 17, 25: 29} {
+		if got := nextPrime(k); got != want {
+			t.Errorf("nextPrime(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if isPrime(1) || isPrime(9) || !isPrime(97) {
+		t.Error("isPrime broken")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "repro/internal/graph"
+
+// NaiveSimultaneousLocalRatio is the straw man from §2.1: every alive node
+// performs the local-ratio weight reduction simultaneously, without first
+// electing an independent set. Nodes whose weight drops to zero or below are
+// removed outright; a node is selected only if it outlives all its neighbors.
+//
+// On a star whose center outweighs each leaf but not their sum, one iteration
+// drives every weight negative and the algorithm returns the empty set — an
+// unbounded approximation failure. This function exists as the ablation
+// baseline (experiment E7) demonstrating why Algorithm 2 gates reductions
+// behind an MIS.
+func NaiveSimultaneousLocalRatio(g *graph.Graph) []bool {
+	n := g.N()
+	w := make([]int64, n)
+	alive := make([]bool, n)
+	liveCount := 0
+	for v := 0; v < n; v++ {
+		w[v] = g.NodeWeight(v)
+		alive[v] = true
+		liveCount++
+	}
+	in := make([]bool, n)
+	for liveCount > 0 {
+		// Simultaneous reduction: every alive node subtracts each alive
+		// neighbor's current weight.
+		delta := make([]int64, n)
+		for _, e := range g.Edges() {
+			if alive[e.U] && alive[e.V] {
+				delta[e.U] += w[e.V]
+				delta[e.V] += w[e.U]
+			}
+		}
+		progress := false
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			if delta[v] == 0 {
+				// Isolated survivor: selected.
+				in[v] = true
+				alive[v] = false
+				liveCount--
+				progress = true
+				continue
+			}
+			w[v] -= delta[v]
+			if w[v] <= 0 {
+				alive[v] = false
+				liveCount--
+				progress = true
+			}
+		}
+		if !progress {
+			// Cannot happen (weights strictly decrease while neighbors
+			// remain), but guard against livelock anyway.
+			break
+		}
+	}
+	return in
+}

@@ -1,0 +1,119 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic 6-node example with max flow 23.
+	f := NewNetwork(6)
+	f.AddArc(0, 1, 16)
+	f.AddArc(0, 2, 13)
+	f.AddArc(1, 2, 10)
+	f.AddArc(2, 1, 4)
+	f.AddArc(1, 3, 12)
+	f.AddArc(3, 2, 9)
+	f.AddArc(2, 4, 14)
+	f.AddArc(4, 3, 7)
+	f.AddArc(3, 5, 20)
+	f.AddArc(4, 5, 4)
+	if got := f.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("max flow = %d, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	f := NewNetwork(4)
+	f.AddArc(0, 1, 5)
+	f.AddArc(2, 3, 5)
+	if got := f.MaxFlow(0, 3); got != 0 {
+		t.Fatalf("max flow = %d, want 0", got)
+	}
+}
+
+func TestMinCutReachable(t *testing.T) {
+	// s -(1)-> a -(100)-> t : bottleneck at the first arc.
+	f := NewNetwork(3)
+	f.AddArc(0, 1, 1)
+	f.AddArc(1, 2, 100)
+	if got := f.MaxFlow(0, 2); got != 1 {
+		t.Fatalf("max flow = %d", got)
+	}
+	reach := f.MinCutReachable(0)
+	if !reach[0] || reach[1] || reach[2] {
+		t.Fatalf("reach = %v, want only source", reach)
+	}
+}
+
+func TestBipartiteISMatchesBranchAndBound(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		nl, nr := 2+r.Intn(8), 2+r.Intn(8)
+		g, side := graph.RandomBipartite(nl, nr, 0.4, r.Split(uint64(trial)))
+		graph.AssignUniformNodeWeights(g, 25, r.Split(uint64(100+trial)))
+		in, w, err := MaxWeightBipartiteIS(g, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsIndependentSet(in) {
+			t.Fatal("flow-based IS not independent")
+		}
+		if got := g.SetWeight(in); got != w {
+			t.Fatalf("reported %d != recomputed %d", w, got)
+		}
+		_, want, err := exact.MaxWeightIndependentSet(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != want {
+			t.Fatalf("trial %d: flow IS %d vs B&B %d", trial, w, want)
+		}
+	}
+}
+
+func TestBipartiteISKoenigUnweighted(t *testing.T) {
+	// On an unweighted bipartite graph, |MaxIS| = n - |max matching| (König).
+	r := rng.New(2)
+	for trial := 0; trial < 30; trial++ {
+		g, side := graph.RandomBipartite(6+r.Intn(6), 6+r.Intn(6), 0.3, r.Split(uint64(trial)))
+		_, w, err := MaxWeightBipartiteIS(g, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm := exact.MaxCardinalityMatching(g)
+		if int(w) != g.N()-len(mm) {
+			t.Fatalf("trial %d: |IS| = %d, König predicts %d", trial, w, g.N()-len(mm))
+		}
+	}
+}
+
+func TestBipartiteISLargeScale(t *testing.T) {
+	// The reason this solver exists: sizes far beyond branch and bound.
+	g, side := graph.RandomBipartite(150, 150, 0.05, rng.New(3))
+	graph.AssignUniformNodeWeights(g, 1000, rng.New(4))
+	in, w, err := MaxWeightBipartiteIS(g, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIndependentSet(in) {
+		t.Fatal("large IS not independent")
+	}
+	if w <= 0 {
+		t.Fatal("empty IS on a non-trivial instance")
+	}
+}
+
+func TestBipartiteISRejectsBadInput(t *testing.T) {
+	g := graph.Cycle(3)
+	if _, _, err := MaxWeightBipartiteIS(g, []int{0, 1, 0}); err == nil {
+		t.Fatal("accepted odd cycle")
+	}
+	p := graph.Path(2)
+	if _, _, err := MaxWeightBipartiteIS(p, []int{0, 9}); err == nil {
+		t.Fatal("accepted invalid side")
+	}
+}

@@ -1,0 +1,297 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// GNP returns an Erdős–Rényi random graph G(n, p): each of the C(n,2)
+// possible edges is present independently with probability p.
+func GNP(n int, p float64, r *rng.Stream) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bernoulli(p) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular returns a random d-regular graph on n nodes using the
+// configuration (pairing) model followed by double-edge-swap repair of
+// self-loops and parallel edges. n·d must be even and d < n.
+func RandomRegular(n, d int, r *rng.Stream) (*Graph, error) {
+	if d < 0 || d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular requires 0 <= d < n, got d=%d n=%d", d, n)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular requires n·d even, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return New(n), nil
+	}
+	// Random pairing of stubs.
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	pairs := make([]Edge, 0, n*d/2)
+	for i := 0; i < len(stubs); i += 2 {
+		pairs = append(pairs, Edge{U: stubs[i], V: stubs[i+1]})
+	}
+	present := make(map[Edge]int, len(pairs)) // canonical edge -> multiplicity
+	bad := func(e Edge) bool { return e.U == e.V || present[e.Canon()] > 1 }
+	for _, e := range pairs {
+		if e.U != e.V {
+			present[e.Canon()]++
+		}
+	}
+	// Repair: repeatedly take a bad pair and swap endpoints with a random
+	// other pair. Each successful swap strictly removes one defect, so this
+	// converges quickly except for infeasible corner cases, which the attempt
+	// cap turns into an error.
+	maxSwaps := 200 * len(pairs) * (d + 1)
+	for attempt := 0; attempt < maxSwaps; attempt++ {
+		badIdx := -1
+		for i, e := range pairs {
+			if bad(e) {
+				badIdx = i
+				break
+			}
+		}
+		if badIdx == -1 {
+			g := New(n)
+			for _, e := range pairs {
+				g.MustAddEdge(e.U, e.V)
+			}
+			return g, nil
+		}
+		j := r.Intn(len(pairs))
+		if j == badIdx {
+			continue
+		}
+		a, b := pairs[badIdx], pairs[j]
+		// Propose rewiring {a.U,a.V},{b.U,b.V} -> {a.U,b.U},{a.V,b.V}.
+		n1 := Edge{U: a.U, V: b.U}
+		n2 := Edge{U: a.V, V: b.V}
+		if n1.U == n1.V || n2.U == n2.V {
+			continue
+		}
+		if present[n1.Canon()] > 0 || present[n2.Canon()] > 0 || n1.Canon() == n2.Canon() {
+			continue
+		}
+		for _, old := range []Edge{a, b} {
+			if old.U != old.V {
+				present[old.Canon()]--
+			}
+		}
+		present[n1.Canon()]++
+		present[n2.Canon()]++
+		pairs[badIdx], pairs[j] = n1, n2
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(n=%d, d=%d) did not converge", n, d)
+}
+
+// RandomBipartite returns a random bipartite graph with nl left nodes
+// (IDs 0..nl-1) and nr right nodes (IDs nl..nl+nr-1); each left-right pair is
+// an edge independently with probability p. side[v] is 0 for left, 1 for
+// right.
+func RandomBipartite(nl, nr int, p float64, r *rng.Stream) (g *Graph, side []int) {
+	g = New(nl + nr)
+	side = make([]int, nl+nr)
+	for v := nl; v < nl+nr; v++ {
+		side[v] = 1
+	}
+	for u := 0; u < nl; u++ {
+		for v := nl; v < nl+nr; v++ {
+			if r.Bernoulli(p) {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g, side
+}
+
+// Star returns a star K_{1,n-1} with center 0. This is the example from §2.1
+// on which naive simultaneous weight reduction fails.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v)
+	}
+	return g
+}
+
+// Path returns the path on n nodes 0-1-…-(n-1).
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle on n nodes; n must be at least 3.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle requires n >= 3")
+	}
+	g := Path(n)
+	g.MustAddEdge(n-1, 0)
+	return g
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes via a random
+// Prüfer sequence.
+func RandomTree(n int, r *rng.Stream) *Graph {
+	g := New(n)
+	if n <= 1 {
+		return g
+	}
+	if n == 2 {
+		g.MustAddEdge(0, 1)
+		return g
+	}
+	prufer := make([]int, n-2)
+	deg := make([]int, n)
+	for i := range prufer {
+		prufer[i] = r.Intn(n)
+		deg[prufer[i]]++
+	}
+	// Decode: repeatedly attach the smallest leaf to the next sequence node.
+	inSeq := make([]int, n)
+	for _, v := range prufer {
+		inSeq[v]++
+	}
+	leafHeap := &intHeap{}
+	for v := 0; v < n; v++ {
+		if inSeq[v] == 0 {
+			leafHeap.push(v)
+		}
+	}
+	for _, v := range prufer {
+		leaf := leafHeap.pop()
+		g.MustAddEdge(leaf, v)
+		inSeq[v]--
+		if inSeq[v] == 0 {
+			leafHeap.push(v)
+		}
+	}
+	a := leafHeap.pop()
+	b := leafHeap.pop()
+	g.MustAddEdge(a, b)
+	return g
+}
+
+// intHeap is a tiny binary min-heap of ints used by the Prüfer decoder.
+type intHeap struct{ xs []int }
+
+func (h *intHeap) push(x int) {
+	h.xs = append(h.xs, x)
+	i := len(h.xs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.xs[p] <= h.xs[i] {
+			break
+		}
+		h.xs[p], h.xs[i] = h.xs[i], h.xs[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.xs[0]
+	last := len(h.xs) - 1
+	h.xs[0] = h.xs[last]
+	h.xs = h.xs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.xs) && h.xs[l] < h.xs[small] {
+			small = l
+		}
+		if r < len(h.xs) && h.xs[r] < h.xs[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.xs[i], h.xs[small] = h.xs[small], h.xs[i]
+		i = small
+	}
+	return top
+}
+
+// Caterpillar returns a path of spineLen nodes with legsPerSpine leaves
+// attached to each spine node; a high-∆ low-diameter family useful for
+// stressing the coloring-based algorithm.
+func Caterpillar(spineLen, legsPerSpine int) *Graph {
+	n := spineLen * (1 + legsPerSpine)
+	g := New(n)
+	for s := 0; s+1 < spineLen; s++ {
+		g.MustAddEdge(s, s+1)
+	}
+	next := spineLen
+	for s := 0; s < spineLen; s++ {
+		for l := 0; l < legsPerSpine; l++ {
+			g.MustAddEdge(s, next)
+			next++
+		}
+	}
+	return g
+}
+
+// AssignUniformNodeWeights draws each node weight uniformly from [1, maxW].
+func AssignUniformNodeWeights(g *Graph, maxW int64, r *rng.Stream) {
+	if maxW < 1 {
+		panic("graph: maxW must be >= 1")
+	}
+	for v := 0; v < g.N(); v++ {
+		g.SetNodeWeight(v, 1+int64(r.Intn(int(maxW))))
+	}
+}
+
+// AssignUniformEdgeWeights draws each edge weight uniformly from [1, maxW].
+func AssignUniformEdgeWeights(g *Graph, maxW int64, r *rng.Stream) {
+	if maxW < 1 {
+		panic("graph: maxW must be >= 1")
+	}
+	for id := 0; id < g.M(); id++ {
+		g.SetEdgeWeight(id, 1+int64(r.Intn(int(maxW))))
+	}
+}

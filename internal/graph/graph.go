@@ -1,0 +1,492 @@
+// Package graph implements the undirected weighted graphs on which every
+// algorithm in this repository operates.
+//
+// The paper's algorithms run on a node-weighted communication graph
+// G = (V, w, E) (MaxIS, §2) and on its line graph L(G) whose node weights are
+// G's edge weights (matching, §2.4). This package provides both, plus the
+// generators used by the benchmark harness and the structural predicates
+// (independent set, matching, bipartiteness) used to verify every algorithm's
+// output.
+//
+// Nodes are identified by dense integers 0..N()-1; this doubles as the
+// CONGEST model's assumption of unique O(log n)-bit identifiers.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected edge in canonical form (U < V).
+type Edge struct {
+	U, V int
+}
+
+// Canon returns e with endpoints ordered so that U < V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint of e.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", x, e))
+}
+
+// Graph is an undirected graph with integer node weights and integer edge
+// weights. The zero value is an empty graph; use New to create a graph with a
+// fixed node count.
+//
+// Graph is immutable once built except through the Set* and AddEdge methods;
+// algorithms never mutate the graphs they are given.
+type Graph struct {
+	n         int
+	adj       [][]int // neighbor lists, sorted after Finalize
+	nodeW     []int64
+	edges     []Edge
+	edgeW     []int64
+	edgeIndex map[Edge]int
+	sorted    bool
+}
+
+// New returns an edgeless graph with n nodes, all node weights 1.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	g := &Graph{
+		n:         n,
+		adj:       make([][]int, n),
+		nodeW:     make([]int64, n),
+		edgeIndex: make(map[Edge]int),
+	}
+	for i := range g.nodeW {
+		g.nodeW[i] = 1
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the undirected edge {u, v} with edge weight 1. Self-loops
+// and duplicate edges are rejected with an error.
+func (g *Graph) AddEdge(u, v int) error {
+	return g.AddWeightedEdge(u, v, 1)
+}
+
+// AddWeightedEdge inserts the undirected edge {u, v} carrying weight w.
+func (g *Graph) AddWeightedEdge(u, v int, w int64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	e := Edge{U: u, V: v}.Canon()
+	if _, dup := g.edgeIndex[e]; dup {
+		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
+	}
+	g.edgeIndex[e] = len(g.edges)
+	g.edges = append(g.edges, e)
+	g.edgeW = append(g.edgeW, w)
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.sorted = false
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for generators and
+// tests where the inputs are known valid.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// sortAdj sorts all adjacency lists; called lazily by accessors that promise
+// sorted order.
+func (g *Graph) sortAdj() {
+	if g.sorted {
+		return
+	}
+	for _, a := range g.adj {
+		sort.Ints(a)
+	}
+	g.sorted = true
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int {
+	g.sortAdj()
+	return g.adj[v]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// MaxDegree returns ∆(G), the maximum degree; 0 for an edgeless graph.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.edgeIndex[Edge{U: u, V: v}.Canon()]
+	return ok
+}
+
+// EdgeID returns the dense index of edge {u, v} and whether it exists. Edge
+// indices identify nodes of the line graph.
+func (g *Graph) EdgeID(u, v int) (int, bool) {
+	id, ok := g.edgeIndex[Edge{U: u, V: v}.Canon()]
+	return id, ok
+}
+
+// EdgeByID returns the edge with dense index id.
+func (g *Graph) EdgeByID(id int) Edge { return g.edges[id] }
+
+// Edges returns the edge list in insertion order. The slice is owned by the
+// graph and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// NodeWeight returns w(v).
+func (g *Graph) NodeWeight(v int) int64 { return g.nodeW[v] }
+
+// SetNodeWeight sets w(v). Weights must be positive: the paper assumes
+// integer weights in [W] (§2.2).
+func (g *Graph) SetNodeWeight(v int, w int64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive node weight %d", w))
+	}
+	g.nodeW[v] = w
+}
+
+// EdgeWeight returns the weight of edge id.
+func (g *Graph) EdgeWeight(id int) int64 { return g.edgeW[id] }
+
+// SetEdgeWeight sets the weight of edge id.
+func (g *Graph) SetEdgeWeight(id int, w int64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive edge weight %d", w))
+	}
+	g.edgeW[id] = w
+}
+
+// MaxNodeWeight returns W = max_v w(v); 1 for an empty graph.
+func (g *Graph) MaxNodeWeight() int64 {
+	var w int64 = 1
+	for _, x := range g.nodeW {
+		if x > w {
+			w = x
+		}
+	}
+	return w
+}
+
+// MaxEdgeWeight returns the maximum edge weight; 1 if there are no edges.
+func (g *Graph) MaxEdgeWeight() int64 {
+	var w int64 = 1
+	for _, x := range g.edgeW {
+		if x > w {
+			w = x
+		}
+	}
+	return w
+}
+
+// TotalNodeWeight returns Σ_v w(v).
+func (g *Graph) TotalNodeWeight() int64 {
+	var s int64
+	for _, x := range g.nodeW {
+		s += x
+	}
+	return s
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	copy(c.nodeW, g.nodeW)
+	for i, e := range g.edges {
+		if err := c.AddWeightedEdge(e.U, e.V, g.edgeW[i]); err != nil {
+			panic(err) // cannot happen: g is valid
+		}
+	}
+	return c
+}
+
+// Validate checks internal consistency; it is used by generator tests and by
+// the CLI when loading untrusted input.
+func (g *Graph) Validate() error {
+	if len(g.adj) != g.n || len(g.nodeW) != g.n {
+		return fmt.Errorf("graph: inconsistent node arrays")
+	}
+	if len(g.edges) != len(g.edgeW) || len(g.edges) != len(g.edgeIndex) {
+		return fmt.Errorf("graph: inconsistent edge arrays")
+	}
+	degSum := 0
+	for v := 0; v < g.n; v++ {
+		degSum += len(g.adj[v])
+		if g.nodeW[v] <= 0 {
+			return fmt.Errorf("graph: node %d has non-positive weight %d", v, g.nodeW[v])
+		}
+	}
+	if degSum != 2*len(g.edges) {
+		return fmt.Errorf("graph: handshake violation: Σdeg=%d, 2m=%d", degSum, 2*len(g.edges))
+	}
+	for i, e := range g.edges {
+		if e.U >= e.V {
+			return fmt.Errorf("graph: edge %d = %v not canonical", i, e)
+		}
+		if got, ok := g.edgeIndex[e]; !ok || got != i {
+			return fmt.Errorf("graph: edge index broken for %v", e)
+		}
+	}
+	return nil
+}
+
+// IncidentEdges returns the dense edge indices incident to v, in neighbor
+// order. A fresh slice is returned each call.
+func (g *Graph) IncidentEdges(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for _, u := range g.Neighbors(v) {
+		id, _ := g.EdgeID(v, u)
+		out = append(out, id)
+	}
+	return out
+}
+
+// LineGraph returns L(G): one node per edge of g, adjacent iff the edges
+// share an endpoint. Node weights of L(G) are the edge weights of g, as
+// required for reducing maximum weight matching to MaxIS (§2.4).
+func (g *Graph) LineGraph() *Graph {
+	lg := New(len(g.edges))
+	for i := range g.edges {
+		lg.SetNodeWeight(i, g.edgeW[i])
+	}
+	// Two line-graph nodes are adjacent iff the edges share an endpoint:
+	// enumerate pairs of edges around each node of g.
+	for v := 0; v < g.n; v++ {
+		ids := g.IncidentEdges(v)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if !lg.HasEdge(a, b) {
+					lg.MustAddEdge(a, b)
+				}
+			}
+		}
+	}
+	return lg
+}
+
+// InducedSubgraph returns the subgraph induced by keep (keep[v] true means v
+// survives) together with old→new and new→old node maps.
+func (g *Graph) InducedSubgraph(keep []bool) (sub *Graph, oldToNew, newToOld []int) {
+	oldToNew = make([]int, g.n)
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if keep[v] {
+			oldToNew[v] = len(newToOld)
+			newToOld = append(newToOld, v)
+		}
+	}
+	sub = New(len(newToOld))
+	for i, v := range newToOld {
+		sub.SetNodeWeight(i, g.nodeW[v])
+	}
+	for i, e := range g.edges {
+		if keep[e.U] && keep[e.V] {
+			if err := sub.AddWeightedEdge(oldToNew[e.U], oldToNew[e.V], g.edgeW[i]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return sub, oldToNew, newToOld
+}
+
+// IsIndependentSet reports whether in[v] designates an independent set.
+func (g *Graph) IsIndependentSet(in []bool) bool {
+	for _, e := range g.edges {
+		if in[e.U] && in[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether in designates an independent set
+// that cannot be extended: every node is in the set or adjacent to it.
+func (g *Graph) IsMaximalIndependentSet(in []bool) bool {
+	if !g.IsIndependentSet(in) {
+		return false
+	}
+	for v := 0; v < g.n; v++ {
+		if in[v] {
+			continue
+		}
+		covered := false
+		for _, u := range g.adj[v] {
+			if in[u] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// SetWeight returns Σ_{v: in[v]} w(v).
+func (g *Graph) SetWeight(in []bool) int64 {
+	var s int64
+	for v, ok := range in {
+		if ok {
+			s += g.nodeW[v]
+		}
+	}
+	return s
+}
+
+// IsMatching reports whether the edge-index set m is a matching (no two
+// chosen edges share an endpoint).
+func (g *Graph) IsMatching(m []int) bool {
+	used := make(map[int]bool, 2*len(m))
+	for _, id := range m {
+		if id < 0 || id >= len(g.edges) {
+			return false
+		}
+		e := g.edges[id]
+		if used[e.U] || used[e.V] {
+			return false
+		}
+		used[e.U], used[e.V] = true, true
+	}
+	return true
+}
+
+// IsMaximalMatching reports whether m is a matching such that every edge of g
+// shares an endpoint with some matched edge.
+func (g *Graph) IsMaximalMatching(m []int) bool {
+	if !g.IsMatching(m) {
+		return false
+	}
+	used := make([]bool, g.n)
+	for _, id := range m {
+		e := g.edges[id]
+		used[e.U], used[e.V] = true, true
+	}
+	for _, e := range g.edges {
+		if !used[e.U] && !used[e.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchingWeight returns the total edge weight of the matching m.
+func (g *Graph) MatchingWeight(m []int) int64 {
+	var s int64
+	for _, id := range m {
+		s += g.edgeW[id]
+	}
+	return s
+}
+
+// MatchedMates returns mate[v] = u if {v,u} ∈ m, else -1.
+func (g *Graph) MatchedMates(m []int) []int {
+	mate := make([]int, g.n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	for _, id := range m {
+		e := g.edges[id]
+		mate[e.U], mate[e.V] = e.V, e.U
+	}
+	return mate
+}
+
+// Bipartition attempts to 2-color g; it returns side[v] ∈ {0,1} and true on
+// success, or nil and false if g has an odd cycle. Isolated components are
+// assigned greedily starting from side 0.
+func (g *Graph) Bipartition() ([]int, bool) {
+	side := make([]int, g.n)
+	for i := range side {
+		side[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if side[s] != -1 {
+			continue
+		}
+		side[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[v] {
+				if side[u] == -1 {
+					side[u] = 1 - side[v]
+					queue = append(queue, u)
+				} else if side[u] == side[v] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return side, true
+}
+
+// ConnectedComponents returns comp[v] = component index, and the number of
+// components.
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = c
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[v] {
+				if comp[u] == -1 {
+					comp[u] = c
+					queue = append(queue, u)
+				}
+			}
+		}
+		c++
+	}
+	return comp, c
+}

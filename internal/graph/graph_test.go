@@ -1,0 +1,398 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name string
+		u, v int
+	}{
+		{"self loop", 1, 1},
+		{"u out of range", -1, 0},
+		{"v out of range", 0, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := g.AddEdge(tc.u, tc.v); err == nil {
+				t.Fatalf("AddEdge(%d,%d) succeeded, want error", tc.u, tc.v)
+			}
+		})
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate edge (reversed) accepted")
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 1)
+	g.MustAddEdge(3, 1)
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	nb := g.Neighbors(1)
+	want := []int{0, 2, 3}
+	if len(nb) != len(want) {
+		t.Fatalf("Neighbors(1) = %v", nb)
+	}
+	for i := range nb {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(1) = %v, want sorted %v", nb, want)
+		}
+	}
+	if !g.HasEdge(1, 3) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	id, ok := g.EdgeID(3, 1)
+	if !ok || g.EdgeByID(id) != (Edge{U: 1, V: 3}) {
+		t.Fatalf("EdgeID/EdgeByID broken: id=%d ok=%v", id, ok)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 2, V: 5}
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Fatal("Other wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	e.Other(7)
+}
+
+func TestWeights(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	g.SetNodeWeight(0, 10)
+	g.SetNodeWeight(1, 4)
+	g.SetEdgeWeight(0, 7)
+	if g.NodeWeight(0) != 10 || g.EdgeWeight(0) != 7 {
+		t.Fatal("weights not stored")
+	}
+	if g.MaxNodeWeight() != 10 || g.MaxEdgeWeight() != 7 || g.TotalNodeWeight() != 14 {
+		t.Fatal("aggregate weights wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetNodeWeight(0) accepted non-positive weight")
+		}
+	}()
+	g.SetNodeWeight(0, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.SetNodeWeight(2, 9)
+	c := g.Clone()
+	c.SetNodeWeight(2, 5)
+	c.MustAddEdge(1, 2)
+	if g.NodeWeight(2) != 9 || g.M() != 1 {
+		t.Fatal("Clone shares state with original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	r := rng.New(1)
+	tests := []struct {
+		name    string
+		g       *Graph
+		wantN   int
+		wantM   int // -1 means skip
+		maxDeg  int // -1 means skip
+		bipart  bool
+		checkBi bool
+	}{
+		{"star", Star(6), 6, 5, 5, true, true},
+		{"path", Path(5), 5, 4, 2, true, true},
+		{"cycle even", Cycle(6), 6, 6, 2, true, true},
+		{"cycle odd", Cycle(5), 5, 5, 2, false, true},
+		{"complete", Complete(5), 5, 10, 4, false, true},
+		{"grid", Grid(3, 4), 12, 17, -1, true, true},
+		{"caterpillar", Caterpillar(4, 3), 16, 15, -1, true, true},
+		{"gnp", GNP(30, 0.2, r), 30, -1, -1, false, false},
+		{"tree", RandomTree(40, r), 40, 39, -1, true, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tc.g.N() != tc.wantN {
+				t.Errorf("N = %d, want %d", tc.g.N(), tc.wantN)
+			}
+			if tc.wantM >= 0 && tc.g.M() != tc.wantM {
+				t.Errorf("M = %d, want %d", tc.g.M(), tc.wantM)
+			}
+			if tc.maxDeg >= 0 && tc.g.MaxDegree() != tc.maxDeg {
+				t.Errorf("MaxDegree = %d, want %d", tc.g.MaxDegree(), tc.maxDeg)
+			}
+			if tc.checkBi {
+				_, ok := tc.g.Bipartition()
+				if ok != tc.bipart {
+					t.Errorf("Bipartition ok = %v, want %v", ok, tc.bipart)
+				}
+			}
+		})
+	}
+}
+
+func TestRandomTreeConnected(t *testing.T) {
+	r := rng.New(2)
+	for n := 1; n <= 30; n++ {
+		g := RandomTree(n, r)
+		if g.M() != max(0, n-1) {
+			t.Fatalf("tree on %d nodes has %d edges", n, g.M())
+		}
+		_, nc := g.ConnectedComponents()
+		if nc != 1 && n > 0 {
+			t.Fatalf("tree on %d nodes has %d components", n, nc)
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(3)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {16, 5}, {8, 0}} {
+		g, err := RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		for v := 0; v < tc.n; v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("RandomRegular(%d,%d): deg(%d)=%d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RandomRegular(5, 3, r); err == nil {
+		t.Fatal("odd n·d accepted")
+	}
+	if _, err := RandomRegular(4, 4, r); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	r := rng.New(4)
+	g, side := RandomBipartite(10, 15, 0.3, r)
+	if g.N() != 25 {
+		t.Fatalf("N = %d", g.N())
+	}
+	for _, e := range g.Edges() {
+		if side[e.U] == side[e.V] {
+			t.Fatalf("edge %v within one side", e)
+		}
+	}
+	if _, ok := g.Bipartition(); !ok {
+		t.Fatal("RandomBipartite produced a non-bipartite graph")
+	}
+}
+
+func TestLineGraphProperties(t *testing.T) {
+	r := rng.New(5)
+	// Property: |V(L)| = |E(G)|, deg_L(e={u,v}) = deg(u)+deg(v)-2, and node
+	// weights of L are edge weights of G.
+	check := func(seed uint32) bool {
+		rr := r.Split(uint64(seed))
+		g := GNP(14, 0.3, rr)
+		AssignUniformEdgeWeights(g, 50, rr)
+		lg := g.LineGraph()
+		if lg.N() != g.M() {
+			return false
+		}
+		for id, e := range g.Edges() {
+			if lg.Degree(id) != g.Degree(e.U)+g.Degree(e.V)-2 {
+				return false
+			}
+			if lg.NodeWeight(id) != g.EdgeWeight(id) {
+				return false
+			}
+		}
+		return lg.Validate() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineGraphOfTriangleIsTriangle(t *testing.T) {
+	g := Cycle(3)
+	lg := g.LineGraph()
+	if lg.N() != 3 || lg.M() != 3 {
+		t.Fatalf("L(K3): N=%d M=%d, want 3,3", lg.N(), lg.M())
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5)
+	AssignUniformNodeWeights(g, 100, rng.New(6))
+	keep := []bool{true, false, true, true, false}
+	sub, o2n, n2o := g.InducedSubgraph(keep)
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("sub: N=%d M=%d", sub.N(), sub.M())
+	}
+	for newID, oldID := range n2o {
+		if o2n[oldID] != newID {
+			t.Fatal("maps inconsistent")
+		}
+		if sub.NodeWeight(newID) != g.NodeWeight(oldID) {
+			t.Fatal("weights not carried to subgraph")
+		}
+	}
+	if o2n[1] != -1 || o2n[4] != -1 {
+		t.Fatal("dropped nodes should map to -1")
+	}
+}
+
+func TestIndependentSetPredicates(t *testing.T) {
+	g := Path(4) // 0-1-2-3
+	if !g.IsIndependentSet([]bool{true, false, true, false}) {
+		t.Fatal("{0,2} should be independent")
+	}
+	if g.IsIndependentSet([]bool{true, true, false, false}) {
+		t.Fatal("{0,1} should not be independent")
+	}
+	if !g.IsMaximalIndependentSet([]bool{false, true, false, true}) {
+		t.Fatal("{1,3} should be a maximal IS")
+	}
+	if g.IsMaximalIndependentSet([]bool{true, false, false, false}) {
+		t.Fatal("{0} is not maximal (3 uncovered)")
+	}
+	g.SetNodeWeight(2, 5)
+	if got := g.SetWeight([]bool{false, false, true, true}); got != 6 {
+		t.Fatalf("SetWeight = %d, want 6", got)
+	}
+}
+
+func TestMatchingPredicates(t *testing.T) {
+	g := Path(5) // edges 0:{0,1} 1:{1,2} 2:{2,3} 3:{3,4}
+	if !g.IsMatching([]int{0, 2}) {
+		t.Fatal("{01,23} should be a matching")
+	}
+	if g.IsMatching([]int{0, 1}) {
+		t.Fatal("{01,12} shares node 1")
+	}
+	if !g.IsMaximalMatching([]int{1, 3}) {
+		t.Fatal("{12,34} should be maximal")
+	}
+	if g.IsMaximalMatching([]int{0}) {
+		t.Fatal("{01} is not maximal (edge 23 free)")
+	}
+	if g.IsMatching([]int{-1}) || g.IsMatching([]int{99}) {
+		t.Fatal("out-of-range edge accepted")
+	}
+	g.SetEdgeWeight(1, 42)
+	if g.MatchingWeight([]int{1, 3}) != 43 {
+		t.Fatal("MatchingWeight wrong")
+	}
+	mate := g.MatchedMates([]int{1})
+	if mate[1] != 2 || mate[2] != 1 || mate[0] != -1 {
+		t.Fatalf("mates = %v", mate)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	comp, nc := g.ConnectedComponents()
+	if nc != 3 {
+		t.Fatalf("components = %d, want 3", nc)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[3] != comp[4] || comp[0] == comp[2] || comp[5] == comp[0] || comp[5] == comp[2] {
+		t.Fatalf("comp = %v", comp)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	g := GNP(20, 0.25, r)
+	AssignUniformNodeWeights(g, 1000, r)
+	AssignUniformEdgeWeights(g, 1000, r)
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d", h.N(), h.M(), g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if h.NodeWeight(v) != g.NodeWeight(v) {
+			t.Fatalf("node %d weight changed", v)
+		}
+	}
+	for id, e := range g.Edges() {
+		hid, ok := h.EdgeID(e.U, e.V)
+		if !ok || h.EdgeWeight(hid) != g.EdgeWeight(id) {
+			t.Fatalf("edge %v lost or weight changed", e)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"missing weights", "3 0\n"},
+		{"weight count", "3 0\n1 2\n"},
+		{"non-positive weight", "2 0\n1 0\n"},
+		{"missing edge", "2 1\n1 1\n"},
+		{"self loop", "2 1\n1 1\n0 0 1\n"},
+		{"dup edge", "2 2\n1 1\n0 1 1\n1 0 1\n"},
+		{"bad edge weight", "2 1\n1 1\n0 1 -4\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(bytes.NewBufferString(tc.in)); err == nil {
+				t.Fatalf("Decode(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestBipartitionAssignsAllNodes(t *testing.T) {
+	g, _ := RandomBipartite(8, 8, 0.3, rng.New(8))
+	side, ok := g.Bipartition()
+	if !ok {
+		t.Fatal("bipartite graph rejected")
+	}
+	for v, s := range side {
+		if s != 0 && s != 1 {
+			t.Fatalf("node %d got side %d", v, s)
+		}
+	}
+}

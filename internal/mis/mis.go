@@ -1,0 +1,340 @@
+// Package mis implements the maximal independent set algorithms used as the
+// black box "MIS(G)" inside the paper's Algorithm 2 (§2.2): Luby's classic
+// algorithm [Lub86], a Ghaffari-style marking algorithm [Gha16], and a
+// deterministic greedy-by-ID protocol.
+//
+// Every algorithm is expressed in two forms built from the same core:
+//
+//   - a Sub — an embeddable sub-protocol that a host machine (Algorithm 2)
+//     drives inside a window of rounds, over a host-designated subset of
+//     participating neighbors; and
+//   - a standalone agg.Machine that runs the protocol to completion on a
+//     graph (or, through agg.RunLine, on a line graph, where an MIS is a
+//     maximal matching).
+//
+// All three are local aggregation algorithms (§2.4): they touch their
+// neighborhoods only through Max/Min/Or/Sum aggregates, which is what lets
+// Algorithm 2 run on the line graph in CONGEST without congestion overhead.
+package mis
+
+import (
+	"math/bits"
+
+	"repro/internal/agg"
+)
+
+// Sub-protocol states stored in the state field.
+const (
+	subInactive  = 0 // not participating in the current instance
+	subCompeting = 1 // participating, undecided
+	subInMIS     = 2 // joined the independent set
+	subOut       = 3 // has a neighbor in the independent set
+)
+
+// Sub is an MIS protocol embeddable inside a host machine's data layout.
+// The host owns rounds and data; it calls Begin at the start of an instance,
+// then alternates Queries/Update for WindowRounds(n) rounds (or until every
+// participant it cares about is Decided). participates tells the sub-protocol
+// which neighbors' data belong to the current instance.
+type Sub interface {
+	// Fields is the number of data fields the sub-protocol owns.
+	Fields() int
+	// WindowRounds is the round budget for one instance on n virtual nodes —
+	// the "MIS(G)" quantity of Theorem 2.3. Randomized protocols finish
+	// within it w.h.p.; stragglers simply stay undecided and rejoin the next
+	// instance, which preserves correctness (footnote 3 of the paper).
+	WindowRounds(n int) int
+	// Begin (re)initializes the sub-fields at offset for a new instance.
+	Begin(info *agg.NodeInfo, d agg.Data, active bool)
+	Queries(info *agg.NodeInfo, t int, d agg.Data) []agg.Query
+	Update(info *agg.NodeInfo, t int, d agg.Data, results []int64)
+	// Decided reports whether this node settled in the current instance.
+	Decided(d agg.Data) bool
+	// InMIS reports whether this node joined the set (valid once Decided).
+	InMIS(d agg.Data) bool
+}
+
+// SubFactory builds a Sub whose fields live at data[off:off+Fields()] and
+// which aggregates only over neighbors for which participates returns true.
+// participates receives the neighbor's full data vector.
+type SubFactory func(off int, participates func(agg.Data) bool) Sub
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// ---------------------------------------------------------------------------
+// Luby's algorithm (permutation variant): in each two-round phase every
+// competing node draws a random key; a node whose key beats all competing
+// neighbors' keys joins the set, and its neighbors retire in the notify
+// round. Finishes in O(log n) rounds w.h.p.
+
+type lubySub struct {
+	off          int
+	participates func(agg.Data) bool
+}
+
+// NewLubySub returns the Luby sub-protocol factory.
+func NewLubySub() SubFactory {
+	return func(off int, participates func(agg.Data) bool) Sub {
+		return &lubySub{off: off, participates: participates}
+	}
+}
+
+func (s *lubySub) Fields() int { return 2 } // state, key
+
+func (s *lubySub) WindowRounds(n int) int {
+	// 2 rounds per phase; 2·log₂n + 8 phases suffice w.h.p. for the
+	// permutation variant (each phase removes ≥ half the edges in
+	// expectation).
+	return 2 * (2*ceilLog2(n+1) + 8)
+}
+
+func (s *lubySub) state(d agg.Data) int64       { return d[s.off] }
+func (s *lubySub) setState(d agg.Data, v int64) { d[s.off] = v }
+func (s *lubySub) key(d agg.Data) int64         { return d[s.off+1] }
+
+// drawKey returns a priority key: ~2·log n random bits concatenated with the
+// node ID, so keys are distinct across nodes (ID tie-break) and O(log n) bits
+// as CONGEST requires.
+func drawKey(info *agg.NodeInfo) int64 {
+	r := info.Rand.Intn(info.N*info.N + 1)
+	return int64(r)*int64(info.N) + int64(info.ID) + 1
+}
+
+func (s *lubySub) Begin(info *agg.NodeInfo, d agg.Data, active bool) {
+	if active {
+		s.setState(d, subCompeting)
+		d[s.off+1] = drawKey(info)
+	} else {
+		s.setState(d, subInactive)
+		d[s.off+1] = 0
+	}
+}
+
+func (s *lubySub) Queries(info *agg.NodeInfo, t int, d agg.Data) []agg.Query {
+	if t%2 == 0 {
+		// Compare keys among competing participants.
+		return []agg.Query{{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
+			if s.participates(nd) && s.state(nd) == subCompeting {
+				return s.key(nd)
+			}
+			return -1
+		}}}
+	}
+	// Notify: did any participating neighbor join?
+	return []agg.Query{{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
+		if s.participates(nd) && s.state(nd) == subInMIS {
+			return 1
+		}
+		return 0
+	}}}
+}
+
+func (s *lubySub) Update(info *agg.NodeInfo, t int, d agg.Data, results []int64) {
+	if s.state(d) != subCompeting {
+		return
+	}
+	if t%2 == 0 {
+		if s.key(d) > results[0] {
+			s.setState(d, subInMIS)
+		}
+		return
+	}
+	if results[0] != 0 {
+		s.setState(d, subOut)
+		return
+	}
+	// Still competing: fresh key for the next phase.
+	d[s.off+1] = drawKey(info)
+}
+
+func (s *lubySub) Decided(d agg.Data) bool {
+	return s.state(d) == subInMIS || s.state(d) == subOut
+}
+
+func (s *lubySub) InMIS(d agg.Data) bool { return s.state(d) == subInMIS }
+
+// ---------------------------------------------------------------------------
+// Ghaffari-style MIS [Gha16]: every node holds a marking probability
+// p_t ∈ {2⁻¹, 2⁻², …}; it doubles (capped at ½) when the effective degree
+// Σ_{u∈N(v)} p_t(u) is below 2 and halves otherwise. A marked node with no
+// marked neighbor joins. One virtual round per iteration.
+
+const pFixShift = 20 // fixed-point denominator 2²⁰ for probability sums
+
+type ghaffariSub struct {
+	off          int
+	participates func(agg.Data) bool
+	maxExp       int64
+}
+
+// NewGhaffariSub returns the Ghaffari-style sub-protocol factory.
+func NewGhaffariSub() SubFactory {
+	return func(off int, participates func(agg.Data) bool) Sub {
+		return &ghaffariSub{off: off, participates: participates, maxExp: pFixShift - 1}
+	}
+}
+
+func (s *ghaffariSub) Fields() int { return 3 } // state, pexp, marked
+
+func (s *ghaffariSub) WindowRounds(n int) int {
+	return 4*ceilLog2(n+1) + 16
+}
+
+func (s *ghaffariSub) state(d agg.Data) int64 { return d[s.off] }
+func (s *ghaffariSub) pexp(d agg.Data) int64  { return d[s.off+1] }
+func (s *ghaffariSub) marked(d agg.Data) bool { return d[s.off+2] != 0 }
+
+// pFix returns the fixed-point value of 2^-pexp.
+func pFix(exp int64) int64 { return int64(1) << (pFixShift - uint(exp)) }
+
+func (s *ghaffariSub) draw(info *agg.NodeInfo, d agg.Data) {
+	p := 1.0 / float64(int64(1)<<uint(s.pexp(d)))
+	if info.Rand.Bernoulli(p) {
+		d[s.off+2] = 1
+	} else {
+		d[s.off+2] = 0
+	}
+}
+
+func (s *ghaffariSub) Begin(info *agg.NodeInfo, d agg.Data, active bool) {
+	if active {
+		d[s.off] = subCompeting
+		d[s.off+1] = 1 // p = 1/2
+		s.draw(info, d)
+	} else {
+		d[s.off] = subInactive
+		d[s.off+1] = 1
+		d[s.off+2] = 0
+	}
+}
+
+func (s *ghaffariSub) Queries(info *agg.NodeInfo, t int, d agg.Data) []agg.Query {
+	part := s.participates
+	return []agg.Query{
+		{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // a marked competing neighbor?
+			if part(nd) && s.state(nd) == subCompeting && s.marked(nd) {
+				return 1
+			}
+			return 0
+		}},
+		{Agg: agg.Sum, Proj: func(nd agg.Data) int64 { // effective degree
+			if part(nd) && s.state(nd) == subCompeting {
+				return pFix(s.pexp(nd))
+			}
+			return 0
+		}},
+		{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // a neighbor already in the set?
+			if part(nd) && s.state(nd) == subInMIS {
+				return 1
+			}
+			return 0
+		}},
+	}
+}
+
+func (s *ghaffariSub) Update(info *agg.NodeInfo, t int, d agg.Data, results []int64) {
+	if s.state(d) != subCompeting {
+		return
+	}
+	neighborMarked, effDeg, neighborInMIS := results[0], results[1], results[2]
+	if neighborInMIS != 0 {
+		d[s.off] = subOut
+		return
+	}
+	if s.marked(d) && neighborMarked == 0 {
+		d[s.off] = subInMIS
+		d[s.off+2] = 0
+		return
+	}
+	// Probability adjustment: halve when crowded, double when sparse.
+	if effDeg >= 2<<pFixShift {
+		if s.pexp(d) < s.maxExp {
+			d[s.off+1]++
+		}
+	} else if s.pexp(d) > 1 {
+		d[s.off+1]--
+	}
+	s.draw(info, d)
+}
+
+func (s *ghaffariSub) Decided(d agg.Data) bool {
+	return s.state(d) == subInMIS || s.state(d) == subOut
+}
+
+func (s *ghaffariSub) InMIS(d agg.Data) bool { return s.state(d) == subInMIS }
+
+// ---------------------------------------------------------------------------
+// Deterministic greedy-by-ID: a competing node whose ID is smaller than every
+// competing neighbor's joins. Θ(n) rounds in the worst case (a path), but a
+// deterministic black box for Algorithm 2.
+
+type greedyIDSub struct {
+	off          int
+	participates func(agg.Data) bool
+}
+
+// NewGreedyIDSub returns the deterministic greedy-by-ID factory.
+func NewGreedyIDSub() SubFactory {
+	return func(off int, participates func(agg.Data) bool) Sub {
+		return &greedyIDSub{off: off, participates: participates}
+	}
+}
+
+func (s *greedyIDSub) Fields() int { return 2 } // state, id
+
+func (s *greedyIDSub) WindowRounds(n int) int { return 2 * (n + 1) }
+
+func (s *greedyIDSub) state(d agg.Data) int64 { return d[s.off] }
+
+func (s *greedyIDSub) Begin(info *agg.NodeInfo, d agg.Data, active bool) {
+	if active {
+		d[s.off] = subCompeting
+	} else {
+		d[s.off] = subInactive
+	}
+	d[s.off+1] = int64(info.ID)
+}
+
+func (s *greedyIDSub) Queries(info *agg.NodeInfo, t int, d agg.Data) []agg.Query {
+	if t%2 == 0 {
+		return []agg.Query{{Agg: agg.Min, Proj: func(nd agg.Data) int64 {
+			if s.participates(nd) && s.state(nd) == subCompeting {
+				return nd[s.off+1]
+			}
+			// Non-participant sentinel above any real ID but cheap to encode.
+			return int64(1) << 40
+		}}}
+	}
+	return []agg.Query{{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
+		if s.participates(nd) && s.state(nd) == subInMIS {
+			return 1
+		}
+		return 0
+	}}}
+}
+
+func (s *greedyIDSub) Update(info *agg.NodeInfo, t int, d agg.Data, results []int64) {
+	if s.state(d) != subCompeting {
+		return
+	}
+	if t%2 == 0 {
+		if int64(info.ID) < results[0] {
+			d[s.off] = subInMIS
+		}
+		return
+	}
+	if results[0] != 0 {
+		d[s.off] = subOut
+	}
+}
+
+func (s *greedyIDSub) Decided(d agg.Data) bool {
+	return s.state(d) == subInMIS || s.state(d) == subOut
+}
+
+func (s *greedyIDSub) InMIS(d agg.Data) bool { return s.state(d) == subInMIS }

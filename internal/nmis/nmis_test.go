@@ -1,0 +1,157 @@
+package nmis
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/simul"
+)
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := NewMachine(Params{K: 1, Delta: 0.1}); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+	if _, err := NewMachine(Params{K: 2, Delta: 0}); err == nil {
+		t.Fatal("δ=0 accepted")
+	}
+	if _, err := NewMachine(Params{K: 2, Delta: 1.5}); err == nil {
+		t.Fatal("δ>1 accepted")
+	}
+}
+
+func TestRoundsFormula(t *testing.T) {
+	// The budget must grow with K² log(1/δ) and shrink in the log∆/logK term
+	// as K grows; it must always be positive.
+	a := Params{K: 2, Delta: 0.1, MaxDegree: 64}.Rounds()
+	b := Params{K: 2, Delta: 0.01, MaxDegree: 64}.Rounds()
+	if a <= 0 || b <= a {
+		t.Fatalf("rounds not increasing in log(1/δ): %d vs %d", a, b)
+	}
+	c := Params{K: 2, Delta: 0.1, MaxDegree: 4096}.Rounds()
+	if c <= a {
+		t.Fatalf("rounds not increasing in ∆: %d vs %d", c, a)
+	}
+}
+
+func TestOutputIsIndependentSet(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GNP(50, 0.12, r.Split(uint64(trial)))
+		res, err := Run(g, Params{K: 2, Delta: 0.05}, simul.Config{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.IsIndependentSet(res.InSetVector()) {
+			t.Fatalf("trial %d: output not independent", trial)
+		}
+		// Outcome consistency: every Covered node has an InSet neighbor.
+		for v, o := range res.Outcomes {
+			if o != Covered {
+				continue
+			}
+			ok := false
+			for _, u := range g.Neighbors(v) {
+				if res.Outcomes[u] == InSet {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("trial %d: node %d Covered without an InSet neighbor", trial, v)
+			}
+		}
+	}
+}
+
+func TestTheorem31CoverageBound(t *testing.T) {
+	// E6: after β(log∆/logK + K²log(1/δ)) rounds, the fraction of uncovered
+	// nodes should be at most δ (in expectation; we allow 2δ slack across
+	// the sampled instances).
+	const delta = 0.1
+	r := rng.New(2)
+	total, uncovered := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		g := graph.GNP(60, 0.1, r.Split(uint64(trial)))
+		res, err := Run(g, Params{K: 2, Delta: delta}, simul.Config{Seed: uint64(100 + trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += g.N()
+		uncovered += res.UncoveredCount()
+	}
+	frac := float64(uncovered) / float64(total)
+	if frac > 2*delta {
+		t.Fatalf("uncovered fraction %.4f exceeds 2δ = %.2f", frac, 2*delta)
+	}
+}
+
+func TestRoundBudgetRespected(t *testing.T) {
+	g := graph.GNP(80, 0.15, rng.New(3))
+	params := Params{K: 3, Delta: 0.1, MaxDegree: g.MaxDegree()}
+	res, err := Run(g, params, simul.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +2 slack: the announce round of the final joiners and the halt round.
+	if res.VirtualRounds > params.Rounds()+2 {
+		t.Fatalf("used %d rounds, budget %d", res.VirtualRounds, params.Rounds())
+	}
+}
+
+func TestNearlyMaximalMatchingOnLine(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 6; trial++ {
+		g := graph.GNP(24, 0.2, r.Split(uint64(trial)))
+		if g.M() == 0 {
+			continue
+		}
+		res, err := RunOnLine(g, Params{K: 2, Delta: 0.05}, simul.Config{Seed: uint64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var matching []int
+		for e, o := range res.Outcomes {
+			if o == InSet {
+				matching = append(matching, e)
+			}
+		}
+		if !g.IsMatching(matching) {
+			t.Fatalf("trial %d: line-graph NMIS output is not a matching", trial)
+		}
+	}
+}
+
+func TestCongestCompliance(t *testing.T) {
+	g := graph.GNP(64, 0.1, rng.New(6))
+	if _, err := Run(g, Params{K: 2, Delta: 0.1}, simul.Config{Seed: 7, Model: simul.CONGEST}); err != nil {
+		t.Fatalf("CONGEST violation: %v", err)
+	}
+	if _, err := RunOnLine(g, Params{K: 2, Delta: 0.1}, simul.Config{Seed: 8, Model: simul.CONGEST}); err != nil {
+		t.Fatalf("CONGEST violation on L(G): %v", err)
+	}
+}
+
+func TestKSweepChangesRounds(t *testing.T) {
+	// E11: larger K shortens the log∆/logK term but inflates K²log(1/δ);
+	// the budget formula must reflect the tradeoff.
+	base := Params{K: 2, Delta: 0.01, MaxDegree: 1 << 16}.Rounds()
+	mid := Params{K: 4, Delta: 0.01, MaxDegree: 1 << 16}.Rounds()
+	if mid >= base*4 {
+		t.Fatalf("K=4 budget (%d) did not benefit from faster decay vs K=2 (%d)", mid, base)
+	}
+}
+
+func TestEdgelessAndSingleton(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.New(0), graph.New(1), graph.New(5)} {
+		res, err := Run(g, Params{K: 2, Delta: 0.1}, simul.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, o := range res.Outcomes {
+			if o != InSet {
+				t.Fatalf("isolated node %d finished %v, want InSet", v, o)
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used by every randomized algorithm in this repository.
+//
+// Distributed algorithms in the CONGEST model assume each node holds an
+// independent source of randomness. To make whole-network executions
+// reproducible (and identical between the sequential and the parallel
+// simulator engines), each node derives its own Stream from a master seed and
+// its node ID via SplitMix64. Streams never share state, so stepping nodes in
+// any order — or concurrently — yields the same execution.
+package rng
+
+import "math"
+
+// splitmix64 advances the given state and returns the next output value.
+// SplitMix64 passes BigCrush and is the standard seeding function for the
+// xoshiro family; we use it both as a seeder and as the core generator
+// because its statistical quality is more than sufficient for simulation.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a single deterministic random stream. The zero value is a valid
+// stream seeded with 0. Stream is not safe for concurrent use; give each
+// goroutine (each simulated node) its own Stream.
+type Stream struct {
+	state uint64
+}
+
+// New returns a Stream seeded from seed.
+func New(seed uint64) *Stream {
+	s := &Stream{state: seed}
+	// Scramble once so that nearby seeds produce unrelated streams.
+	splitmix64(&s.state)
+	return s
+}
+
+// Split derives an independent child stream identified by id. Calling Split
+// with distinct ids yields streams that are statistically independent of each
+// other and of the parent, without advancing the parent.
+func (s *Stream) Split(id uint64) *Stream {
+	st := s.state
+	// Mix the id into a copy of the parent state through two rounds.
+	st ^= splitmix64(&st) + id*0x9e3779b97f4a7c15
+	child := &Stream{state: st}
+	splitmix64(&child.state)
+	return child
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Stream) Uint64() uint64 {
+	return splitmix64(&s.state)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0,
+// mirroring math/rand.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1] are
+// clamped.
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes the first n elements using the provided swap
+// function, in the manner of math/rand.Shuffle.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// IntRange returns a uniformly random int in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (s *Stream) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange called with hi < lo")
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (s *Stream) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

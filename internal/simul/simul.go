@@ -1,0 +1,381 @@
+// Package simul implements the synchronous message-passing models the paper's
+// algorithms run in: LOCAL and CONGEST [Pel00].
+//
+// An execution proceeds in synchronous rounds. In every round each live node
+// receives the messages its neighbors sent in the previous round, performs
+// arbitrary local computation, and sends at most one message per incident
+// edge. In the CONGEST model each message is limited to O(log n) bits; the
+// engine enforces a budget of BitsFactor·⌈log₂(n+1)⌉ bits per message and
+// fails the run if an algorithm exceeds it — this is how the repository
+// *checks*, rather than assumes, the paper's CONGEST claims.
+//
+// Algorithms are written as per-node automata (the Automaton interface).
+// Two engines execute them: a sequential engine and a goroutine-per-worker
+// parallel engine. Both are deterministic for a fixed Config.Seed because
+// every node draws randomness from its own rng.Stream and nodes interact only
+// via the round barrier.
+package simul
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Model selects the communication model.
+type Model int
+
+const (
+	// CONGEST limits every message to BitsFactor·⌈log₂(n+1)⌉ bits.
+	CONGEST Model = iota
+	// LOCAL places no limit on message size.
+	LOCAL
+)
+
+func (m Model) String() string {
+	switch m {
+	case CONGEST:
+		return "CONGEST"
+	case LOCAL:
+		return "LOCAL"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Message is the payload exchanged between nodes. Bits reports the message's
+// size for CONGEST accounting; implementations must return a bound on the
+// number of bits a real encoding of the message would need.
+type Message interface {
+	Bits() int
+}
+
+// Envelope is a received message together with its sender.
+type Envelope struct {
+	From int
+	Msg  Message
+}
+
+// Automaton is the per-node state machine of a distributed algorithm.
+//
+// Step is called once per round with the messages received at the start of
+// that round (those sent by neighbors in the previous round). The automaton
+// reacts by updating local state and calling ctx.Send / ctx.Broadcast; it
+// terminates by calling ctx.Halt. After Halt, Step is never called again and
+// messages addressed to the node are dropped (the node has left the
+// computation, as in the paper's "return InIS/NotInIS").
+type Automaton interface {
+	Step(ctx *Context, inbox []Envelope)
+}
+
+// Config controls an execution.
+type Config struct {
+	// Model is CONGEST (default) or LOCAL.
+	Model Model
+	// BitsFactor is the c in the per-message budget c·⌈log₂(n+1)⌉ used by
+	// CONGEST. Zero means the default of 16, which accommodates the paper's
+	// data tuples {w(v), status, layer, …} of O(log n + log W) bits with
+	// W ≤ poly(n).
+	BitsFactor int
+	// MaxRounds aborts the run with ErrRoundLimit if some node has not
+	// halted after this many rounds. Zero means the default of 1 << 20.
+	MaxRounds int
+	// Seed seeds the per-node randomness streams.
+	Seed uint64
+	// Parallel selects the goroutine worker-pool engine. The execution is
+	// identical to the sequential engine for the same Seed.
+	Parallel bool
+	// RecordRoundLog enables per-round statistics in Result.RoundLog.
+	RecordRoundLog bool
+}
+
+// ErrRoundLimit is returned (wrapped) when a run exceeds Config.MaxRounds.
+var ErrRoundLimit = errors.New("simul: round limit exceeded")
+
+// Metrics aggregates communication costs of a run.
+type Metrics struct {
+	Rounds         int // synchronous rounds executed
+	Messages       int // total messages delivered
+	TotalBits      int // Σ message bits
+	MaxMessageBits int // largest single message
+	BitBudget      int // per-message budget enforced (0 in LOCAL)
+}
+
+// RoundStats is one entry of the optional per-round log.
+type RoundStats struct {
+	Round    int
+	Active   int // nodes that stepped this round
+	Messages int // messages sent this round
+	Bits     int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Outputs[v] is the value node v passed to Halt (nil if the run failed
+	// before v halted).
+	Outputs []any
+	Metrics Metrics
+	// RoundLog is populated when Config.RecordRoundLog is set.
+	RoundLog []RoundStats
+}
+
+// Context is the interface an automaton uses to interact with the network
+// during one Step call. It is only valid for the duration of that call.
+type Context struct {
+	id        int
+	round     int
+	g         *graph.Graph
+	rand      *rng.Stream
+	outbox    []outMsg
+	sentTo    map[int]bool
+	halted    bool
+	output    any
+	err       error
+	bitBudget int // 0 = unlimited (LOCAL)
+}
+
+type outMsg struct {
+	to  int
+	msg Message
+}
+
+// ID returns this node's identifier (0..N-1). Identifiers double as the
+// unique O(log n)-bit IDs assumed by the model.
+func (c *Context) ID() int { return c.id }
+
+// Round returns the current round number, starting at 0.
+func (c *Context) Round() int { return c.round }
+
+// N returns the number of nodes in the network (global knowledge of n is
+// standard in CONGEST: it fixes the message-size budget).
+func (c *Context) N() int { return c.g.N() }
+
+// Graph returns the communication graph. Automata may read structure
+// (neighbors, degrees, weights) but must not mutate it.
+func (c *Context) Graph() *graph.Graph { return c.g }
+
+// Neighbors returns this node's neighbor IDs, sorted ascending.
+func (c *Context) Neighbors() []int { return c.g.Neighbors(c.id) }
+
+// Degree returns this node's degree.
+func (c *Context) Degree() int { return c.g.Degree(c.id) }
+
+// Rand returns this node's private randomness stream.
+func (c *Context) Rand() *rng.Stream { return c.rand }
+
+// Send transmits m to the neighbor `to` at the end of this round. Sending to
+// a non-neighbor, sending twice to the same neighbor in one round, or
+// exceeding the CONGEST bit budget aborts the run with an error.
+func (c *Context) Send(to int, m Message) {
+	if c.err != nil {
+		return
+	}
+	if !c.g.HasEdge(c.id, to) {
+		c.err = fmt.Errorf("simul: round %d: node %d sent to non-neighbor %d", c.round, c.id, to)
+		return
+	}
+	if c.sentTo[to] {
+		c.err = fmt.Errorf("simul: round %d: node %d sent twice to neighbor %d (CONGEST allows one message per edge per round)", c.round, c.id, to)
+		return
+	}
+	if c.bitBudget > 0 {
+		if b := m.Bits(); b > c.bitBudget {
+			c.err = fmt.Errorf("simul: round %d: node %d message of %d bits exceeds CONGEST budget of %d bits", c.round, c.id, b, c.bitBudget)
+			return
+		}
+	}
+	c.sentTo[to] = true
+	c.outbox = append(c.outbox, outMsg{to: to, msg: m})
+}
+
+// Broadcast sends m to every neighbor.
+func (c *Context) Broadcast(m Message) {
+	for _, u := range c.Neighbors() {
+		c.Send(u, m)
+	}
+}
+
+// Halt terminates this node with the given output. Messages already queued
+// this round are still delivered.
+func (c *Context) Halt(output any) {
+	c.halted = true
+	c.output = output
+}
+
+// Run executes the distributed algorithm defined by build on the graph g.
+// build(v) must return the automaton for node v.
+func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, error) {
+	n := g.N()
+	if cfg.BitsFactor == 0 {
+		cfg.BitsFactor = 16
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 1 << 20
+	}
+	budget := 0
+	if cfg.Model == CONGEST {
+		budget = cfg.BitsFactor * ceilLog2(n+1)
+	}
+
+	autos := make([]Automaton, n)
+	ctxs := make([]*Context, n)
+	master := rng.New(cfg.Seed)
+	for v := 0; v < n; v++ {
+		autos[v] = build(v)
+		ctxs[v] = &Context{
+			id:        v,
+			g:         g,
+			rand:      master.Split(uint64(v)),
+			sentTo:    make(map[int]bool),
+			bitBudget: budget,
+		}
+	}
+
+	res := &Result{
+		Outputs: make([]any, n),
+		Metrics: Metrics{BitBudget: budget},
+	}
+	inboxes := make([][]Envelope, n)
+	nextInboxes := make([][]Envelope, n)
+	halted := make([]bool, n)
+	liveCount := n
+	if liveCount == 0 {
+		return res, nil
+	}
+
+	workers := 1
+	if cfg.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+
+	for round := 0; liveCount > 0; round++ {
+		if round >= cfg.MaxRounds {
+			return res, fmt.Errorf("%w: %d nodes still live after %d rounds", ErrRoundLimit, liveCount, cfg.MaxRounds)
+		}
+		// Step all live nodes.
+		stepNode := func(v int) {
+			ctx := ctxs[v]
+			ctx.round = round
+			ctx.outbox = ctx.outbox[:0]
+			for k := range ctx.sentTo {
+				delete(ctx.sentTo, k)
+			}
+			autos[v].Step(ctx, inboxes[v])
+		}
+		active := 0
+		if workers == 1 {
+			for v := 0; v < n; v++ {
+				if !halted[v] {
+					stepNode(v)
+					active++
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for v := range next {
+						stepNode(v)
+					}
+				}()
+			}
+			for v := 0; v < n; v++ {
+				if !halted[v] {
+					next <- v
+					active++
+				}
+			}
+			close(next)
+			wg.Wait()
+		}
+
+		// Merge outboxes deterministically (ascending sender ID) and collect
+		// metrics, halts, and errors.
+		roundMsgs, roundBits := 0, 0
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			ctx := ctxs[v]
+			if ctx.err != nil {
+				return res, ctx.err
+			}
+			for _, om := range ctx.outbox {
+				b := om.msg.Bits()
+				roundMsgs++
+				roundBits += b
+				if b > res.Metrics.MaxMessageBits {
+					res.Metrics.MaxMessageBits = b
+				}
+				nextInboxes[om.to] = append(nextInboxes[om.to], Envelope{From: v, Msg: om.msg})
+			}
+		}
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			if ctxs[v].halted {
+				halted[v] = true
+				res.Outputs[v] = ctxs[v].output
+				liveCount--
+			}
+		}
+
+		res.Metrics.Rounds++
+		res.Metrics.Messages += roundMsgs
+		res.Metrics.TotalBits += roundBits
+		if cfg.RecordRoundLog {
+			res.RoundLog = append(res.RoundLog, RoundStats{
+				Round: round, Active: active, Messages: roundMsgs, Bits: roundBits,
+			})
+		}
+
+		// Swap inboxes; drop messages to halted nodes and sort by sender for
+		// a canonical delivery order (parallel mode appends in sender order
+		// already, but sorting keeps the contract explicit).
+		for v := 0; v < n; v++ {
+			inboxes[v] = inboxes[v][:0]
+			if halted[v] {
+				nextInboxes[v] = nextInboxes[v][:0]
+				continue
+			}
+			inboxes[v], nextInboxes[v] = nextInboxes[v], inboxes[v]
+			sort.SliceStable(inboxes[v], func(i, j int) bool {
+				return inboxes[v][i].From < inboxes[v][j].From
+			})
+		}
+	}
+	return res, nil
+}
+
+// ceilLog2 returns ⌈log₂ x⌉ for x ≥ 1.
+func ceilLog2(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// BitsForRange returns the number of bits needed to transmit a value in
+// [0, max]; helper for Message implementations.
+func BitsForRange(max int64) int {
+	if max <= 0 {
+		return 1
+	}
+	return bits.Len64(uint64(max))
+}

@@ -1,0 +1,88 @@
+package repro
+
+import "repro/internal/simul"
+
+// Model selects the communication model an execution is validated against.
+type Model = simul.Model
+
+// Communication models (re-exported).
+const (
+	CONGEST = simul.CONGEST
+	LOCAL   = simul.LOCAL
+)
+
+// MIS black-box names for WithMIS.
+const (
+	MISLuby     = "luby"
+	MISGhaffari = "ghaffari"
+	MISGreedyID = "greedyid"
+)
+
+type config struct {
+	sim         simul.Config
+	misName     string
+	k           int
+	detColoring bool
+}
+
+// Option configures an algorithm invocation.
+type Option func(*config)
+
+func buildConfig(opts []Option) config {
+	cfg := config{
+		sim:     simul.Config{Model: simul.CONGEST},
+		misName: MISLuby,
+		k:       2,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithSeed fixes the randomness seed; equal seeds reproduce executions
+// exactly, including across the sequential and parallel engines.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.sim.Seed = seed }
+}
+
+// WithModel selects CONGEST (default; message sizes are enforced) or LOCAL.
+func WithModel(m Model) Option {
+	return func(c *config) { c.sim.Model = m }
+}
+
+// WithMIS selects the MIS black box for Algorithm 2 (MISLuby, MISGhaffari or
+// MISGreedyID).
+func WithMIS(name string) Option {
+	return func(c *config) { c.misName = name }
+}
+
+// WithK sets the probability factor K of the §3/§B algorithms (default 2;
+// the paper's Θ(log^0.1 ∆)).
+func WithK(k int) Option {
+	return func(c *config) { c.k = k }
+}
+
+// WithParallel runs node automata on a goroutine worker pool; results are
+// identical to the sequential engine for the same seed.
+func WithParallel() Option {
+	return func(c *config) { c.sim.Parallel = true }
+}
+
+// WithMaxRounds overrides the engine's round-limit failsafe.
+func WithMaxRounds(r int) Option {
+	return func(c *config) { c.sim.MaxRounds = r }
+}
+
+// WithBitsFactor overrides the CONGEST per-message budget factor c in
+// c·⌈log₂(n+1)⌉ (default 16).
+func WithBitsFactor(f int) Option {
+	return func(c *config) { c.sim.BitsFactor = f }
+}
+
+// WithDeterministicColoring makes MaxISDeterministic use the Linial color
+// reduction instead of the randomized palette coloring, yielding a fully
+// deterministic pipeline (at O(∆² log² ∆) extra rounds; see DESIGN.md §3).
+func WithDeterministicColoring() Option {
+	return func(c *config) { c.detColoring = true }
+}

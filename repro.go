@@ -1,0 +1,290 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Bar-Yehuda, Censor-Hillel, Ghaffari, Schwartzman:
+//	"Distributed Approximation of Maximum Independent Set and Maximum
+//	Matching", PODC 2017 (arXiv:1708.00276),
+//
+// including every substrate the paper's algorithms need: a synchronous
+// CONGEST/LOCAL round simulator with message-bit accounting, MIS and coloring
+// black boxes, the local-aggregation line-graph machinery of Theorem 2.8, and
+// exact combinatorial baselines for evaluating approximation ratios.
+//
+// The facade exposes the paper's headline results:
+//
+//	MaxIS              ∆-approximate MaxIS, O(MIS(G)·log W) rounds (Thm 2.3)
+//	MaxISDeterministic ∆-approximate MaxIS, O(∆ + log* n)-style (§2.3)
+//	MWM2               2-approximate weighted matching on L(G) (Thm 2.10)
+//	MWM2Deterministic  deterministic-reduction variant of the same
+//	FastMCM            (2+ε)-approximate matching, O(log∆/loglog∆) (Thm 3.2)
+//	FastMWM            (2+ε)-approximate weighted matching (§B.1)
+//	OneEpsMCM          (1+ε)-approximate matching (Thm B.4, LOCAL)
+//	ProposalMCM        the alternative (2+ε) proposal algorithm (§B.4)
+//	NearlyMaximalIS    the §3.1 nearly-maximal independent set (Thm 3.1)
+//	SequentialMaxIS    Algorithm 1, the sequential local-ratio meta-algorithm
+//
+// Graphs are built with the re-exported constructors (NewGraph, GNP,
+// RandomRegular, …). All algorithms are deterministic given WithSeed.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/augment"
+	"repro/internal/core"
+	"repro/internal/fastmatch"
+	"repro/internal/graph"
+	"repro/internal/nmis"
+	"repro/internal/rng"
+	"repro/internal/simul"
+)
+
+// Graph is the undirected node- and edge-weighted graph all algorithms run
+// on. See NewGraph and the generators below.
+type Graph = graph.Graph
+
+// Graph constructors re-exported from the graph substrate.
+var (
+	NewGraph    = graph.New
+	Star        = graph.Star
+	Path        = graph.Path
+	Cycle       = graph.Cycle
+	Complete    = graph.Complete
+	Grid        = graph.Grid
+	Caterpillar = graph.Caterpillar
+	EncodeGraph = graph.Encode
+	DecodeGraph = graph.Decode
+)
+
+// GNP returns an Erdős–Rényi G(n, p) graph drawn with the given seed.
+func GNP(n int, p float64, seed uint64) *Graph {
+	return graph.GNP(n, p, rng.New(seed))
+}
+
+// RandomRegular returns a random d-regular graph drawn with the given seed.
+func RandomRegular(n, d int, seed uint64) (*Graph, error) {
+	return graph.RandomRegular(n, d, rng.New(seed))
+}
+
+// RandomBipartite returns a random bipartite graph and its sides.
+func RandomBipartite(nl, nr int, p float64, seed uint64) (*Graph, []int) {
+	return graph.RandomBipartite(nl, nr, p, rng.New(seed))
+}
+
+// RandomTree returns a uniform random labeled tree.
+func RandomTree(n int, seed uint64) *Graph {
+	return graph.RandomTree(n, rng.New(seed))
+}
+
+// AssignUniformNodeWeights draws node weights uniformly from [1, maxW].
+func AssignUniformNodeWeights(g *Graph, maxW int64, seed uint64) {
+	graph.AssignUniformNodeWeights(g, maxW, rng.New(seed))
+}
+
+// AssignUniformEdgeWeights draws edge weights uniformly from [1, maxW].
+func AssignUniformEdgeWeights(g *Graph, maxW int64, seed uint64) {
+	graph.AssignUniformEdgeWeights(g, maxW, rng.New(seed))
+}
+
+// CostStats summarizes the communication cost of a distributed execution.
+type CostStats struct {
+	// Rounds is the algorithm's round complexity (virtual rounds of the
+	// machine; for line-graph executions real rounds are 2× this, and they
+	// are reported in RealRounds).
+	Rounds int
+	// RealRounds, Messages and Bits are the synchronous network rounds,
+	// message count and total message bits actually used.
+	RealRounds int
+	Messages   int
+	Bits       int
+	// MaxMessageBits and BitBudget document CONGEST compliance: the largest
+	// message sent vs the enforced per-message budget (0 in LOCAL).
+	MaxMessageBits int
+	BitBudget      int
+}
+
+func costOf(virtual int, m simul.Metrics) CostStats {
+	return CostStats{
+		Rounds:         virtual,
+		RealRounds:     m.Rounds,
+		Messages:       m.Messages,
+		Bits:           m.TotalBits,
+		MaxMessageBits: m.MaxMessageBits,
+		BitBudget:      m.BitBudget,
+	}
+}
+
+// ISResult is an independent-set answer.
+type ISResult struct {
+	InSet  []bool
+	Weight int64
+	Cost   CostStats
+}
+
+// MatchingResult is a matching answer (edge IDs of the input graph).
+type MatchingResult struct {
+	Edges  []int
+	Weight int64
+	Cost   CostStats
+}
+
+// SequentialMaxIS runs Algorithm 1, the sequential local-ratio
+// ∆-approximation (§2.1), with the default greedy independent-set selection.
+func SequentialMaxIS(g *Graph) *ISResult {
+	in := core.SequentialLocalRatio(g, core.GreedyPick)
+	return &ISResult{InSet: in, Weight: g.SetWeight(in)}
+}
+
+// MaxIS runs Algorithm 2: the distributed ∆-approximate maximum weight
+// independent set in O(MIS(G)·log W) rounds (Theorem 2.3).
+func MaxIS(g *Graph, opts ...Option) (*ISResult, error) {
+	cfg := buildConfig(opts)
+	res, err := core.DistributedMaxIS(g, cfg.misName, cfg.sim)
+	if err != nil {
+		return nil, err
+	}
+	return &ISResult{InSet: res.InSet, Weight: res.Weight, Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+}
+
+// MaxISDeterministic runs Algorithm 3 (§2.3): coloring followed by
+// color-priority local ratio. With WithDeterministicColoring the coloring
+// phase uses the Linial reduction, making the whole pipeline deterministic.
+func MaxISDeterministic(g *Graph, opts ...Option) (*ISResult, error) {
+	cfg := buildConfig(opts)
+	res, err := core.ColoringMaxIS(g, cfg.detColoring, cfg.sim)
+	if err != nil {
+		return nil, err
+	}
+	return &ISResult{InSet: res.InSet, Weight: res.Weight, Cost: costOf(res.VirtualRounds+res.ColoringRounds, res.Metrics)}, nil
+}
+
+// MWM2 computes a 2-approximate maximum weight matching: Algorithm 2
+// executed on the line graph through the Theorem 2.8 simulation
+// (Theorem 2.10).
+func MWM2(g *Graph, opts ...Option) (*MatchingResult, error) {
+	cfg := buildConfig(opts)
+	res, err := core.DistributedMWM2(g, cfg.misName, cfg.sim)
+	if err != nil {
+		return nil, err
+	}
+	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+}
+
+// MWM2Deterministic computes a 2-approximate maximum weight matching via
+// Algorithm 3 on the line graph (coloring + color-priority reduction).
+func MWM2Deterministic(g *Graph, opts ...Option) (*MatchingResult, error) {
+	cfg := buildConfig(opts)
+	res, err := core.ColoringMWM2(g, cfg.sim)
+	if err != nil {
+		return nil, err
+	}
+	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costOf(res.VirtualRounds+res.ColoringRounds, res.Metrics)}, nil
+}
+
+// FastMCM computes a (2+ε)-approximate maximum cardinality matching in
+// O(log∆/loglog∆)-style rounds: the §3.1 nearly-maximal independent set on
+// the line graph (Theorem 3.2).
+func FastMCM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
+	cfg := buildConfig(opts)
+	res, err := fastmatch.MCM2Eps(g, eps, cfg.k, cfg.sim)
+	if err != nil {
+		return nil, err
+	}
+	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+}
+
+// FastMWM computes a (2+ε)-approximate maximum weight matching via weight
+// bucketing plus augmenting refinement (§B.1).
+func FastMWM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
+	cfg := buildConfig(opts)
+	res, err := fastmatch.MWM2Eps(g, eps, cfg.k, cfg.sim)
+	if err != nil {
+		return nil, err
+	}
+	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+}
+
+// OneEpsMCM computes a (1+ε)-approximate maximum cardinality matching via
+// Hopcroft–Karp phases with nearly-maximal hypergraph matchings
+// (Theorem B.4; LOCAL model).
+func OneEpsMCM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
+	cfg := buildConfig(opts)
+	res, err := augment.OneEpsLocal(g, augment.OneEpsParams{Eps: eps, K: cfg.k}, rng.New(cfg.sim.Seed))
+	if err != nil {
+		return nil, err
+	}
+	var w int64
+	for _, id := range res.Matching {
+		w += g.EdgeWeight(id)
+	}
+	return &MatchingResult{Edges: res.Matching, Weight: w, Cost: CostStats{Rounds: res.Rounds, RealRounds: res.Rounds}}, nil
+}
+
+// OneEpsMCMCongest computes a (1+ε)-approximate maximum cardinality matching
+// using the CONGEST-model construction of Appendix B.3: random bipartitions,
+// attenuated path-mass traversals (Claims B.5/B.6) and link-by-link token
+// marking, with no explicit conflict graph.
+func OneEpsMCMCongest(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
+	cfg := buildConfig(opts)
+	res, err := augment.OneEpsCongest(g, augment.CongestOneEpsParams{Eps: eps, K: cfg.k}, rng.New(cfg.sim.Seed))
+	if err != nil {
+		return nil, err
+	}
+	var w int64
+	for _, id := range res.Matching {
+		w += g.EdgeWeight(id)
+	}
+	return &MatchingResult{Edges: res.Matching, Weight: w, Cost: CostStats{Rounds: res.Rounds, RealRounds: res.Rounds}}, nil
+}
+
+// ProposalMCM computes a (2+ε)-approximate maximum cardinality matching via
+// the Appendix B.4 proposal algorithm.
+func ProposalMCM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
+	cfg := buildConfig(opts)
+	res, err := fastmatch.Proposal(g, eps, cfg.k, rng.New(cfg.sim.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: CostStats{Rounds: res.VirtualRounds, RealRounds: res.VirtualRounds}}, nil
+}
+
+// NMISResult reports a nearly-maximal independent set run (Theorem 3.1).
+type NMISResult struct {
+	InSet     []bool
+	Uncovered int
+	Cost      CostStats
+}
+
+// NearlyMaximalIS runs the §3.1 algorithm for its Theorem 3.1 round budget
+// with factor K and failure target delta.
+func NearlyMaximalIS(g *Graph, k int, delta float64, opts ...Option) (*NMISResult, error) {
+	cfg := buildConfig(opts)
+	res, err := nmis.Run(g, nmis.Params{K: k, Delta: delta}, cfg.sim)
+	if err != nil {
+		return nil, err
+	}
+	return &NMISResult{
+		InSet:     res.InSetVector(),
+		Uncovered: res.UncoveredCount(),
+		Cost:      costOf(res.VirtualRounds, res.Metrics),
+	}, nil
+}
+
+// WriteGraph encodes g to w in the text format understood by cmd/distmatch.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Encode(w, g) }
+
+// CheckIndependentSet returns an error unless in is an independent set of g.
+func CheckIndependentSet(g *Graph, in []bool) error {
+	if !g.IsIndependentSet(in) {
+		return fmt.Errorf("repro: set is not independent")
+	}
+	return nil
+}
+
+// CheckMatching returns an error unless edges form a matching in g.
+func CheckMatching(g *Graph, edges []int) error {
+	if !g.IsMatching(edges) {
+		return fmt.Errorf("repro: edge set is not a matching")
+	}
+	return nil
+}

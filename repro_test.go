@@ -1,0 +1,179 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+func TestFacadeMaxIS(t *testing.T) {
+	g := GNP(24, 0.2, 1)
+	AssignUniformNodeWeights(g, 100, 2)
+	res, err := MaxIS(g, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckIndependentSet(g, res.InSet); err != nil {
+		t.Fatal(err)
+	}
+	_, opt, err := exact.MaxWeightIndependentSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight*int64(g.MaxDegree()) < opt {
+		t.Fatalf("∆-approximation violated: %d vs OPT %d", res.Weight, opt)
+	}
+	if res.Cost.Rounds <= 0 || res.Cost.Messages <= 0 {
+		t.Fatalf("degenerate cost stats: %+v", res.Cost)
+	}
+}
+
+func TestFacadeMaxISDeterministic(t *testing.T) {
+	g := GNP(20, 0.2, 4)
+	AssignUniformNodeWeights(g, 50, 5)
+	for _, opt := range [][]Option{
+		{WithSeed(6)},
+		{WithSeed(6), WithDeterministicColoring()},
+	} {
+		res, err := MaxISDeterministic(g, opt...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckIndependentSet(g, res.InSet); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeMatchings(t *testing.T) {
+	g := GNP(16, 0.3, 7)
+	AssignUniformEdgeWeights(g, 64, 8)
+	_, opt, err := exact.MaxWeightMatchingBrute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCard := int64(len(exact.MaxCardinalityMatching(g)))
+
+	cases := []struct {
+		name   string
+		run    func() (*MatchingResult, error)
+		factor float64 // guaranteed approximation factor (with slack)
+		weight bool    // compare weights (vs cardinality)
+	}{
+		{"MWM2", func() (*MatchingResult, error) { return MWM2(g, WithSeed(9)) }, 2, true},
+		{"MWM2Det", func() (*MatchingResult, error) { return MWM2Deterministic(g, WithSeed(10)) }, 2, true},
+		{"FastMCM", func() (*MatchingResult, error) { return FastMCM(g, 0.5, WithSeed(11)) }, 3, false},
+		{"FastMWM", func() (*MatchingResult, error) { return FastMWM(g, 0.5, WithSeed(12)) }, 3, true},
+		{"OneEps", func() (*MatchingResult, error) { return OneEpsMCM(g, 0.5, WithSeed(13)) }, 2, false},
+		{"OneEpsCongest", func() (*MatchingResult, error) { return OneEpsMCMCongest(g, 0.5, WithSeed(15)) }, 2.5, false},
+		{"Proposal", func() (*MatchingResult, error) { return ProposalMCM(g, 0.5, WithSeed(14)) }, 3, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckMatching(g, res.Edges); err != nil {
+				t.Fatal(err)
+			}
+			got := float64(res.Weight)
+			want := float64(opt)
+			if !tc.weight {
+				got = float64(len(res.Edges))
+				want = float64(optCard)
+			}
+			if got*tc.factor < want {
+				t.Fatalf("%s: %v × %v < OPT %v", tc.name, got, tc.factor, want)
+			}
+		})
+	}
+}
+
+func TestFacadeSequential(t *testing.T) {
+	g := Star(6)
+	g.SetNodeWeight(0, 10)
+	res := SequentialMaxIS(g)
+	if err := CheckIndependentSet(g, res.InSet); err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight < 5 {
+		t.Fatalf("weight %d too small on weighted star", res.Weight)
+	}
+}
+
+func TestFacadeNearlyMaximalIS(t *testing.T) {
+	g := GNP(50, 0.1, 15)
+	res, err := NearlyMaximalIS(g, 2, 0.1, WithSeed(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckIndependentSet(g, res.InSet); err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.Uncovered) > 0.3*float64(g.N()) {
+		t.Fatalf("%d of %d nodes uncovered", res.Uncovered, g.N())
+	}
+}
+
+func TestFacadeDeterminismAndParallel(t *testing.T) {
+	g := GNP(20, 0.25, 17)
+	AssignUniformNodeWeights(g, 32, 18)
+	a, err := MaxIS(g, WithSeed(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaxIS(g, WithSeed(19), WithParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InSet {
+		if a.InSet[v] != b.InSet[v] {
+			t.Fatal("parallel engine diverged")
+		}
+	}
+}
+
+func TestFacadeCongestEnforced(t *testing.T) {
+	g := GNP(32, 0.2, 20)
+	res, err := MaxIS(g, WithSeed(21)) // CONGEST is the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.BitBudget == 0 {
+		t.Fatal("CONGEST budget not reported")
+	}
+	if res.Cost.MaxMessageBits > res.Cost.BitBudget {
+		t.Fatal("budget exceeded without error")
+	}
+	// An absurdly small budget must fail loudly.
+	if _, err := MaxIS(g, WithSeed(21), WithBitsFactor(1)); err == nil {
+		t.Fatal("1×log n budget should be violated by weight messages")
+	}
+}
+
+func TestFacadeGraphRoundTrip(t *testing.T) {
+	g := GNP(10, 0.4, 22)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := DecodeGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestFacadeChecks(t *testing.T) {
+	g := Path(3)
+	if err := CheckIndependentSet(g, []bool{true, true, false}); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+	if err := CheckMatching(g, []int{0, 1}); err == nil {
+		t.Fatal("overlapping matching accepted")
+	}
+}
