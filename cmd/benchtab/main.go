@@ -2,6 +2,8 @@
 // each of the four results it reports the proven approximation factor, the
 // worst ratio actually observed, and the measured round complexity on a
 // standard workload, so the table's claims can be eyeballed against reality.
+// Rows are data — each names a registry algorithm run through repro.Run —
+// rather than hand-wired calls.
 //
 // Usage:
 //
@@ -19,6 +21,16 @@ import (
 	"repro/internal/stats"
 )
 
+// rowSpec describes one measured table row: which registry algorithm to run
+// and how to score its answer against a baseline.
+type rowSpec struct {
+	row, label, guarantee, model string
+	algo                         string
+	eps                          float64 // 0 = algorithm takes no ε
+	seedOffset                   uint64
+	ratio                        func(g *repro.Graph, res *repro.RunResult) float64
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtab: ")
@@ -27,79 +39,52 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed")
 	flag.Parse()
 
-	table := stats.NewTable("row", "algorithm", "guarantee", "worst ratio", "mean rounds", "model")
-	addRow := func(row, algo, guarantee string, ratios, rounds []float64, model string) {
-		r := stats.Summarize(ratios)
-		d := stats.Summarize(rounds)
-		table.AddRow(row, algo, guarantee, fmt.Sprintf("%.3f", r.Max), fmt.Sprintf("%.1f", d.Mean), model)
+	rows := []rowSpec{
+		{"1", "MaxIS local-ratio (Alg 2, Luby)", "∆", "CONGEST", "maxis", 0, 3, isRatio},
+		{"1", "MWM via L(G) (Thm 2.10)", "2", "CONGEST", "mwm2", 0, 4, mwmRatio},
+		{"2", "MaxIS coloring (Alg 3)", "∆", "CONGEST", "maxis-det", 0, 5, isRatio},
+		{"3", "FastMWM (§B.1, ε=0.5)", "2+ε", "CONGEST", "fastmwm", 0.5, 6, mwmRatio},
+		{"4", "OneEpsMCM (Thm B.4, ε=0.34)", "1+ε", "LOCAL", "oneeps", 0.34, 7, cardRatio},
 	}
 
-	var r1Ratio, r1Rounds, m1Ratio, m1Rounds []float64
-	var r2Ratio, r2Rounds []float64
-	var r3Ratio, r3Rounds []float64
-	var r4Ratio, r4Rounds []float64
+	ratios := make([][]float64, len(rows))
+	rounds := make([][]float64, len(rows))
 	for t := 0; t < *trials; t++ {
 		s := *seed + uint64(t)*1000
-
-		// Row 1: MaxIS ∆-approx (randomized) + MWM 2-approx.
 		g := repro.GNP(*n, 8/float64(*n), s)
 		repro.AssignUniformNodeWeights(g, 256, s+1)
 		repro.AssignUniformEdgeWeights(g, 256, s+2)
-		res, err := repro.MaxIS(g, repro.WithSeed(s+3))
-		if err != nil {
-			log.Fatal(err)
-		}
-		r1Ratio = append(r1Ratio, isRatio(g, res.Weight))
-		r1Rounds = append(r1Rounds, float64(res.Cost.Rounds))
 
-		mwm, err := repro.MWM2(g, repro.WithSeed(s+4))
-		if err != nil {
-			log.Fatal(err)
+		for i, rs := range rows {
+			opts := []repro.Option{repro.WithSeed(s + rs.seedOffset)}
+			if rs.eps > 0 {
+				opts = append(opts, repro.WithEps(rs.eps))
+			}
+			res, err := repro.Run(rs.algo, g, opts...)
+			if err != nil {
+				log.Fatalf("%s: %v", rs.algo, err)
+			}
+			if r := rs.ratio(g, res); r > 0 {
+				ratios[i] = append(ratios[i], r)
+			}
+			rounds[i] = append(rounds[i], float64(res.Cost.Rounds))
 		}
-		m1Ratio = append(m1Ratio, mwmRatio(g, mwm.Weight))
-		m1Rounds = append(m1Rounds, float64(mwm.Cost.Rounds))
-
-		// Row 2: deterministic MaxIS (Algorithm 3).
-		det, err := repro.MaxISDeterministic(g, repro.WithSeed(s+5))
-		if err != nil {
-			log.Fatal(err)
-		}
-		r2Ratio = append(r2Ratio, isRatio(g, det.Weight))
-		r2Rounds = append(r2Rounds, float64(det.Cost.Rounds))
-
-		// Row 3: (2+ε)-approx MWM.
-		fw, err := repro.FastMWM(g, 0.5, repro.WithSeed(s+6))
-		if err != nil {
-			log.Fatal(err)
-		}
-		r3Ratio = append(r3Ratio, mwmRatio(g, fw.Weight))
-		r3Rounds = append(r3Rounds, float64(fw.Cost.Rounds))
-
-		// Row 4: (1+ε)-approx MCM.
-		fc, err := repro.OneEpsMCM(g, 0.34, repro.WithSeed(s+7))
-		if err != nil {
-			log.Fatal(err)
-		}
-		opt := float64(len(exact.MaxCardinalityMatching(g)))
-		if len(fc.Edges) > 0 {
-			r4Ratio = append(r4Ratio, opt/float64(len(fc.Edges)))
-		}
-		r4Rounds = append(r4Rounds, float64(fc.Cost.Rounds))
 	}
 
-	addRow("1", "MaxIS local-ratio (Alg 2, Luby)", "∆", r1Ratio, r1Rounds, "CONGEST")
-	addRow("1", "MWM via L(G) (Thm 2.10)", "2", m1Ratio, m1Rounds, "CONGEST")
-	addRow("2", "MaxIS coloring (Alg 3)", "∆", r2Ratio, r2Rounds, "CONGEST")
-	addRow("3", "FastMWM (§B.1, ε=0.5)", "2+ε", r3Ratio, r3Rounds, "CONGEST")
-	addRow("4", "OneEpsMCM (Thm B.4, ε=0.34)", "1+ε", r4Ratio, r4Rounds, "LOCAL")
-
+	table := stats.NewTable("row", "algorithm", "guarantee", "worst ratio", "mean rounds", "model")
+	for i, rs := range rows {
+		r := stats.Summarize(ratios[i])
+		d := stats.Summarize(rounds[i])
+		table.AddRow(rs.row, rs.label, rs.guarantee,
+			fmt.Sprintf("%.3f", r.Max), fmt.Sprintf("%.1f", d.Mean), rs.model)
+	}
 	if err := table.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func isRatio(g *repro.Graph, got int64) float64 {
-	if got == 0 {
+func isRatio(g *repro.Graph, res *repro.RunResult) float64 {
+	if res.Weight == 0 {
 		return 0
 	}
 	lower := g.SetWeight(exact.GreedyWeightIS(g))
@@ -108,11 +93,11 @@ func isRatio(g *repro.Graph, got int64) float64 {
 			lower = opt
 		}
 	}
-	return float64(lower) / float64(got)
+	return float64(lower) / float64(res.Weight)
 }
 
-func mwmRatio(g *repro.Graph, got int64) float64 {
-	if got == 0 {
+func mwmRatio(g *repro.Graph, res *repro.RunResult) float64 {
+	if res.Weight == 0 {
 		return 0
 	}
 	lower := g.MatchingWeight(exact.GreedyMatching(g))
@@ -121,5 +106,13 @@ func mwmRatio(g *repro.Graph, got int64) float64 {
 			lower = opt
 		}
 	}
-	return float64(lower) / float64(got)
+	return float64(lower) / float64(res.Weight)
+}
+
+func cardRatio(g *repro.Graph, res *repro.RunResult) float64 {
+	if res.Size == 0 {
+		return 0
+	}
+	opt := float64(len(exact.MaxCardinalityMatching(g)))
+	return opt / float64(res.Size)
 }

@@ -1,15 +1,16 @@
 // Command distmatch runs any of the repository's distributed approximation
 // algorithms on a graph read from a file (or generated on the fly) and prints
-// the solution quality and communication costs.
+// the solution quality and communication costs. Algorithm and generator
+// dispatch both go through internal/registry, so the accepted names are
+// exactly those of cmd/sweep, cmd/reprod and repro.Run.
 //
 // Usage:
 //
 //	distmatch -algo maxis   -in graph.txt
 //	distmatch -algo mwm2    -gen gnp -n 64 -p 0.1 -maxw 100
 //	distmatch -algo fastmcm -gen regular -n 128 -d 8 -eps 0.5
-//
-// Algorithms: maxis, maxis-det, seq-maxis, mwm2, mwm2-det, fastmcm, fastmwm,
-// oneeps, proposal, nmis.
+//	distmatch -algo nmis    -gen caterpillar -spine 16 -legs 8 -delta 0.05
+//	distmatch -list
 //
 // The graph file format is the one produced by repro.WriteGraph:
 //
@@ -23,127 +24,112 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
-	"repro"
+	"repro/internal/graph"
+	"repro/internal/registry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("distmatch: ")
-	algo := flag.String("algo", "maxis", "algorithm to run")
+	algo := flag.String("algo", "maxis", "algorithm: "+strings.Join(registry.Names(), ", "))
+	list := flag.Bool("list", false, "list algorithms and generators, then exit")
 	in := flag.String("in", "", "input graph file (omit to generate)")
-	gen := flag.String("gen", "gnp", "generator when -in is absent: gnp, regular, star, path, cycle, complete")
-	n := flag.Int("n", 64, "nodes for generated graphs")
-	p := flag.Float64("p", 0.1, "edge probability for gnp")
+	gen := flag.String("gen", "gnp", "generator when -in is absent: "+strings.Join(registry.GeneratorNames(), ", "))
+	n := flag.Int("n", 64, "nodes for generated graphs (left side for bipartite)")
+	n2 := flag.Int("n2", 32, "right-side nodes for bipartite graphs")
+	p := flag.Float64("p", 0.1, "edge probability for gnp/bipartite")
 	d := flag.Int("d", 4, "degree for regular graphs")
+	rows := flag.Int("rows", 8, "rows for grid graphs")
+	cols := flag.Int("cols", 8, "cols for grid graphs")
+	spine := flag.Int("spine", 16, "spine length for caterpillar graphs")
+	legs := flag.Int("legs", 4, "legs per spine node for caterpillar graphs")
 	maxw := flag.Int64("maxw", 64, "max random node/edge weight (1 = unweighted)")
 	eps := flag.Float64("eps", 0.5, "ε for the (1+ε)/(2+ε) algorithms")
+	k := flag.Int("k", 2, "probability factor K of the §3/§B algorithms")
+	delta := flag.Float64("delta", 0.1, "failure target δ for nmis")
+	misName := flag.String("mis", "luby", "MIS black box: luby, ghaffari, greedyid")
+	model := flag.String("model", "congest", "communication model: congest or local")
 	seed := flag.Uint64("seed", 1, "seed")
 	flag.Parse()
 
-	g, err := loadGraph(*in, *gen, *n, *p, *d, *maxw, *seed)
+	if *list {
+		printListing()
+		return
+	}
+
+	spec, ok := registry.Get(*algo)
+	if !ok {
+		log.Fatalf("unknown algorithm %q (have: %s)", *algo, strings.Join(registry.Names(), ", "))
+	}
+	// A flag value is always explicit: reject invalid ones here rather than
+	// letting the registry's zero-means-default normalization absorb them.
+	// The flag defaults are all valid, so an invalid value was user-typed.
+	for _, err := range []error{registry.ValidEps(*eps), registry.ValidK(*k), registry.ValidDelta(*delta)} {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	mdl, err := registry.ParseModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := loadGraph(*in, *gen, registry.GenParams{
+		N: *n, N2: *n2, D: *d, P: *p,
+		Rows: *rows, Cols: *cols, Spine: *spine, Legs: *legs,
+		Seed: *seed, MaxW: *maxw,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("graph: n=%d m=%d ∆=%d W=%d\n", g.N(), g.M(), g.MaxDegree(), g.MaxNodeWeight())
 
-	switch *algo {
-	case "maxis":
-		report(repro.MaxIS(g, repro.WithSeed(*seed)))
-	case "maxis-det":
-		report(repro.MaxISDeterministic(g, repro.WithSeed(*seed)))
-	case "seq-maxis":
-		res := repro.SequentialMaxIS(g)
-		fmt.Printf("weight=%d (sequential; no round metrics)\n", res.Weight)
-	case "mwm2":
-		reportM(repro.MWM2(g, repro.WithSeed(*seed)))
-	case "mwm2-det":
-		reportM(repro.MWM2Deterministic(g, repro.WithSeed(*seed)))
-	case "fastmcm":
-		reportM(repro.FastMCM(g, *eps, repro.WithSeed(*seed)))
-	case "fastmwm":
-		reportM(repro.FastMWM(g, *eps, repro.WithSeed(*seed)))
-	case "oneeps":
-		reportM(repro.OneEpsMCM(g, *eps, repro.WithSeed(*seed)))
-	case "proposal":
-		reportM(repro.ProposalMCM(g, *eps, repro.WithSeed(*seed)))
-	case "nmis":
-		res, err := repro.NearlyMaximalIS(g, 2, 0.1, repro.WithSeed(*seed))
-		if err != nil {
-			log.Fatal(err)
-		}
-		size := 0
-		for _, in := range res.InSet {
-			if in {
-				size++
-			}
-		}
-		fmt.Printf("set size=%d uncovered=%d rounds=%d\n", size, res.Uncovered, res.Cost.Rounds)
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+	res, err := spec.Run(g, registry.Params{
+		Eps: *eps, K: *k, Delta: *delta,
+		MIS: *misName, Model: mdl, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	switch res.Kind {
+	case registry.IS:
+		fmt.Printf("independent set: size=%d weight=%d\n", res.Size(), res.Weight)
+	case registry.Matching:
+		fmt.Printf("matching: size=%d weight=%d\n", res.Size(), res.Weight)
+	case registry.NMIS:
+		fmt.Printf("nearly-maximal set: size=%d weight=%d uncovered=%d\n", res.Size(), res.Weight, res.Uncovered)
+	}
+	c := res.Cost
+	fmt.Printf("rounds=%d real_rounds=%d messages=%d bits=%d max_msg_bits=%d budget=%d\n",
+		c.Rounds, c.RealRounds, c.Messages, c.Bits, c.MaxMessageBits, c.BitBudget)
 }
 
-func loadGraph(in, gen string, n int, p float64, d int, maxw int64, seed uint64) (*repro.Graph, error) {
+func loadGraph(in, gen string, p registry.GenParams) (*graph.Graph, error) {
 	if in != "" {
 		f, err := os.Open(in)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return repro.DecodeGraph(f)
+		return graph.Decode(f)
 	}
-	var g *repro.Graph
-	var err error
-	switch gen {
-	case "gnp":
-		g = repro.GNP(n, p, seed)
-	case "regular":
-		g, err = repro.RandomRegular(n, d, seed)
-	case "star":
-		g = repro.Star(n)
-	case "path":
-		g = repro.Path(n)
-	case "cycle":
-		g = repro.Cycle(n)
-	case "complete":
-		g = repro.Complete(n)
-	default:
-		return nil, fmt.Errorf("unknown generator %q", gen)
+	gspec, ok := registry.GetGenerator(gen)
+	if !ok {
+		return nil, fmt.Errorf("unknown generator %q (have: %s)", gen, strings.Join(registry.GeneratorNames(), ", "))
 	}
-	if err != nil {
-		return nil, err
-	}
-	if maxw > 1 {
-		repro.AssignUniformNodeWeights(g, maxw, seed+1)
-		repro.AssignUniformEdgeWeights(g, maxw, seed+2)
-	}
-	return g, nil
+	return gspec.Build(p)
 }
 
-func report(res *repro.ISResult, err error) {
-	if err != nil {
-		log.Fatal(err)
+func printListing() {
+	fmt.Println("algorithms:")
+	for _, s := range registry.All() {
+		fmt.Printf("  %-15s [%s] %s\n", s.Name, s.Kind, s.Summary)
 	}
-	size := 0
-	for _, in := range res.InSet {
-		if in {
-			size++
-		}
+	fmt.Println("generators:")
+	for _, s := range registry.Generators() {
+		fmt.Printf("  %-15s %s (params: %s)\n", s.Name, s.Summary, strings.Join(s.Params, ", "))
 	}
-	fmt.Printf("independent set: size=%d weight=%d\n", size, res.Weight)
-	printCost(res.Cost)
-}
-
-func reportM(res *repro.MatchingResult, err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("matching: size=%d weight=%d\n", len(res.Edges), res.Weight)
-	printCost(res.Cost)
-}
-
-func printCost(c repro.CostStats) {
-	fmt.Printf("rounds=%d real_rounds=%d messages=%d bits=%d max_msg_bits=%d budget=%d\n",
-		c.Rounds, c.RealRounds, c.Messages, c.Bits, c.MaxMessageBits, c.BitBudget)
 }

@@ -1,0 +1,89 @@
+// Command reprod serves the repository's distributed-approximation
+// algorithms as a long-running HTTP JSON service backed by the
+// internal/service job engine: a bounded worker pool, an in-memory job store
+// and an LRU result cache keyed by (graph fingerprint, algorithm, params).
+//
+// Endpoints:
+//
+//	POST   /v1/jobs        submit a job (inline graph or generator spec)
+//	GET    /v1/jobs/{id}   poll a job
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/algorithms  list registered algorithms and generators
+//	GET    /healthz        liveness
+//	GET    /metrics        service counters and latency percentiles
+//
+// Example:
+//
+//	reprod -addr :8080 &
+//	curl -s localhost:8080/v1/jobs -d '{"algo":"mwm2","gen":{"gen":"gnp","n":64,"p":0.1,"seed":1,"maxw":64}}'
+//	curl -s localhost:8080/v1/jobs/j00000001
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, drains in-flight requests, then drains the job queue.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reprod: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "job queue capacity")
+	cache := flag.Int("cache", 128, "LRU result-cache entries")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-job timeout")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Restore default signal handling immediately: draining the job queue
+	// below can take a while, and a second SIGINT/SIGTERM should kill the
+	// process rather than be swallowed.
+	stop()
+
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	log.Print("bye")
+}

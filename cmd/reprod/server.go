@@ -1,0 +1,288 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/registry"
+	"repro/internal/service"
+)
+
+// maxBodyBytes bounds a submission body (inline graphs included).
+const maxBodyBytes = 64 << 20
+
+// submitRequest is the POST /v1/jobs body. Exactly one of Graph (the
+// graph.Encode text format) and Gen (a generator spec) must be set.
+type submitRequest struct {
+	Algo      string         `json:"algo"`
+	Graph     string         `json:"graph,omitempty"`
+	Gen       *genRequest    `json:"gen,omitempty"`
+	Params    *paramsRequest `json:"params,omitempty"`
+	TimeoutMs int64          `json:"timeout_ms,omitempty"`
+}
+
+// genRequest mirrors registry.GenParams with the generator name inline:
+// {"gen":"gnp","n":64,"p":0.1,"seed":1}.
+type genRequest struct {
+	Gen   string  `json:"gen"`
+	N     int     `json:"n,omitempty"`
+	N2    int     `json:"n2,omitempty"`
+	D     int     `json:"d,omitempty"`
+	P     float64 `json:"p,omitempty"`
+	Rows  int     `json:"rows,omitempty"`
+	Cols  int     `json:"cols,omitempty"`
+	Spine int     `json:"spine,omitempty"`
+	Legs  int     `json:"legs,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+	MaxW  int64   `json:"maxw,omitempty"`
+}
+
+type paramsRequest struct {
+	Eps         float64 `json:"eps,omitempty"`
+	K           int     `json:"k,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	MIS         string  `json:"mis,omitempty"`
+	Model       string  `json:"model,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	DetColoring bool    `json:"det_coloring,omitempty"`
+}
+
+type jobResponse struct {
+	ID          string          `json:"id"`
+	Algo        string          `json:"algo"`
+	State       string          `json:"state"`
+	CacheHit    bool            `json:"cache_hit"`
+	Error       string          `json:"error,omitempty"`
+	Result      *resultResponse `json:"result,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	StartedAt   *time.Time      `json:"started_at,omitempty"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+}
+
+type resultResponse struct {
+	Kind      string        `json:"kind"`
+	Size      int           `json:"size"`
+	Weight    int64         `json:"weight"`
+	Uncovered int           `json:"uncovered,omitempty"`
+	InSet     []bool        `json:"in_set,omitempty"`
+	Edges     []int         `json:"edges,omitempty"`
+	Cost      registry.Cost `json:"cost"`
+}
+
+// newHandler wires the HTTP API around a job service. It is a plain
+// http.Handler so the e2e tests can drive it through httptest.
+func newHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Metrics())
+	})
+	mux.HandleFunc("GET /v1/algorithms", handleAlgorithms)
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := svc.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, toJobResponse(v))
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := svc.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, service.ErrNotFound):
+			writeErr(w, http.StatusNotFound, "no such job")
+		case errors.Is(err, service.ErrFinished):
+			writeErr(w, http.StatusConflict, "job already finished")
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, toJobResponse(v))
+		}
+	})
+	return mux
+}
+
+func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	type algoJSON struct {
+		Name    string   `json:"name"`
+		Kind    string   `json:"kind"`
+		Summary string   `json:"summary"`
+		Params  []string `json:"params"`
+	}
+	type genJSON struct {
+		Name    string   `json:"name"`
+		Summary string   `json:"summary"`
+		Params  []string `json:"params"`
+	}
+	var out struct {
+		Algorithms []algoJSON `json:"algorithms"`
+		Generators []genJSON  `json:"generators"`
+	}
+	for _, s := range registry.All() {
+		out.Algorithms = append(out.Algorithms, algoJSON{s.Name, s.Kind.String(), s.Summary, s.Params})
+	}
+	for _, s := range registry.Generators() {
+		out.Generators = append(out.Generators, genJSON{s.Name, s.Summary, s.Params})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleSubmit(svc *service.Service, w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req submitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Algo == "" {
+		writeErr(w, http.StatusBadRequest, "missing algo (see GET /v1/algorithms)")
+		return
+	}
+
+	g, err := buildGraph(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	params := registry.Params{}
+	if p := req.Params; p != nil {
+		mdl, err := registry.ParseModel(p.Model)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		params = registry.Params{
+			Eps: p.Eps, K: p.K, Delta: p.Delta, MIS: p.MIS,
+			Model: mdl, Seed: p.Seed, DeterministicColoring: p.DetColoring,
+		}
+	}
+
+	v, err := svc.Submit(service.Request{
+		Algo:    req.Algo,
+		Graph:   g,
+		Params:  params,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+	})
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, service.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, toJobResponse(v))
+	}
+}
+
+func buildGraph(req *submitRequest) (*graph.Graph, error) {
+	switch {
+	case req.Graph != "" && req.Gen != nil:
+		return nil, errors.New("set exactly one of graph and gen, not both")
+	case req.Graph != "":
+		if err := checkGraphHeader(req.Graph); err != nil {
+			return nil, err
+		}
+		g, err := graph.Decode(strings.NewReader(req.Graph))
+		if err != nil {
+			return nil, fmt.Errorf("malformed graph: %v", err)
+		}
+		return g, nil
+	case req.Gen != nil:
+		spec, ok := registry.GetGenerator(req.Gen.Gen)
+		if !ok {
+			return nil, fmt.Errorf("unknown generator %q (have: %s)",
+				req.Gen.Gen, strings.Join(registry.GeneratorNames(), ", "))
+		}
+		return spec.Build(registry.GenParams{
+			N: req.Gen.N, N2: req.Gen.N2, D: req.Gen.D, P: req.Gen.P,
+			Rows: req.Gen.Rows, Cols: req.Gen.Cols,
+			Spine: req.Gen.Spine, Legs: req.Gen.Legs,
+			Seed: req.Gen.Seed, MaxW: req.Gen.MaxW,
+		})
+	default:
+		return nil, errors.New("missing graph: set graph (text format) or gen (generator spec)")
+	}
+}
+
+// checkGraphHeader bounds the declared sizes of an inline graph before
+// graph.Decode allocates for them: the n/m header is attacker-controlled,
+// and Decode trusts it. Lines that don't parse are left for Decode to
+// reject with its own error.
+func checkGraphHeader(text string) error {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var n, m int
+		if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+			return nil
+		}
+		if n > registry.MaxGraphNodes {
+			return fmt.Errorf("graph declares %d nodes, cap %d", n, registry.MaxGraphNodes)
+		}
+		if m > registry.MaxGraphEdges {
+			return fmt.Errorf("graph declares %d edges, cap %d", m, registry.MaxGraphEdges)
+		}
+		return nil
+	}
+	return nil
+}
+
+func toJobResponse(v service.JobView) jobResponse {
+	out := jobResponse{
+		ID:          v.ID,
+		Algo:        v.Algo,
+		State:       string(v.State),
+		CacheHit:    v.CacheHit,
+		Error:       v.Error,
+		SubmittedAt: v.SubmittedAt,
+	}
+	if !v.StartedAt.IsZero() {
+		t := v.StartedAt
+		out.StartedAt = &t
+	}
+	if !v.FinishedAt.IsZero() {
+		t := v.FinishedAt
+		out.FinishedAt = &t
+	}
+	if v.Result != nil {
+		out.Result = &resultResponse{
+			Kind:      v.Result.Kind.String(),
+			Size:      v.Result.Size(),
+			Weight:    v.Result.Weight,
+			Uncovered: v.Result.Uncovered,
+			InSet:     v.Result.InSet,
+			Edges:     v.Result.Edges,
+			Cost:      v.Result.Cost,
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("reprod: encoding response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,335 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/service"
+)
+
+func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(cfg)
+	ts := httptest.NewServer(newHandler(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (jobResponse, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr jobResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return jr, resp.StatusCode
+}
+
+func pollDone(t *testing.T, ts *httptest.Server, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jr jobResponse
+		err = json.NewDecoder(resp.Body).Decode(&jr)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch jr.State {
+		case "done", "failed", "canceled":
+			return jr
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return jobResponse{}
+}
+
+// encodeGraph renders g in the text format the service accepts inline.
+func encodeGraph(t *testing.T, g *repro.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := repro.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestConcurrentJobsAcrossKinds is the acceptance scenario: ≥ 8 jobs
+// submitted in parallel across the three algorithm kinds (IS, matching,
+// NMIS), polled to completion, results verified against the facade checkers,
+// and a cache hit observed on an identical resubmission.
+func TestConcurrentJobsAcrossKinds(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 4})
+
+	type spec struct {
+		algo string
+		seed uint64
+	}
+	jobs := []spec{
+		{"maxis", 1}, {"maxis-det", 2}, {"seq-maxis", 3}, // kind: is
+		{"mwm2", 4}, {"fastmcm", 5}, {"proposal", 6}, {"oneeps", 7}, // kind: matching
+		{"nmis", 8}, {"nmis", 9}, // kind: nmis
+	}
+	// Reconstruct each input graph locally to verify the returned sets.
+	buildGraph := func(seed uint64) *repro.Graph {
+		g := repro.GNP(24, 0.2, seed)
+		repro.AssignUniformNodeWeights(g, 50, seed+1)
+		repro.AssignUniformEdgeWeights(g, 50, seed+2)
+		return g
+	}
+
+	ids := make([]string, len(jobs))
+	var wg sync.WaitGroup
+	for i, sp := range jobs {
+		i, sp := i, sp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := fmt.Sprintf(
+				`{"algo":%q,"gen":{"gen":"gnp","n":24,"p":0.2,"seed":%d,"maxw":50},"params":{"seed":%d}}`,
+				sp.algo, sp.seed, sp.seed)
+			jr, code := postJob(t, ts, body)
+			if code != http.StatusAccepted {
+				t.Errorf("%s: status %d", sp.algo, code)
+				return
+			}
+			ids[i] = jr.ID
+		}()
+	}
+	wg.Wait()
+
+	kinds := map[string]bool{}
+	for i, sp := range jobs {
+		if ids[i] == "" {
+			t.Fatalf("job %d (%s) was not accepted", i, sp.algo)
+		}
+		jr := pollDone(t, ts, ids[i])
+		if jr.State != "done" {
+			t.Fatalf("%s: state %s, error %q", sp.algo, jr.State, jr.Error)
+		}
+		if jr.Result == nil {
+			t.Fatalf("%s: done with no result", sp.algo)
+		}
+		kinds[jr.Result.Kind] = true
+
+		g := buildGraph(sp.seed)
+		switch jr.Result.Kind {
+		case "is", "nmis":
+			if err := repro.CheckIndependentSet(g, jr.Result.InSet); err != nil {
+				t.Fatalf("%s: %v", sp.algo, err)
+			}
+		case "matching":
+			if err := repro.CheckMatching(g, jr.Result.Edges); err != nil {
+				t.Fatalf("%s: %v", sp.algo, err)
+			}
+		default:
+			t.Fatalf("%s: unknown kind %q", sp.algo, jr.Result.Kind)
+		}
+	}
+	for _, k := range []string{"is", "matching", "nmis"} {
+		if !kinds[k] {
+			t.Fatalf("no completed job of kind %q", k)
+		}
+	}
+
+	// Identical resubmission of the first job must be a cache hit.
+	body := `{"algo":"maxis","gen":{"gen":"gnp","n":24,"p":0.2,"seed":1,"maxw":50},"params":{"seed":1}}`
+	jr, code := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmission status %d", code)
+	}
+	if !jr.CacheHit || jr.State != "done" {
+		t.Fatalf("resubmission cacheHit=%t state=%s, want true/done", jr.CacheHit, jr.State)
+	}
+
+	// The metrics endpoint must agree.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m service.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits < 1 {
+		t.Fatalf("metrics report %d cache hits, want ≥ 1", m.CacheHits)
+	}
+	if m.Completed < uint64(len(jobs)) {
+		t.Fatalf("metrics report %d completed, want ≥ %d", m.Completed, len(jobs))
+	}
+}
+
+func TestSubmitInlineGraph(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 2})
+	g := repro.GNP(16, 0.25, 42)
+	repro.AssignUniformEdgeWeights(g, 30, 43)
+
+	req := map[string]any{
+		"algo":   "mwm2",
+		"graph":  encodeGraph(t, g),
+		"params": map[string]any{"seed": 5},
+	}
+	body, _ := json.Marshal(req)
+	jr, code := postJob(t, ts, string(body))
+	if code != http.StatusAccepted {
+		t.Fatalf("status %d", code)
+	}
+	done := pollDone(t, ts, jr.ID)
+	if done.State != "done" {
+		t.Fatalf("state %s, error %q", done.State, done.Error)
+	}
+	if err := repro.CheckMatching(g, done.Result.Edges); err != nil {
+		t.Fatal(err)
+	}
+
+	// The HTTP result must agree with the direct facade call for the same
+	// seed — the whole stack dispatches through one registry.
+	direct, err := repro.MWM2(g, repro.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Result.Weight != direct.Weight {
+		t.Fatalf("service weight %d, facade weight %d", done.Result.Weight, direct.Weight)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+
+	// Keep the lone worker busy for several hundred ms (each blocker takes
+	// ~100ms+), then cancel a job queued behind the pile.
+	var blockers []string
+	for i := 0; i < 4; i++ {
+		busy := fmt.Sprintf(`{"algo":"maxis","gen":{"gen":"gnp","n":500,"p":0.04,"seed":%d}}`, i+1)
+		b, code := postJob(t, ts, busy)
+		if code != http.StatusAccepted {
+			t.Fatalf("busy job status %d", code)
+		}
+		blockers = append(blockers, b.ID)
+	}
+	victim := `{"algo":"mwm2","gen":{"gen":"gnp","n":20,"p":0.2,"seed":99}}`
+	v, code := postJob(t, ts, victim)
+	if code != http.StatusAccepted {
+		t.Fatalf("victim status %d", code)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+	if jr := pollDone(t, ts, v.ID); jr.State != "canceled" {
+		t.Fatalf("victim state %s, want canceled", jr.State)
+	}
+	for _, id := range blockers {
+		pollDone(t, ts, id)
+	}
+
+	// Canceling a finished job conflicts.
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel status %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+	cases := map[string]string{
+		"malformed graph":       `{"algo":"maxis","graph":"this is not a graph"}`,
+		"truncated graph":       `{"algo":"maxis","graph":"3 5\n1 1 1\n0 1 1\n"}`,
+		"missing graph":         `{"algo":"maxis"}`,
+		"both graph and gen":    `{"algo":"maxis","graph":"1 0\n1\n","gen":{"gen":"gnp","n":4,"p":0.5}}`,
+		"unknown algo":          `{"algo":"quantum","gen":{"gen":"gnp","n":4,"p":0.5}}`,
+		"unknown generator":     `{"algo":"maxis","gen":{"gen":"hypercube","n":4}}`,
+		"bad generator param":   `{"algo":"maxis","gen":{"gen":"gnp","n":-4,"p":0.5}}`,
+		"bad algo param":        `{"algo":"fastmcm","gen":{"gen":"gnp","n":8,"p":0.5},"params":{"eps":-1}}`,
+		"bad model":             `{"algo":"maxis","gen":{"gen":"gnp","n":8,"p":0.5},"params":{"model":"quantum"}}`,
+		"not json":              `{{{`,
+		"unknown field":         `{"algo":"maxis","gne":{"gen":"gnp","n":4,"p":0.5}}`,
+		"oversized node header": `{"algo":"maxis","graph":"1000000000 0\n"}`,
+		"oversized edge header": `{"algo":"maxis","graph":"4 999999999\n1 1 1 1\n"}`,
+	}
+	for name, body := range cases {
+		if _, code := postJob(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestListingAndHealth(t *testing.T) {
+	ts, _ := newTestServer(t, service.Config{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Algorithms []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"algorithms"`
+		Generators []struct {
+			Name string `json:"name"`
+		} `json:"generators"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Algorithms) != 11 {
+		t.Fatalf("listed %d algorithms, want 11", len(listing.Algorithms))
+	}
+	if len(listing.Generators) != 10 {
+		t.Fatalf("listed %d generators, want 10", len(listing.Generators))
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hr.StatusCode)
+	}
+}

@@ -1,5 +1,8 @@
-// Command sweep emits CSV parameter sweeps for the experiments in DESIGN.md:
-// round complexity and approximation ratio as functions of n, W, ∆ and ε.
+// Command sweep emits CSV parameter sweeps for the experiments in
+// DESIGN.md §5: round complexity and approximation ratio as functions of n,
+// W, ∆ and ε. Every algorithm invocation dispatches through the shared
+// registry via repro.Run, so the sweeps exercise exactly the code paths the
+// service and CLIs serve.
 //
 // Usage:
 //
@@ -13,39 +16,40 @@ import (
 	"flag"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	"repro"
 	"repro/internal/exact"
-	"repro/internal/nmis"
-	"repro/internal/simul"
 	"repro/internal/stats"
 )
+
+var experiments = map[string]func(trials int) (*stats.Table, error){
+	"E1": sweepE1,
+	"E2": sweepE2,
+	"E3": sweepE3,
+	"E4": sweepE4,
+	"E6": sweepE6,
+	"E9": sweepE9,
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
-	exp := flag.String("exp", "E1", "experiment id (E1, E2, E3, E4, E6, E9)")
+	names := make([]string, 0, len(experiments))
+	for name := range experiments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	exp := flag.String("exp", "E1", "experiment id ("+strings.Join(names, ", ")+")")
 	trials := flag.Int("trials", 3, "trials per configuration")
 	flag.Parse()
 
-	var table *stats.Table
-	var err error
-	switch *exp {
-	case "E1":
-		table, err = sweepE1(*trials)
-	case "E2":
-		table, err = sweepE2(*trials)
-	case "E3":
-		table, err = sweepE3(*trials)
-	case "E4":
-		table, err = sweepE4(*trials)
-	case "E6":
-		table, err = sweepE6(*trials)
-	case "E9":
-		table, err = sweepE9(*trials)
-	default:
-		log.Fatalf("unknown experiment %q", *exp)
+	run, ok := experiments[*exp]
+	if !ok {
+		log.Fatalf("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
 	}
+	table, err := run(*trials)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +65,7 @@ func sweepE1(trials int) (*stats.Table, error) {
 			for k := 0; k < trials; k++ {
 				g := repro.GNP(n, 8/float64(n), uint64(n)+uint64(w))
 				repro.AssignUniformNodeWeights(g, w, uint64(w)+uint64(k))
-				res, err := repro.MaxIS(g, repro.WithSeed(uint64(k)))
+				res, err := repro.Run("maxis", g, repro.WithSeed(uint64(k)))
 				if err != nil {
 					return nil, err
 				}
@@ -81,7 +85,7 @@ func sweepE2(trials int) (*stats.Table, error) {
 				return nil, err
 			}
 			repro.AssignUniformNodeWeights(g, 512, uint64(d)+7)
-			res, err := repro.MaxISDeterministic(g, repro.WithSeed(uint64(k)))
+			res, err := repro.Run("maxis-det", g, repro.WithSeed(uint64(k)))
 			if err != nil {
 				return nil, err
 			}
@@ -100,7 +104,7 @@ func sweepE3(trials int) (*stats.Table, error) {
 				return nil, err
 			}
 			repro.AssignUniformEdgeWeights(g, 512, uint64(d)+11)
-			res, err := repro.FastMWM(g, 0.5, repro.WithSeed(uint64(k)))
+			res, err := repro.Run("fastmwm", g, repro.WithEps(0.5), repro.WithSeed(uint64(k)))
 			if err != nil {
 				return nil, err
 			}
@@ -116,11 +120,11 @@ func sweepE4(trials int) (*stats.Table, error) {
 	opt := len(exact.MaxCardinalityMatching(g))
 	for _, eps := range []float64{1, 0.5, 0.34, 0.25} {
 		for k := 0; k < trials; k++ {
-			res, err := repro.OneEpsMCM(g, eps, repro.WithSeed(uint64(k)))
+			res, err := repro.Run("oneeps", g, repro.WithEps(eps), repro.WithSeed(uint64(k)))
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(eps, k, res.Cost.Rounds, len(res.Edges), opt)
+			t.AddRow(eps, k, res.Cost.Rounds, res.Size, opt)
 		}
 	}
 	return t, nil
@@ -131,11 +135,11 @@ func sweepE6(trials int) (*stats.Table, error) {
 	g := repro.GNP(256, 0.03, 9)
 	for _, delta := range []float64{0.5, 0.2, 0.1, 0.05} {
 		for k := 0; k < trials; k++ {
-			res, err := nmis.Run(g, nmis.Params{K: 2, Delta: delta}, simul.Config{Seed: uint64(k)})
+			res, err := repro.Run("nmis", g, repro.WithK(2), repro.WithDelta(delta), repro.WithSeed(uint64(k)))
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(delta, k, res.VirtualRounds, float64(res.UncoveredCount())/float64(g.N()))
+			t.AddRow(delta, k, res.Cost.Rounds, float64(res.Uncovered)/float64(g.N()))
 		}
 	}
 	return t, nil
@@ -149,11 +153,11 @@ func sweepE9(trials int) (*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := repro.ProposalMCM(g, 0.5, repro.WithSeed(uint64(k)))
+			res, err := repro.Run("proposal", g, repro.WithEps(0.5), repro.WithSeed(uint64(k)))
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(d, k, res.Cost.Rounds, len(res.Edges), len(exact.MaxCardinalityMatching(g)))
+			t.AddRow(d, k, res.Cost.Rounds, res.Size, len(exact.MaxCardinalityMatching(g)))
 		}
 	}
 	return t, nil

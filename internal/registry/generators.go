@@ -1,0 +1,264 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// MaxGraphNodes and MaxGraphEdges bound graph sizes accepted from untrusted
+// sources (generator specs and inline graphs at the service boundary) so a
+// single request cannot exhaust memory or stall a handler; dense generators
+// additionally cap their candidate-pair loop (maxGenPairs).
+const (
+	MaxGraphNodes = 1 << 20
+	MaxGraphEdges = 1 << 22
+)
+
+const (
+	maxGenNodes = MaxGraphNodes
+	maxGenPairs = 1 << 28
+	maxGenEdges = MaxGraphEdges
+)
+
+// GenParams carries every knob any registered generator accepts; a
+// generator ignores fields outside its Params list.
+type GenParams struct {
+	// N is the node count (gnp, regular, tree, star, path, cycle,
+	// complete); for bipartite it is the left side and N2 the right.
+	N  int
+	N2 int
+	// D is the degree of regular graphs.
+	D int
+	// P is the edge probability of gnp and bipartite.
+	P float64
+	// Rows and Cols shape grid graphs.
+	Rows, Cols int
+	// Spine and Legs shape caterpillar graphs.
+	Spine, Legs int
+	// Seed drives the generator; MaxW > 1 additionally assigns uniform
+	// node weights (seed+1) and edge weights (seed+2) in [1, MaxW].
+	Seed uint64
+	MaxW int64
+}
+
+// GenSpec describes one registered graph generator.
+type GenSpec struct {
+	Name    string
+	Summary string
+	// Params lists the GenParams fields this generator reads.
+	Params []string
+	build  func(p GenParams) (*graph.Graph, error)
+}
+
+// Build generates the graph and, when MaxW > 1, assigns uniform random
+// node and edge weights — the same convention every entry point shares.
+func (s *GenSpec) Build(p GenParams) (*graph.Graph, error) {
+	g, err := s.build(p)
+	if err != nil {
+		return nil, fmt.Errorf("registry: generator %s: %w", s.Name, err)
+	}
+	if g.N() > maxGenNodes {
+		return nil, fmt.Errorf("registry: generator %s: %d nodes exceeds cap %d", s.Name, g.N(), maxGenNodes)
+	}
+	if p.MaxW > 1 {
+		graph.AssignUniformNodeWeights(g, p.MaxW, rng.New(p.Seed+1))
+		graph.AssignUniformEdgeWeights(g, p.MaxW, rng.New(p.Seed+2))
+	}
+	return g, nil
+}
+
+func needN(p GenParams) error {
+	if p.N <= 0 || p.N > maxGenNodes {
+		return fmt.Errorf("n must be in [1, %d], got %d", maxGenNodes, p.N)
+	}
+	return nil
+}
+
+func needP(p GenParams) error {
+	if p.P < 0 || p.P > 1 {
+		return fmt.Errorf("p must be in [0,1], got %g", p.P)
+	}
+	return nil
+}
+
+var genSpecs = []*GenSpec{
+	{
+		Name:    "gnp",
+		Summary: "Erdős–Rényi G(n, p)",
+		Params:  []string{"n", "p", "seed"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if err := needN(p); err != nil {
+				return nil, err
+			}
+			if err := needP(p); err != nil {
+				return nil, err
+			}
+			pairs := float64(p.N) * float64(p.N-1) / 2
+			if pairs > maxGenPairs {
+				return nil, fmt.Errorf("gnp with n=%d scans %.0f pairs, cap %d", p.N, pairs, maxGenPairs)
+			}
+			if exp := pairs * p.P; exp > maxGenEdges {
+				return nil, fmt.Errorf("gnp with n=%d p=%g expects %.0f edges, cap %d", p.N, p.P, exp, maxGenEdges)
+			}
+			return graph.GNP(p.N, p.P, rng.New(p.Seed)), nil
+		},
+	},
+	{
+		Name:    "regular",
+		Summary: "random d-regular graph (configuration model)",
+		Params:  []string{"n", "d", "seed"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if err := needN(p); err != nil {
+				return nil, err
+			}
+			if edges := p.N * p.D / 2; edges > maxGenEdges {
+				return nil, fmt.Errorf("regular with n=%d d=%d has %d edges, cap %d", p.N, p.D, edges, maxGenEdges)
+			}
+			return graph.RandomRegular(p.N, p.D, rng.New(p.Seed))
+		},
+	},
+	{
+		Name:    "bipartite",
+		Summary: "random bipartite graph with n left and n2 right nodes",
+		Params:  []string{"n", "n2", "p", "seed"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if err := needN(p); err != nil {
+				return nil, err
+			}
+			if p.N2 <= 0 || p.N2 > maxGenNodes {
+				return nil, fmt.Errorf("n2 must be in [1, %d], got %d", maxGenNodes, p.N2)
+			}
+			if err := needP(p); err != nil {
+				return nil, err
+			}
+			pairs := float64(p.N) * float64(p.N2)
+			if pairs > maxGenPairs {
+				return nil, fmt.Errorf("bipartite with n=%d n2=%d scans %.0f pairs, cap %d", p.N, p.N2, pairs, maxGenPairs)
+			}
+			if exp := pairs * p.P; exp > maxGenEdges {
+				return nil, fmt.Errorf("bipartite with n=%d n2=%d p=%g expects %.0f edges, cap %d", p.N, p.N2, p.P, exp, maxGenEdges)
+			}
+			g, _ := graph.RandomBipartite(p.N, p.N2, p.P, rng.New(p.Seed))
+			return g, nil
+		},
+	},
+	{
+		Name:    "tree",
+		Summary: "uniform random labeled tree (Prüfer)",
+		Params:  []string{"n", "seed"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if err := needN(p); err != nil {
+				return nil, err
+			}
+			return graph.RandomTree(p.N, rng.New(p.Seed)), nil
+		},
+	},
+	{
+		Name:    "star",
+		Summary: "star K_{1,n-1} with center 0",
+		Params:  []string{"n"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if err := needN(p); err != nil {
+				return nil, err
+			}
+			return graph.Star(p.N), nil
+		},
+	},
+	{
+		Name:    "path",
+		Summary: "path on n nodes",
+		Params:  []string{"n"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if err := needN(p); err != nil {
+				return nil, err
+			}
+			return graph.Path(p.N), nil
+		},
+	},
+	{
+		Name:    "cycle",
+		Summary: "cycle on n ≥ 3 nodes",
+		Params:  []string{"n"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if p.N < 3 || p.N > maxGenNodes {
+				return nil, fmt.Errorf("cycle needs n in [3, %d], got %d", maxGenNodes, p.N)
+			}
+			return graph.Cycle(p.N), nil
+		},
+	},
+	{
+		Name:    "complete",
+		Summary: "complete graph K_n",
+		Params:  []string{"n"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if p.N <= 0 || p.N > 4096 {
+				return nil, fmt.Errorf("complete needs n in [1, 4096], got %d", p.N)
+			}
+			return graph.Complete(p.N), nil
+		},
+	},
+	{
+		Name:    "grid",
+		Summary: "rows×cols grid graph",
+		Params:  []string{"rows", "cols"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			// Division form so the product bound cannot be bypassed by
+			// integer overflow on any int width.
+			if p.Rows <= 0 || p.Cols <= 0 || p.Cols > maxGenNodes/p.Rows {
+				return nil, fmt.Errorf("grid needs rows, cols > 0 with rows·cols ≤ %d, got %d×%d", maxGenNodes, p.Rows, p.Cols)
+			}
+			return graph.Grid(p.Rows, p.Cols), nil
+		},
+	},
+	{
+		Name:    "caterpillar",
+		Summary: "spine path with legs leaves per spine node",
+		Params:  []string{"spine", "legs"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			// Division form so the product bound cannot be bypassed by
+			// integer overflow on any int width.
+			if p.Spine <= 0 || p.Legs < 0 || p.Legs > maxGenNodes/p.Spine-1 {
+				return nil, fmt.Errorf("caterpillar needs spine > 0, legs ≥ 0, total ≤ %d, got spine=%d legs=%d", maxGenNodes, p.Spine, p.Legs)
+			}
+			return graph.Caterpillar(p.Spine, p.Legs), nil
+		},
+	},
+}
+
+var genByName = func() map[string]*GenSpec {
+	m := make(map[string]*GenSpec, len(genSpecs))
+	for _, s := range genSpecs {
+		if _, dup := m[s.Name]; dup {
+			panic("registry: duplicate generator " + s.Name)
+		}
+		m[s.Name] = s
+	}
+	return m
+}()
+
+// GetGenerator returns the generator registered under name.
+func GetGenerator(name string) (*GenSpec, bool) {
+	s, ok := genByName[name]
+	return s, ok
+}
+
+// Generators returns every registered generator, sorted by name.
+func Generators() []*GenSpec {
+	out := make([]*GenSpec, len(genSpecs))
+	copy(out, genSpecs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GeneratorNames returns every registered generator name, sorted.
+func GeneratorNames() []string {
+	names := make([]string, 0, len(genSpecs))
+	for _, s := range genSpecs {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}

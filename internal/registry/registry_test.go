@@ -1,0 +1,179 @@
+package registry
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.GNP(16, 0.25, rng.New(1))
+	graph.AssignUniformNodeWeights(g, 50, rng.New(2))
+	graph.AssignUniformEdgeWeights(g, 50, rng.New(3))
+	return g
+}
+
+// TestCompleteness asserts that every facade algorithm is registered and
+// that each registered spec runs on a small graph, producing an answer
+// consistent with its declared kind.
+func TestCompleteness(t *testing.T) {
+	want := []string{
+		"fastmcm", "fastmwm", "maxis", "maxis-det", "mwm2", "mwm2-det",
+		"nmis", "oneeps", "oneeps-congest", "proposal", "seq-maxis",
+	}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("registered algorithms = %v, want %v", got, want)
+	}
+
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g := testGraph()
+			res, err := spec.Run(g, Params{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Kind != spec.Kind {
+				t.Fatalf("result kind %v, want %v", res.Kind, spec.Kind)
+			}
+			switch res.Kind {
+			case IS, NMIS:
+				if len(res.InSet) != g.N() {
+					t.Fatalf("InSet length %d, want %d", len(res.InSet), g.N())
+				}
+				if !g.IsIndependentSet(res.InSet) {
+					t.Fatal("result is not an independent set")
+				}
+				if res.Weight != g.SetWeight(res.InSet) {
+					t.Fatalf("weight %d, want %d", res.Weight, g.SetWeight(res.InSet))
+				}
+			case Matching:
+				if !g.IsMatching(res.Edges) {
+					t.Fatal("result is not a matching")
+				}
+				if res.Weight != g.MatchingWeight(res.Edges) {
+					t.Fatalf("weight %d, want %d", res.Weight, g.MatchingWeight(res.Edges))
+				}
+			}
+			if res.Size() < 0 {
+				t.Fatal("negative size")
+			}
+		})
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	for _, name := range []string{"maxis", "mwm2", "nmis"} {
+		spec, ok := Get(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		a, err := spec.Run(testGraph(), Params{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := spec.Run(testGraph(), Params{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: equal seeds gave different results", name)
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	spec, _ := Get("fastmcm")
+	if _, err := spec.Run(testGraph(), Params{Eps: -1}); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+	if _, err := spec.Run(testGraph(), Params{K: 1}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	nm, _ := Get("nmis")
+	if _, err := nm.Run(testGraph(), Params{Delta: 1.5}); err == nil {
+		t.Fatal("delta=1.5 accepted")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := map[string]GenParams{
+		"gnp":         {N: 20, P: 0.2, Seed: 1},
+		"regular":     {N: 16, D: 4, Seed: 2},
+		"bipartite":   {N: 8, N2: 8, P: 0.3, Seed: 3},
+		"tree":        {N: 12, Seed: 4},
+		"star":        {N: 10},
+		"path":        {N: 10},
+		"cycle":       {N: 10},
+		"complete":    {N: 8},
+		"grid":        {Rows: 4, Cols: 5},
+		"caterpillar": {Spine: 5, Legs: 3},
+	}
+	names := GeneratorNames()
+	if len(names) != len(cases) {
+		t.Fatalf("have %d generators, test covers %d", len(names), len(cases))
+	}
+	for _, name := range names {
+		p, ok := cases[name]
+		if !ok {
+			t.Fatalf("no test params for generator %s", name)
+		}
+		spec, ok := GetGenerator(name)
+		if !ok {
+			t.Fatalf("generator %s not registered", name)
+		}
+		p.MaxW = 16
+		g, err := spec.Build(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.MaxNodeWeight() <= 1 && g.N() > 2 {
+			t.Fatalf("%s: MaxW weights not applied", name)
+		}
+	}
+	if gs, _ := GetGenerator("gnp"); gs != nil {
+		if _, err := gs.Build(GenParams{N: -1, P: 0.5}); err == nil {
+			t.Fatal("negative n accepted")
+		}
+		if _, err := gs.Build(GenParams{N: 10, P: 2}); err == nil {
+			t.Fatal("p=2 accepted")
+		}
+		// Dense requests must be rejected before any work is done, both on
+		// the pair-scan bound and on the expected-edge bound.
+		if _, err := gs.Build(GenParams{N: maxGenNodes, P: 1}); err == nil {
+			t.Fatal("gnp pair-scan cap not enforced")
+		}
+		if _, err := gs.Build(GenParams{N: 20000, P: 1}); err == nil {
+			t.Fatal("gnp expected-edge cap not enforced")
+		}
+	}
+	if gs, _ := GetGenerator("bipartite"); gs != nil {
+		if _, err := gs.Build(GenParams{N: maxGenNodes, N2: maxGenNodes, P: 0.001}); err == nil {
+			t.Fatal("bipartite pair-scan cap not enforced")
+		}
+	}
+	if gs, _ := GetGenerator("regular"); gs != nil {
+		if _, err := gs.Build(GenParams{N: maxGenNodes, D: 100}); err == nil {
+			t.Fatal("regular edge cap not enforced")
+		}
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a, b := testGraph(), testGraph()
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical graphs fingerprint differently")
+	}
+	b.SetNodeWeight(0, b.NodeWeight(0)+1)
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("weight change did not change fingerprint")
+	}
+}

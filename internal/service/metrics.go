@@ -1,0 +1,71 @@
+package service
+
+import (
+	"sort"
+	"time"
+)
+
+// latencyWindow bounds how many recent job durations feed the percentile
+// estimates.
+const latencyWindow = 1024
+
+// Metrics is a point-in-time snapshot of the service's counters.
+type Metrics struct {
+	Submitted    uint64  `json:"submitted"`
+	Completed    uint64  `json:"completed"`
+	Failed       uint64  `json:"failed"`
+	Canceled     uint64  `json:"canceled"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheSize    int     `json:"cache_size"`
+	Queued       int     `json:"queued"`
+	Running      int     `json:"running"`
+	Workers      int     `json:"workers"`
+	// Latency percentiles over the last latencyWindow completed jobs, in
+	// milliseconds. Zero when nothing has completed yet.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+// counters is the mutable metrics state; the Service guards it with its
+// mutex.
+type counters struct {
+	submitted, completed, failed, canceled uint64
+	cacheHits, cacheMisses                 uint64
+	latencies                              []time.Duration // ring buffer
+	latNext                                int
+	latFull                                bool
+}
+
+func (c *counters) recordLatency(d time.Duration) {
+	if c.latencies == nil {
+		c.latencies = make([]time.Duration, latencyWindow)
+	}
+	c.latencies[c.latNext] = d
+	c.latNext++
+	if c.latNext == len(c.latencies) {
+		c.latNext = 0
+		c.latFull = true
+	}
+}
+
+// percentiles returns (p50, p90, p99) in milliseconds over the window.
+func (c *counters) percentiles() (p50, p90, p99 float64) {
+	n := c.latNext
+	if c.latFull {
+		n = len(c.latencies)
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	xs := make([]time.Duration, n)
+	copy(xs, c.latencies[:n])
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	at := func(q float64) float64 {
+		idx := int(q * float64(n-1))
+		return float64(xs[idx]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.90), at(0.99)
+}

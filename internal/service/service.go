@@ -1,0 +1,426 @@
+// Package service is the concurrent job engine behind cmd/reprod: a bounded
+// worker pool that executes registry algorithms on submitted graphs, an
+// in-memory job store with queued/running/done/failed/canceled states,
+// per-job context cancellation and timeouts, an LRU result cache keyed by
+// (graph fingerprint, algorithm, params), and service metrics.
+//
+// The engine is deliberately self-contained and transport-agnostic: the HTTP
+// front-end in cmd/reprod is one client; embedding the Service directly (as
+// the tests do) is another.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/registry"
+)
+
+// Config sizes the engine. Zero values select defaults.
+type Config struct {
+	// Workers is the number of concurrent executor goroutines
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueSize bounds how many jobs may wait for a worker (default 256);
+	// Submit fails with ErrQueueFull beyond it.
+	QueueSize int
+	// CacheSize is the LRU result-cache capacity in entries (default 128).
+	CacheSize int
+	// DefaultTimeout applies to jobs that do not set their own
+	// (default 60s).
+	DefaultTimeout time.Duration
+	// MaxJobs bounds how many finished jobs the store retains for polling
+	// (default 4096); beyond it the oldest finished jobs are evicted so a
+	// long-running service cannot grow without bound.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Request describes one job submission.
+type Request struct {
+	// Algo names a registered algorithm.
+	Algo string
+	// Graph is the input graph. The service takes ownership: callers must
+	// not mutate it after Submit.
+	Graph *graph.Graph
+	// Params configures the run; zero fields mean registry defaults.
+	Params registry.Params
+	// Timeout bounds the execution (0 = Config.DefaultTimeout).
+	Timeout time.Duration
+}
+
+// JobView is an immutable snapshot of a job.
+type JobView struct {
+	ID          string
+	Algo        string
+	Params      registry.Params
+	State       State
+	Error       string
+	CacheHit    bool
+	Result      *registry.Result
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+}
+
+type job struct {
+	id       string
+	spec     *registry.Spec
+	g        *graph.Graph
+	params   registry.Params
+	cacheKey string
+	timeout  time.Duration
+
+	state     State
+	err       string
+	cacheHit  bool
+	result    *registry.Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+}
+
+// Service errors surfaced to clients.
+var (
+	ErrQueueFull = errors.New("service: job queue is full")
+	ErrClosed    = errors.New("service: service is closed")
+	ErrNotFound  = errors.New("service: no such job")
+	ErrFinished  = errors.New("service: job already finished")
+)
+
+// Service is the job engine. Create with New, release with Close.
+type Service struct {
+	cfg   Config
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	jobs     map[string]*job
+	terminal []string // finished job IDs, oldest first, for eviction
+	cache    *lruCache
+	met      counters
+	queued   int // jobs waiting in the channel, minus canceled ones
+	running  int
+	nextID   uint64
+}
+
+// markTerminal must be called with s.mu held once a job reaches a terminal
+// state: it releases the job's input graph and evicts the oldest finished
+// jobs beyond the retention bound.
+func (s *Service) markTerminal(jb *job) {
+	jb.g = nil
+	jb.finished = time.Now()
+	s.terminal = append(s.terminal, jb.id)
+	for len(s.terminal) > s.cfg.MaxJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+}
+
+// New starts a Service with cfg's worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueSize),
+		jobs:  make(map[string]*job),
+		cache: newLRUCache(cfg.CacheSize),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. If an identical run (same graph
+// fingerprint, algorithm and normalized params) is cached, the job completes
+// immediately with CacheHit set and never occupies a worker.
+func (s *Service) Submit(req Request) (JobView, error) {
+	spec, ok := registry.Get(req.Algo)
+	if !ok {
+		return JobView{}, fmt.Errorf("service: unknown algorithm %q", req.Algo)
+	}
+	if req.Graph == nil {
+		return JobView{}, errors.New("service: nil graph")
+	}
+	params := req.Params.Normalized()
+	if err := spec.Validate(params); err != nil {
+		return JobView{}, err
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	key := registry.Fingerprint(req.Graph) + "|" + spec.CacheKey(params)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobView{}, ErrClosed
+	}
+	s.nextID++
+	jb := &job{
+		id:        fmt.Sprintf("j%08d", s.nextID),
+		spec:      spec,
+		g:         req.Graph,
+		params:    params,
+		cacheKey:  key,
+		timeout:   timeout,
+		state:     Queued,
+		submitted: time.Now(),
+	}
+	s.met.submitted++
+
+	if res, hit := s.cache.get(key); hit {
+		jb.state = Done
+		jb.cacheHit = true
+		jb.result = res
+		jb.started = jb.submitted
+		s.met.cacheHits++
+		s.met.completed++
+		s.jobs[jb.id] = jb
+		s.markTerminal(jb)
+		return jb.view(), nil
+	}
+	s.met.cacheMisses++
+
+	select {
+	case s.queue <- jb:
+	default:
+		s.met.submitted--
+		s.met.cacheMisses--
+		return JobView{}, ErrQueueFull
+	}
+	s.queued++
+	s.jobs[jb.id] = jb
+	return jb.view(), nil
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (s *Service) Get(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return jb.view(), true
+}
+
+// Cancel stops a queued or running job. Queued jobs transition to Canceled
+// immediately; running jobs have their context canceled and transition once
+// the worker observes it. Finished jobs return ErrFinished.
+func (s *Service) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	switch jb.state {
+	case Queued:
+		jb.state = Canceled
+		s.met.canceled++
+		s.queued-- // still in the channel; the worker will skip it
+		s.markTerminal(jb)
+	case Running:
+		if jb.cancel != nil {
+			jb.cancel()
+		}
+	default:
+		return jb.view(), ErrFinished
+	}
+	return jb.view(), nil
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p50, p90, p99 := s.met.percentiles()
+	m := Metrics{
+		Submitted:    s.met.submitted,
+		Completed:    s.met.completed,
+		Failed:       s.met.failed,
+		Canceled:     s.met.canceled,
+		CacheHits:    s.met.cacheHits,
+		CacheMisses:  s.met.cacheMisses,
+		CacheSize:    s.cache.len(),
+		Queued:       s.queued,
+		Running:      s.running,
+		Workers:      s.cfg.Workers,
+		LatencyP50Ms: p50,
+		LatencyP90Ms: p90,
+		LatencyP99Ms: p99,
+	}
+	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
+	}
+	return m
+}
+
+// Close stops accepting submissions, waits for queued and running jobs to
+// drain, and releases the worker pool.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.runJob(jb)
+	}
+}
+
+func (s *Service) runJob(jb *job) {
+	s.mu.Lock()
+	if jb.state != Queued { // canceled while waiting; already uncounted
+		s.mu.Unlock()
+		return
+	}
+	s.queued--
+	jb.state = Running
+	jb.started = time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), jb.timeout)
+	jb.cancel = cancel
+	s.running++
+	// Copy the inputs under the lock: on timeout/cancel markTerminal nils
+	// jb.g while the abandoned goroutine may still be computing.
+	g, spec, params := jb.g, jb.spec, jb.params
+	s.mu.Unlock()
+	defer cancel()
+
+	type outcome struct {
+		res *registry.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	// The registry algorithms are synchronous and do not poll the context,
+	// so cancellation abandons the computation: the job's state transitions
+	// immediately, but the worker stays occupied until the goroutine below
+	// returns — otherwise a stream of instantly-timing-out jobs would stack
+	// unbounded background computations and defeat the bounded pool. Every
+	// algorithm terminates (the simulator enforces a round limit), so the
+	// drain always completes.
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("service: algorithm panicked: %v", r)}
+			}
+		}()
+		res, err := spec.Run(g, params)
+		ch <- outcome{res: res, err: err}
+	}()
+
+	finish := func(out outcome) {
+		s.mu.Lock()
+		s.running--
+		if out.err != nil {
+			jb.state = Failed
+			jb.err = out.err.Error()
+			s.met.failed++
+		} else {
+			jb.state = Done
+			jb.result = out.res
+			s.cache.put(jb.cacheKey, out.res)
+			s.met.completed++
+		}
+		s.markTerminal(jb)
+		if out.err == nil {
+			s.met.recordLatency(jb.finished.Sub(jb.started))
+		}
+		s.mu.Unlock()
+	}
+
+	select {
+	case out := <-ch:
+		finish(out)
+	case <-ctx.Done():
+		// The computation may have completed in the same instant the
+		// deadline fired (or a cancel landed); prefer the finished result
+		// over discarding it.
+		select {
+		case out := <-ch:
+			finish(out)
+			return
+		default:
+		}
+		s.mu.Lock()
+		s.running--
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			jb.state = Failed
+			jb.err = fmt.Sprintf("service: job exceeded its %s timeout", jb.timeout)
+			s.met.failed++
+		} else {
+			jb.state = Canceled
+			s.met.canceled++
+		}
+		s.markTerminal(jb)
+		s.mu.Unlock()
+		<-ch // drain the abandoned computation; see the comment above
+	}
+}
+
+// view must be called with s.mu held (or on a job not yet shared).
+func (j *job) view() JobView {
+	return JobView{
+		ID:          j.id,
+		Algo:        j.spec.Name,
+		Params:      j.params,
+		State:       j.state,
+		Error:       j.err,
+		CacheHit:    j.cacheHit,
+		Result:      j.result,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+}

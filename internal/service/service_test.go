@@ -1,0 +1,283 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/registry"
+	"repro/internal/rng"
+)
+
+func waitTerminal(t *testing.T, s *Service, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if v.State.Terminal() {
+			return v
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobView{}
+}
+
+func smallGraph(seed uint64) *graph.Graph {
+	g := graph.GNP(20, 0.2, rng.New(seed))
+	graph.AssignUniformNodeWeights(g, 40, rng.New(seed+1))
+	graph.AssignUniformEdgeWeights(g, 40, rng.New(seed+2))
+	return g
+}
+
+func TestSubmitRunAndCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	v, err := s.Submit(Request{Algo: "maxis", Graph: smallGraph(1), Params: registry.Params{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != Queued && v.State != Running && v.State != Done {
+		t.Fatalf("unexpected initial state %s", v.State)
+	}
+	done := waitTerminal(t, s, v.ID)
+	if done.State != Done {
+		t.Fatalf("state %s (err %q), want done", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Kind != registry.IS {
+		t.Fatalf("bad result %+v", done.Result)
+	}
+	if done.CacheHit {
+		t.Fatal("first run reported a cache hit")
+	}
+
+	// Identical resubmission must be served from cache, instantly done.
+	v2, err := s.Submit(Request{Algo: "maxis", Graph: smallGraph(1), Params: registry.Params{Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.State != Done || !v2.CacheHit {
+		t.Fatalf("resubmission state=%s cacheHit=%t, want done/true", v2.State, v2.CacheHit)
+	}
+	if v2.Result.Weight != done.Result.Weight {
+		t.Fatalf("cached weight %d != original %d", v2.Result.Weight, done.Result.Weight)
+	}
+
+	// A param the algorithm ignores (maxis reads no eps) must still hit.
+	v2b, err := s.Submit(Request{Algo: "maxis", Graph: smallGraph(1), Params: registry.Params{Seed: 3, Eps: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2b.CacheHit {
+		t.Fatal("irrelevant param change missed the cache")
+	}
+
+	// Different seed must miss the cache.
+	v3, err := s.Submit(Request{Algo: "maxis", Graph: smallGraph(1), Params: registry.Params{Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.CacheHit {
+		t.Fatal("different params reported a cache hit")
+	}
+	waitTerminal(t, s, v3.ID)
+
+	m := s.Metrics()
+	if m.CacheHits != 2 {
+		t.Fatalf("cache hits = %d, want 2", m.CacheHits)
+	}
+	if m.Completed != 4 {
+		t.Fatalf("completed = %d, want 4", m.Completed)
+	}
+	if m.LatencyP50Ms < 0 {
+		t.Fatalf("negative latency percentile: %+v", m)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	s := New(Config{Workers: 4})
+	defer s.Close()
+
+	algos := []string{"maxis", "mwm2", "nmis", "fastmcm", "proposal", "oneeps"}
+	var wg sync.WaitGroup
+	ids := make([]string, 12)
+	for i := 0; i < len(ids); i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := s.Submit(Request{
+				Algo:   algos[i%len(algos)],
+				Graph:  smallGraph(uint64(i)),
+				Params: registry.Params{Seed: uint64(i)},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = v.ID
+		}()
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("missing job id")
+		}
+		v := waitTerminal(t, s, id)
+		if v.State != Done {
+			t.Fatalf("job %s (%s): state %s err %q", id, v.Algo, v.State, v.Error)
+		}
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	// Occupy the lone worker with a moderately large job, then cancel a
+	// queued one behind it.
+	busy, err := s.Submit(Request{Algo: "maxis", Graph: graph.GNP(300, 0.05, rng.New(9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Submit(Request{Algo: "mwm2", Graph: smallGraph(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Cancel(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != Canceled && v.State != Running {
+		t.Fatalf("cancel left state %s", v.State)
+	}
+	final := waitTerminal(t, s, victim.ID)
+	if final.State != Canceled {
+		t.Fatalf("victim finished as %s, want canceled", final.State)
+	}
+	waitTerminal(t, s, busy.ID)
+	// Canceled-while-queued jobs must not linger in the queued gauge even
+	// though their entry is still physically in the channel.
+	if q := s.Metrics().Queued; q != 0 {
+		t.Fatalf("queued gauge = %d with no pending jobs, want 0", q)
+	}
+
+	if _, err := s.Cancel(victim.ID); !errors.Is(err, ErrFinished) {
+		t.Fatalf("re-cancel error = %v, want ErrFinished", err)
+	}
+	if _, err := s.Cancel("j99999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancel unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	v, err := s.Submit(Request{
+		Algo:    "maxis",
+		Graph:   graph.GNP(400, 0.05, rng.New(5)),
+		Timeout: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, s, v.ID)
+	if final.State != Failed {
+		t.Fatalf("state %s, want failed on timeout", final.State)
+	}
+	if final.Error == "" {
+		t.Fatal("timeout left no error message")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	if _, err := s.Submit(Request{Algo: "nope", Graph: smallGraph(1)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := s.Submit(Request{Algo: "maxis"}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := s.Submit(Request{Algo: "fastmcm", Graph: smallGraph(1), Params: registry.Params{Eps: -2}}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestQueueFullAndClose(t *testing.T) {
+	s := New(Config{Workers: 1, QueueSize: 1})
+	// Flood the single worker and single queue slot with slow jobs; at
+	// least one submission must bounce with ErrQueueFull.
+	var kept []string
+	var sawFull bool
+	for i := 0; i < 10; i++ {
+		v, err := s.Submit(Request{Algo: "maxis", Graph: graph.GNP(200, 0.05, rng.New(uint64(i)))})
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kept = append(kept, v.ID)
+	}
+	if !sawFull {
+		t.Fatal("queue never filled")
+	}
+	s.Close()
+	for _, id := range kept {
+		v, _ := s.Get(id)
+		if !v.State.Terminal() {
+			t.Fatalf("job %s not terminal after Close: %s", id, v.State)
+		}
+	}
+	if _, err := s.Submit(Request{Algo: "maxis", Graph: smallGraph(1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestFinishedJobRetention(t *testing.T) {
+	s := New(Config{Workers: 2, MaxJobs: 2})
+	defer s.Close()
+	var ids []string
+	for i := 0; i < 5; i++ {
+		v, err := s.Submit(Request{Algo: "mwm2", Graph: smallGraph(uint64(i)), Params: registry.Params{Seed: uint64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, s, v.ID)
+		ids = append(ids, v.ID)
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Fatal("oldest finished job should have been evicted")
+	}
+	if v, ok := s.Get(ids[len(ids)-1]); !ok || v.State != Done {
+		t.Fatal("newest finished job must remain pollable")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	r := &registry.Result{Kind: registry.IS}
+	c.put("a", r)
+	c.put("b", r)
+	if _, ok := c.get("a"); !ok { // touch a → b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", r)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}

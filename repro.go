@@ -22,6 +22,11 @@
 //	NearlyMaximalIS    the §3.1 nearly-maximal independent set (Thm 3.1)
 //	SequentialMaxIS    Algorithm 1, the sequential local-ratio meta-algorithm
 //
+// Every facade function dispatches through the internal algorithm registry,
+// which also powers the string-keyed Run (see Algorithms for names), the
+// cmd/distmatch, cmd/sweep and cmd/benchtab CLIs, and the cmd/reprod job
+// service — identical seeds give identical results across all of them.
+//
 // Graphs are built with the re-exported constructors (NewGraph, GNP,
 // RandomRegular, …). All algorithms are deterministic given WithSeed.
 package repro
@@ -30,13 +35,9 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/augment"
-	"repro/internal/core"
-	"repro/internal/fastmatch"
 	"repro/internal/graph"
-	"repro/internal/nmis"
+	"repro/internal/registry"
 	"repro/internal/rng"
-	"repro/internal/simul"
 )
 
 // Graph is the undirected node- and edge-weighted graph all algorithms run
@@ -103,17 +104,6 @@ type CostStats struct {
 	BitBudget      int
 }
 
-func costOf(virtual int, m simul.Metrics) CostStats {
-	return CostStats{
-		Rounds:         virtual,
-		RealRounds:     m.Rounds,
-		Messages:       m.Messages,
-		Bits:           m.TotalBits,
-		MaxMessageBits: m.MaxMessageBits,
-		BitBudget:      m.BitBudget,
-	}
-}
-
 // ISResult is an independent-set answer.
 type ISResult struct {
 	InSet  []bool
@@ -131,93 +121,75 @@ type MatchingResult struct {
 // SequentialMaxIS runs Algorithm 1, the sequential local-ratio
 // ∆-approximation (§2.1), with the default greedy independent-set selection.
 func SequentialMaxIS(g *Graph) *ISResult {
-	in := core.SequentialLocalRatio(g, core.GreedyPick)
-	return &ISResult{InSet: in, Weight: g.SetWeight(in)}
+	res, err := runSpec("seq-maxis", g, nil)
+	if err != nil {
+		// seq-maxis takes no parameters, so the registry cannot reject it.
+		panic("repro: seq-maxis: " + err.Error())
+	}
+	out, _ := isResult(res, nil)
+	return out
+}
+
+// isResult converts a registry answer into the typed IS facade result.
+func isResult(res *registry.Result, err error) (*ISResult, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &ISResult{InSet: res.InSet, Weight: res.Weight, Cost: costFromRegistry(res.Cost)}, nil
+}
+
+// matchingResult converts a registry answer into the typed matching result.
+func matchingResult(res *registry.Result, err error) (*MatchingResult, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costFromRegistry(res.Cost)}, nil
 }
 
 // MaxIS runs Algorithm 2: the distributed ∆-approximate maximum weight
 // independent set in O(MIS(G)·log W) rounds (Theorem 2.3).
 func MaxIS(g *Graph, opts ...Option) (*ISResult, error) {
-	cfg := buildConfig(opts)
-	res, err := core.DistributedMaxIS(g, cfg.misName, cfg.sim)
-	if err != nil {
-		return nil, err
-	}
-	return &ISResult{InSet: res.InSet, Weight: res.Weight, Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+	return isResult(runSpec("maxis", g, opts))
 }
 
 // MaxISDeterministic runs Algorithm 3 (§2.3): coloring followed by
 // color-priority local ratio. With WithDeterministicColoring the coloring
 // phase uses the Linial reduction, making the whole pipeline deterministic.
 func MaxISDeterministic(g *Graph, opts ...Option) (*ISResult, error) {
-	cfg := buildConfig(opts)
-	res, err := core.ColoringMaxIS(g, cfg.detColoring, cfg.sim)
-	if err != nil {
-		return nil, err
-	}
-	return &ISResult{InSet: res.InSet, Weight: res.Weight, Cost: costOf(res.VirtualRounds+res.ColoringRounds, res.Metrics)}, nil
+	return isResult(runSpec("maxis-det", g, opts))
 }
 
 // MWM2 computes a 2-approximate maximum weight matching: Algorithm 2
 // executed on the line graph through the Theorem 2.8 simulation
 // (Theorem 2.10).
 func MWM2(g *Graph, opts ...Option) (*MatchingResult, error) {
-	cfg := buildConfig(opts)
-	res, err := core.DistributedMWM2(g, cfg.misName, cfg.sim)
-	if err != nil {
-		return nil, err
-	}
-	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+	return matchingResult(runSpec("mwm2", g, opts))
 }
 
 // MWM2Deterministic computes a 2-approximate maximum weight matching via
 // Algorithm 3 on the line graph (coloring + color-priority reduction).
 func MWM2Deterministic(g *Graph, opts ...Option) (*MatchingResult, error) {
-	cfg := buildConfig(opts)
-	res, err := core.ColoringMWM2(g, cfg.sim)
-	if err != nil {
-		return nil, err
-	}
-	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costOf(res.VirtualRounds+res.ColoringRounds, res.Metrics)}, nil
+	return matchingResult(runSpec("mwm2-det", g, opts))
 }
 
 // FastMCM computes a (2+ε)-approximate maximum cardinality matching in
 // O(log∆/loglog∆)-style rounds: the §3.1 nearly-maximal independent set on
 // the line graph (Theorem 3.2).
 func FastMCM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
-	cfg := buildConfig(opts)
-	res, err := fastmatch.MCM2Eps(g, eps, cfg.k, cfg.sim)
-	if err != nil {
-		return nil, err
-	}
-	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+	return matchingResult(runSpec("fastmcm", g, opts, WithEps(eps)))
 }
 
 // FastMWM computes a (2+ε)-approximate maximum weight matching via weight
 // bucketing plus augmenting refinement (§B.1).
 func FastMWM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
-	cfg := buildConfig(opts)
-	res, err := fastmatch.MWM2Eps(g, eps, cfg.k, cfg.sim)
-	if err != nil {
-		return nil, err
-	}
-	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+	return matchingResult(runSpec("fastmwm", g, opts, WithEps(eps)))
 }
 
 // OneEpsMCM computes a (1+ε)-approximate maximum cardinality matching via
 // Hopcroft–Karp phases with nearly-maximal hypergraph matchings
 // (Theorem B.4; LOCAL model).
 func OneEpsMCM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
-	cfg := buildConfig(opts)
-	res, err := augment.OneEpsLocal(g, augment.OneEpsParams{Eps: eps, K: cfg.k}, rng.New(cfg.sim.Seed))
-	if err != nil {
-		return nil, err
-	}
-	var w int64
-	for _, id := range res.Matching {
-		w += g.EdgeWeight(id)
-	}
-	return &MatchingResult{Edges: res.Matching, Weight: w, Cost: CostStats{Rounds: res.Rounds, RealRounds: res.Rounds}}, nil
+	return matchingResult(runSpec("oneeps", g, opts, WithEps(eps)))
 }
 
 // OneEpsMCMCongest computes a (1+ε)-approximate maximum cardinality matching
@@ -225,27 +197,13 @@ func OneEpsMCM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
 // attenuated path-mass traversals (Claims B.5/B.6) and link-by-link token
 // marking, with no explicit conflict graph.
 func OneEpsMCMCongest(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
-	cfg := buildConfig(opts)
-	res, err := augment.OneEpsCongest(g, augment.CongestOneEpsParams{Eps: eps, K: cfg.k}, rng.New(cfg.sim.Seed))
-	if err != nil {
-		return nil, err
-	}
-	var w int64
-	for _, id := range res.Matching {
-		w += g.EdgeWeight(id)
-	}
-	return &MatchingResult{Edges: res.Matching, Weight: w, Cost: CostStats{Rounds: res.Rounds, RealRounds: res.Rounds}}, nil
+	return matchingResult(runSpec("oneeps-congest", g, opts, WithEps(eps)))
 }
 
 // ProposalMCM computes a (2+ε)-approximate maximum cardinality matching via
 // the Appendix B.4 proposal algorithm.
 func ProposalMCM(g *Graph, eps float64, opts ...Option) (*MatchingResult, error) {
-	cfg := buildConfig(opts)
-	res, err := fastmatch.Proposal(g, eps, cfg.k, rng.New(cfg.sim.Seed))
-	if err != nil {
-		return nil, err
-	}
-	return &MatchingResult{Edges: res.Edges, Weight: res.Weight, Cost: CostStats{Rounds: res.VirtualRounds, RealRounds: res.VirtualRounds}}, nil
+	return matchingResult(runSpec("proposal", g, opts, WithEps(eps)))
 }
 
 // NMISResult reports a nearly-maximal independent set run (Theorem 3.1).
@@ -258,15 +216,14 @@ type NMISResult struct {
 // NearlyMaximalIS runs the §3.1 algorithm for its Theorem 3.1 round budget
 // with factor K and failure target delta.
 func NearlyMaximalIS(g *Graph, k int, delta float64, opts ...Option) (*NMISResult, error) {
-	cfg := buildConfig(opts)
-	res, err := nmis.Run(g, nmis.Params{K: k, Delta: delta}, cfg.sim)
+	res, err := runSpec("nmis", g, opts, WithK(k), WithDelta(delta))
 	if err != nil {
 		return nil, err
 	}
 	return &NMISResult{
-		InSet:     res.InSetVector(),
-		Uncovered: res.UncoveredCount(),
-		Cost:      costOf(res.VirtualRounds, res.Metrics),
+		InSet:     res.InSet,
+		Uncovered: res.Uncovered,
+		Cost:      costFromRegistry(res.Cost),
 	}, nil
 }
 

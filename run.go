@@ -1,0 +1,107 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/registry"
+)
+
+// RunResult is the uniform answer of Run: InSet is populated for
+// independent-set kinds ("is", "nmis"), Edges for "matching", and Uncovered
+// only for "nmis".
+type RunResult struct {
+	Algo      string
+	Kind      string
+	InSet     []bool
+	Edges     []int
+	Weight    int64
+	Size      int
+	Uncovered int
+	Cost      CostStats
+}
+
+// Run executes the named algorithm on g. It is the string-keyed twin of the
+// typed facade functions and dispatches through the same internal registry
+// used by cmd/distmatch, cmd/sweep, cmd/benchtab and the job service, so
+// Run("mwm2", g, WithSeed(s)) reproduces MWM2(g, WithSeed(s)) exactly.
+// See Algorithms for the available names.
+func Run(algo string, g *Graph, opts ...Option) (*RunResult, error) {
+	spec, ok := registry.Get(algo)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown algorithm %q (have: %s)",
+			algo, strings.Join(registry.Names(), ", "))
+	}
+	cfg := buildConfig(opts)
+	if err := cfg.validateExplicit(); err != nil {
+		return nil, err
+	}
+	res, err := spec.Run(g, cfg.params())
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Algo:      algo,
+		Kind:      res.Kind.String(),
+		InSet:     res.InSet,
+		Edges:     res.Edges,
+		Weight:    res.Weight,
+		Size:      res.Size(),
+		Uncovered: res.Uncovered,
+		Cost:      costFromRegistry(res.Cost),
+	}, nil
+}
+
+// AlgorithmInfo describes one registered algorithm for listings.
+type AlgorithmInfo struct {
+	Name    string
+	Kind    string
+	Summary string
+	// Params names the options the algorithm reads (eps, k, delta, mis,
+	// model, seed, det_coloring).
+	Params []string
+}
+
+// Algorithms lists every algorithm Run accepts, sorted by name.
+func Algorithms() []AlgorithmInfo {
+	specs := registry.All()
+	out := make([]AlgorithmInfo, 0, len(specs))
+	for _, s := range specs {
+		out = append(out, AlgorithmInfo{
+			Name:    s.Name,
+			Kind:    s.Kind.String(),
+			Summary: s.Summary,
+			Params:  append([]string(nil), s.Params...),
+		})
+	}
+	return out
+}
+
+func costFromRegistry(c registry.Cost) CostStats {
+	return CostStats{
+		Rounds:         c.Rounds,
+		RealRounds:     c.RealRounds,
+		Messages:       c.Messages,
+		Bits:           c.Bits,
+		MaxMessageBits: c.MaxMessageBits,
+		BitBudget:      c.BitBudget,
+	}
+}
+
+// runSpec executes a registered algorithm with the facade's option list plus
+// per-function overrides; the typed facade wrappers below repro.go delegate
+// here so the registry stays the single dispatch table.
+func runSpec(name string, g *Graph, opts []Option, extra ...Option) (*registry.Result, error) {
+	cfg := buildConfig(opts)
+	for _, o := range extra {
+		o(&cfg)
+	}
+	if err := cfg.validateExplicit(); err != nil {
+		return nil, err
+	}
+	spec, ok := registry.Get(name)
+	if !ok {
+		panic("repro: facade algorithm " + name + " missing from registry")
+	}
+	return spec.Run(g, cfg.params())
+}

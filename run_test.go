@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunMatchesTypedFacade pins the acceptance criterion that the string-
+// keyed Run dispatch reproduces the typed facade exactly for a fixed seed.
+func TestRunMatchesTypedFacade(t *testing.T) {
+	g := GNP(24, 0.2, 13)
+	AssignUniformNodeWeights(g, 80, 14)
+	AssignUniformEdgeWeights(g, 80, 15)
+
+	mwm, err := MWM2(g, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Run("mwm2", g, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run.Edges, mwm.Edges) || run.Weight != mwm.Weight {
+		t.Fatalf("Run(mwm2) = %v/%d, MWM2 = %v/%d",
+			run.Edges, run.Weight, mwm.Edges, mwm.Weight)
+	}
+	if run.Cost != mwm.Cost {
+		t.Fatalf("Run(mwm2) cost %+v, MWM2 cost %+v", run.Cost, mwm.Cost)
+	}
+
+	is, err := MaxIS(g, WithSeed(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIS, err := Run("maxis", g, WithSeed(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runIS.InSet, is.InSet) || runIS.Weight != is.Weight {
+		t.Fatal("Run(maxis) disagrees with MaxIS for equal seeds")
+	}
+
+	fm, err := FastMCM(g, 0.5, WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFM, err := Run("fastmcm", g, WithEps(0.5), WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(runFM.Edges, fm.Edges) {
+		t.Fatal("Run(fastmcm) disagrees with FastMCM for equal seeds")
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	if _, err := Run("frobnicate", Path(4)); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestExplicitInvalidParamsRejected pins that the typed facade rejects
+// explicit invalid arguments instead of letting the registry's
+// zero-means-default normalization reinterpret them.
+func TestExplicitInvalidParamsRejected(t *testing.T) {
+	g := GNP(12, 0.3, 1)
+	if _, err := FastMCM(g, 0); err == nil {
+		t.Fatal("FastMCM(eps=0) accepted")
+	}
+	if _, err := FastMWM(g, -0.5); err == nil {
+		t.Fatal("FastMWM(eps=-0.5) accepted")
+	}
+	if _, err := OneEpsMCM(g, 0); err == nil {
+		t.Fatal("OneEpsMCM(eps=0) accepted")
+	}
+	if _, err := NearlyMaximalIS(g, 0, 0.1); err == nil {
+		t.Fatal("NearlyMaximalIS(k=0) accepted")
+	}
+	if _, err := NearlyMaximalIS(g, 2, 0); err == nil {
+		t.Fatal("NearlyMaximalIS(delta=0) accepted")
+	}
+	// The option path must behave like the typed facade.
+	if _, err := Run("fastmcm", g, WithEps(0)); err == nil {
+		t.Fatal("Run with WithEps(0) accepted")
+	}
+	if _, err := Run("nmis", g, WithK(1)); err == nil {
+		t.Fatal("Run with WithK(1) accepted")
+	}
+	if _, err := Run("nmis", g, WithDelta(2)); err == nil {
+		t.Fatal("Run with WithDelta(2) accepted")
+	}
+}
+
+func TestAlgorithmsListing(t *testing.T) {
+	infos := Algorithms()
+	if len(infos) != 11 {
+		t.Fatalf("listed %d algorithms, want 11", len(infos))
+	}
+	kinds := map[string]bool{}
+	byName := map[string]AlgorithmInfo{}
+	for _, in := range infos {
+		kinds[in.Kind] = true
+		byName[in.Name] = in
+		if in.Summary == "" {
+			t.Fatalf("%s: empty summary", in.Name)
+		}
+	}
+	for _, k := range []string{"is", "matching", "nmis"} {
+		if !kinds[k] {
+			t.Fatalf("no algorithm of kind %q listed", k)
+		}
+	}
+	for _, name := range []string{"maxis", "mwm2", "nmis", "oneeps", "fastmwm"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("%s missing from listing", name)
+		}
+	}
+}
