@@ -5,16 +5,24 @@
 // Rows are data — each names a registry algorithm run through repro.Run —
 // rather than hand-wired calls.
 //
+// With -json the same measurements are additionally written as a
+// machine-readable perf record (BENCH_<date>.json by default), including
+// wall-clock time and allocation counts per row, so the repository's
+// performance trajectory accumulates comparable data points over time.
+//
 // Usage:
 //
-//	benchtab [-n nodes] [-trials k] [-seed s]
+//	benchtab [-n nodes] [-trials k] [-seed s] [-json] [-out file]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	"repro"
 	"repro/internal/exact"
@@ -31,13 +39,45 @@ type rowSpec struct {
 	ratio                        func(g *repro.Graph, res *repro.RunResult) float64
 }
 
+// benchRow is one row of the -json perf record.
+type benchRow struct {
+	Row        string  `json:"row"`
+	Algo       string  `json:"algo"`
+	Label      string  `json:"label"`
+	Guarantee  string  `json:"guarantee"`
+	Model      string  `json:"model"`
+	N          int     `json:"n"`
+	MeanM      float64 `json:"mean_m"`
+	Trials     int     `json:"trials"`
+	MeanRounds float64 `json:"mean_rounds"`
+	WorstRatio float64 `json:"worst_ratio"`
+	WallMS     float64 `json:"wall_ms"`
+	AllocsPer  uint64  `json:"allocs_per_run"`
+}
+
+// benchRecord is the top-level -json document.
+type benchRecord struct {
+	Date      string     `json:"date"`
+	GoVersion string     `json:"go"`
+	GOMAXPROC int        `json:"gomaxprocs"`
+	N         int        `json:"n"`
+	Trials    int        `json:"trials"`
+	Seed      uint64     `json:"seed"`
+	Rows      []benchRow `json:"rows"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtab: ")
 	n := flag.Int("n", 96, "nodes per instance")
 	trials := flag.Int("trials", 5, "instances per row")
 	seed := flag.Uint64("seed", 1, "base seed")
+	jsonOut := flag.Bool("json", false, "also write a BENCH_<date>.json perf record")
+	outPath := flag.String("out", "", "perf record path (default BENCH_<date>.json; implies -json)")
 	flag.Parse()
+	if *trials < 1 {
+		log.Fatalf("trials must be ≥ 1, got %d", *trials)
+	}
 
 	rows := []rowSpec{
 		{"1", "MaxIS local-ratio (Alg 2, Luby)", "∆", "CONGEST", "maxis", 0, 3, isRatio},
@@ -49,18 +89,28 @@ func main() {
 
 	ratios := make([][]float64, len(rows))
 	rounds := make([][]float64, len(rows))
+	wall := make([]time.Duration, len(rows))
+	allocs := make([]uint64, len(rows))
+	var mSum float64
 	for t := 0; t < *trials; t++ {
 		s := *seed + uint64(t)*1000
 		g := repro.GNP(*n, 8/float64(*n), s)
 		repro.AssignUniformNodeWeights(g, 256, s+1)
 		repro.AssignUniformEdgeWeights(g, 256, s+2)
+		mSum += float64(g.M())
 
 		for i, rs := range rows {
 			opts := []repro.Option{repro.WithSeed(s + rs.seedOffset)}
 			if rs.eps > 0 {
 				opts = append(opts, repro.WithEps(rs.eps))
 			}
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
 			res, err := repro.Run(rs.algo, g, opts...)
+			wall[i] += time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			allocs[i] += ms1.Mallocs - ms0.Mallocs
 			if err != nil {
 				log.Fatalf("%s: %v", rs.algo, err)
 			}
@@ -72,14 +122,50 @@ func main() {
 	}
 
 	table := stats.NewTable("row", "algorithm", "guarantee", "worst ratio", "mean rounds", "model")
+	record := benchRecord{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOMAXPROC: runtime.GOMAXPROCS(0),
+		N:         *n,
+		Trials:    *trials,
+		Seed:      *seed,
+	}
 	for i, rs := range rows {
 		r := stats.Summarize(ratios[i])
 		d := stats.Summarize(rounds[i])
 		table.AddRow(rs.row, rs.label, rs.guarantee,
 			fmt.Sprintf("%.3f", r.Max), fmt.Sprintf("%.1f", d.Mean), rs.model)
+		record.Rows = append(record.Rows, benchRow{
+			Row:        rs.row,
+			Algo:       rs.algo,
+			Label:      rs.label,
+			Guarantee:  rs.guarantee,
+			Model:      rs.model,
+			N:          *n,
+			MeanM:      mSum / float64(*trials),
+			Trials:     *trials,
+			MeanRounds: d.Mean,
+			WorstRatio: r.Max,
+			WallMS:     float64(wall[i].Microseconds()) / 1000 / float64(*trials),
+			AllocsPer:  allocs[i] / uint64(*trials),
+		})
 	}
 	if err := table.Render(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+	if *jsonOut || *outPath != "" {
+		path := *outPath
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", record.Date)
+		}
+		blob, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nperf record written to %s\n", path)
 	}
 }
 

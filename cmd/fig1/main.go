@@ -4,6 +4,10 @@
 // matching, runs the two traversals for length-3 augmenting paths, and
 // renders the per-node layers, forward counts (black numbers) and
 // through-counts (purple numbers) as text.
+//
+// Like the other cmds, fig1 consumes only the repro facade; the traversal,
+// enumeration check and matching baseline are facade functions backed by the
+// same internals the registry algorithms use.
 package main
 
 import (
@@ -12,8 +16,6 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/augment"
-	"repro/internal/exact"
 )
 
 func main() {
@@ -32,16 +34,16 @@ func main() {
 	var matching []int
 	if *random {
 		g, side = repro.RandomBipartite(*nl, *nr, *p, *seed)
-		matching = exact.GreedyMatching(g)
+		matching = repro.GreedyMatching(g)
 	} else {
 		g, side, matching = figure1Instance()
 	}
-	mate := augment.MateFromMatching(g, matching)
+	mate := repro.MateFromMatching(g, matching)
 	active := make([]bool, g.N())
 	for i := range active {
 		active[i] = true
 	}
-	pc, err := augment.CountPaths(g, side, mate, *length, active)
+	pc, err := repro.CountAugmentingPaths(g, side, mate, *length, active)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 	fmt.Printf("\ntotal length-%d augmenting paths (sum of forward counts at unmatched B): %d\n", *length, total)
 
 	// Verify Claim B.5 against explicit enumeration, as the test suite does.
-	paths, err := augment.EnumerateAugmentingPaths(g, mate, *length, active, 1<<20)
+	paths, err := repro.EnumerateAugmentingPaths(g, mate, *length, active, 1<<20)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,11 +94,12 @@ func verdict(ok bool) string {
 // {2–5, 3–6}, and several overlapping length-3 augmenting paths so the
 // forward counts branch and merge like the figure's black numbers.
 func figure1Instance() (*repro.Graph, []int, []int) {
-	g := repro.NewGraph(8)
+	b := repro.NewGraphBuilder(8)
 	side := []int{0, 0, 0, 0, 1, 1, 1, 1}
 	for _, e := range [][2]int{{0, 5}, {1, 5}, {1, 6}, {2, 5}, {3, 6}, {2, 7}, {3, 7}, {2, 4}} {
-		g.MustAddEdge(e[0], e[1])
+		b.MustAddEdge(e[0], e[1])
 	}
+	g := b.MustBuild()
 	m1, _ := g.EdgeID(2, 5)
 	m2, _ := g.EdgeID(3, 6)
 	return g, side, []int{m1, m2}

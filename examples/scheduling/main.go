@@ -20,13 +20,15 @@ func main() {
 	// 6×8 grid of radios; each interferes with its grid neighbors, plus a
 	// few longer interference links.
 	g := repro.Grid(6, 8)
-	extra := [][2]int{{0, 9}, {5, 12}, {20, 27}, {33, 40}, {17, 30}}
-	for _, e := range extra {
+	var extra []repro.GraphEdge
+	for _, e := range [][2]int{{0, 9}, {5, 12}, {20, 27}, {33, 40}, {17, 30}} {
 		if !g.HasEdge(e[0], e[1]) {
-			if err := g.AddEdge(e[0], e[1]); err != nil {
-				log.Fatal(err)
-			}
+			extra = append(extra, repro.GraphEdge{U: e[0], V: e[1]})
 		}
+	}
+	g, err := g.WithEdges(extra...)
+	if err != nil {
+		log.Fatal(err)
 	}
 	// Queued traffic per radio.
 	repro.AssignUniformNodeWeights(g, 50, 7)

@@ -1,0 +1,42 @@
+package repro
+
+// Facade surface for the Figure 1 machinery (Claims B.5/B.6): the
+// forward/backward traversal that counts shortest augmenting paths, plus the
+// small matching baselines it is compared against. cmd/fig1 consumes only
+// this surface, like every other cmd consumes Run and the typed entry
+// points, so no command reaches into internal packages for figure
+// reproduction.
+
+import (
+	"repro/internal/augment"
+	"repro/internal/exact"
+)
+
+// PathCounts reports the per-node layers, forward counts (Figure 1's black
+// numbers) and through counts (purple numbers) of the augmenting-path
+// traversal.
+type PathCounts = augment.PathCounts
+
+// GreedyMatching returns the greedy maximal matching (edges scanned in ID
+// order); the baseline used to seed Figure 1 and the benchmark ratios.
+func GreedyMatching(g *Graph) []int { return exact.GreedyMatching(g) }
+
+// MateFromMatching expands an edge-ID matching into the mate vector
+// (mate[v] = u if {v,u} is matched, else -1).
+func MateFromMatching(g *Graph, matching []int) []int {
+	return augment.MateFromMatching(g, matching)
+}
+
+// CountAugmentingPaths runs the Figure 1 forward/backward traversal counting
+// shortest augmenting paths of length d over the active nodes (Claim B.5).
+// side is a bipartition as returned by RandomBipartite.
+func CountAugmentingPaths(g *Graph, side, mate []int, d int, active []bool) (*PathCounts, error) {
+	return augment.CountPaths(g, side, mate, d, active)
+}
+
+// EnumerateAugmentingPaths explicitly lists augmenting paths of the given
+// length (up to cap), the brute-force check of Claim B.5 used by cmd/fig1 and
+// the test suite.
+func EnumerateAugmentingPaths(g *Graph, mate []int, length int, active []bool, cap int) ([][]int, error) {
+	return augment.EnumerateAugmentingPaths(g, mate, length, active, cap)
+}

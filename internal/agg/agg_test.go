@@ -144,7 +144,7 @@ func TestRunDirectNeighborSums(t *testing.T) {
 	for v := 0; v < g.N(); v++ {
 		var want int64
 		for _, u := range g.Neighbors(v) {
-			want += g.NodeWeight(u)
+			want += g.NodeWeight(int(u))
 		}
 		if res.Outputs[v] != want {
 			t.Fatalf("node %d sum = %v, want %d", v, res.Outputs[v], want)
@@ -345,7 +345,7 @@ func TestHaltVisibilityContract(t *testing.T) {
 }
 
 func TestRunLineEmptyAndEdgeless(t *testing.T) {
-	res, err := RunLine(graph.New(5), simul.Config{}, func(id int) Machine {
+	res, err := RunLine(graph.NewBuilder(5).MustBuild(), simul.Config{}, func(id int) Machine {
 		t.Fatal("build called with no edges")
 		return nil
 	})

@@ -206,7 +206,8 @@ func RunLine(g *graph.Graph, cfg simul.Config, build func(edgeID int) Machine) (
 			byOther: make(map[int]*lineEdgeState),
 			outputs: make(map[int]any),
 		}
-		for _, id := range g.IncidentEdges(v) {
+		for _, id32 := range g.IncidentEdges(v) {
+			id := int(id32)
 			e := g.EdgeByID(id)
 			st := &lineEdgeState{
 				id:      id,

@@ -188,7 +188,8 @@ func RunLineNaive(g *graph.Graph, cfg simul.Config, build func(edgeID int) Machi
 			outputs:  make(map[int]any),
 			received: make(map[int]Data),
 		}
-		for _, id := range g.IncidentEdges(v) {
+		for _, id32 := range g.IncidentEdges(v) {
+			id := int(id32)
 			e := g.EdgeByID(id)
 			st := &lineEdgeState{
 				id:      id,

@@ -118,10 +118,11 @@ func TestMateMatchingRoundTrip(t *testing.T) {
 func TestCountPathsHandExample(t *testing.T) {
 	// a0 — b0 = a1 — b1  (= is the matching edge): one augmenting path of
 	// length 3 through every node.
-	g := graph.New(4)
-	g.MustAddEdge(0, 1) // a0-b0
-	g.MustAddEdge(1, 2) // b0-a1 (matched)
-	g.MustAddEdge(2, 3) // a1-b1
+	gb := graph.NewBuilder(4)
+	gb.MustAddEdge(0, 1) // a0-b0
+	gb.MustAddEdge(1, 2) // b0-a1 (matched)
+	gb.MustAddEdge(2, 3) // a1-b1
+	g := gb.MustBuild()
 	side := []int{0, 1, 0, 1}
 	mate := []int{-1, 2, 1, -1}
 	pc, err := CountPaths(g, side, mate, 3, allActive(4))

@@ -256,7 +256,8 @@ func sampleTokens(g *graph.Graph, side, mate []int, d int, active []bool, as *At
 				var opts []int
 				var weights []float64
 				total := 0.0
-				for _, a := range g.Neighbors(cur) {
+				for _, a32 := range g.Neighbors(cur) {
+					a := int(a32)
 					if active[a] && side[a] == 0 && as.Layer[a] == t-1 && mate[a] != cur && as.ForwardMass[a] > 0 {
 						opts = append(opts, a)
 						weights = append(weights, as.ForwardMass[a])

@@ -64,7 +64,8 @@ func CountPaths(g *graph.Graph, side, mate []int, d int, active []bool) (*PathCo
 					continue
 				}
 				var s int64
-				for _, a := range g.Neighbors(v) {
+				for _, a32 := range g.Neighbors(v) {
+					a := int(a32)
 					if active[a] && side[a] == 0 && pc.Layer[a] == t-1 && mate[a] != v {
 						s += pc.Forward[a]
 					}
@@ -103,7 +104,8 @@ func CountPaths(g *graph.Graph, side, mate []int, d int, active []bool) (*PathCo
 				// A-node at even layer: continue along non-matching edges to
 				// layer t+1 B-nodes.
 				var s int64
-				for _, b := range g.Neighbors(v) {
+				for _, b32 := range g.Neighbors(v) {
+					b := int(b32)
 					if active[b] && side[b] == 1 && pc.Layer[b] == t+1 && mate[v] != b {
 						s += pc.Suffix[b]
 					}
@@ -175,7 +177,8 @@ func Attenuated(g *graph.Graph, side, mate []int, d int, active []bool, alpha []
 					continue
 				}
 				s := 0.0
-				for _, a := range g.Neighbors(v) {
+				for _, a32 := range g.Neighbors(v) {
+					a := int(a32)
 					if ok(a) && side[a] == 0 && as.Layer[a] == t-1 && mate[a] != v {
 						s += as.ForwardMass[a]
 					}
@@ -211,7 +214,8 @@ func Attenuated(g *graph.Graph, side, mate []int, d int, active []bool, alpha []
 			}
 			if t%2 == 0 {
 				s := 0.0
-				for _, b := range g.Neighbors(v) {
+				for _, b32 := range g.Neighbors(v) {
+					b := int(b32)
 					if ok(b) && side[b] == 1 && as.Layer[b] == t+1 && mate[v] != b {
 						s += as.SuffixMass[b]
 					}

@@ -65,7 +65,8 @@ func EnumerateAugmentingPaths(g *graph.Graph, mate []int, length int, active []b
 		// Odd depth steps use non-matching edges; even ones follow the
 		// matching edge.
 		if depth%2 == 0 {
-			for _, u := range g.Neighbors(v) {
+			for _, u32 := range g.Neighbors(v) {
+				u := int(u32)
 				if !active[u] || inPath[u] || mate[v] == u {
 					continue
 				}

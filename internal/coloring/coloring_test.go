@@ -33,7 +33,7 @@ func TestRandomGreedyStructured(t *testing.T) {
 		"complete": graph.Complete(15),
 		"path":     graph.Path(20),
 		"cycle":    graph.Cycle(21),
-		"edgeless": graph.New(6),
+		"edgeless": graph.NewBuilder(6).MustBuild(),
 	} {
 		res, err := RandomGreedy(g, simul.Config{Seed: 2})
 		if err != nil {

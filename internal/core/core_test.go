@@ -349,8 +349,8 @@ func TestAlgorithm2Structured(t *testing.T) {
 		"path":     graph.Path(20),
 		"cycle":    graph.Cycle(15),
 		"complete": graph.Complete(10),
-		"edgeless": graph.New(8),
-		"single":   graph.New(1),
+		"edgeless": graph.NewBuilder(8).MustBuild(),
+		"single":   graph.NewBuilder(1).MustBuild(),
 	} {
 		res, err := DistributedMaxIS(g, "luby", simul.Config{Seed: 24})
 		if err != nil {

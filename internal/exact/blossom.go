@@ -104,7 +104,8 @@ func (s *blossomSolver) findPath(root int) bool {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, to := range s.g.Neighbors(v) {
+		for _, to32 := range s.g.Neighbors(v) {
+			to := int(to32)
 			if s.base[v] == s.base[to] || s.match[v] == to {
 				continue
 			}

@@ -183,7 +183,8 @@ func MaxWeightISOnTree(g *graph.Graph) ([]bool, int64, error) {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			order = append(order, v)
-			for _, u := range g.Neighbors(v) {
+			for _, u32 := range g.Neighbors(v) {
+				u := int(u32)
 				if u == parent[v] {
 					continue
 				}
@@ -199,7 +200,8 @@ func MaxWeightISOnTree(g *graph.Graph) ([]bool, int64, error) {
 			v := order[i]
 			take[v] = g.NodeWeight(v)
 			skip[v] = 0
-			for _, u := range g.Neighbors(v) {
+			for _, u32 := range g.Neighbors(v) {
+				u := int(u32)
 				if u == parent[v] {
 					continue
 				}

@@ -41,7 +41,7 @@ func TestBlossomKnownGraphs(t *testing.T) {
 		{"complete7", graph.Complete(7), 3},
 		{"star9", graph.Star(9), 1},
 		{"single edge", graph.Path(2), 1},
-		{"edgeless", graph.New(5), 0},
+		{"edgeless", graph.NewBuilder(5).MustBuild(), 0},
 		{"grid3x3", graph.Grid(3, 3), 4},
 		{"petersen", petersen(), 5},
 	}
@@ -61,13 +61,13 @@ func TestBlossomKnownGraphs(t *testing.T) {
 // petersen builds the Petersen graph, whose maximum matching is perfect —
 // the classic stress test for blossom contraction.
 func petersen() *graph.Graph {
-	g := graph.New(10)
+	b := graph.NewBuilder(10)
 	for i := 0; i < 5; i++ {
-		g.MustAddEdge(i, (i+1)%5)     // outer C5
-		g.MustAddEdge(5+i, 5+(i+2)%5) // inner pentagram
-		g.MustAddEdge(i, 5+i)         // spokes
+		b.MustAddEdge(i, (i+1)%5)     // outer C5
+		b.MustAddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		b.MustAddEdge(i, 5+i)         // spokes
 	}
-	return g
+	return b.MustBuild()
 }
 
 func TestBlossomMatchesBruteForceCardinality(t *testing.T) {
@@ -114,7 +114,7 @@ func TestBruteMatchingWeighted(t *testing.T) {
 }
 
 func TestBruteMatchingRejectsLargeGraphs(t *testing.T) {
-	if _, _, err := MaxWeightMatchingBrute(graph.New(25)); err == nil {
+	if _, _, err := MaxWeightMatchingBrute(graph.NewBuilder(25).MustBuild()); err == nil {
 		t.Fatal("accepted 25 nodes")
 	}
 }
@@ -178,7 +178,7 @@ func TestMaxWeightISAgainstEnumeration(t *testing.T) {
 }
 
 func TestMaxWeightISRejectsLarge(t *testing.T) {
-	if _, _, err := MaxWeightIndependentSet(graph.New(65)); err == nil {
+	if _, _, err := MaxWeightIndependentSet(graph.NewBuilder(65).MustBuild()); err == nil {
 		t.Fatal("accepted 65 nodes")
 	}
 }
@@ -211,11 +211,12 @@ func TestTreeDPAgainstBranchAndBound(t *testing.T) {
 
 func TestTreeDPOnForest(t *testing.T) {
 	// Two disjoint paths.
-	g := graph.New(7)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(1, 2)
-	g.MustAddEdge(4, 5)
-	g.MustAddEdge(5, 6)
+	b := graph.NewBuilder(7)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(4, 5)
+	b.MustAddEdge(5, 6)
+	g := b.MustBuild()
 	in, w, err := MaxWeightISOnTree(g)
 	if err != nil {
 		t.Fatal(err)

@@ -53,8 +53,8 @@ func GreedyMinDegreeIS(g *graph.Graph) []bool {
 		}
 		out[pick] = true
 		kill := []int{pick}
-		for _, u := range g.Neighbors(pick) {
-			if alive[u] {
+		for _, u32 := range g.Neighbors(pick) {
+			if u := int(u32); alive[u] {
 				kill = append(kill, u)
 			}
 		}

@@ -64,16 +64,17 @@ func MCM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 // bucketSubgraph builds the subgraph of g containing exactly the given edge
 // IDs (all nodes retained) and a map from its edge IDs back to g's.
 func bucketSubgraph(g *graph.Graph, ids []int) (*graph.Graph, []int) {
-	sub := graph.New(g.N())
+	sb := graph.NewBuilder(g.N())
+	sb.Grow(len(ids))
 	back := make([]int, 0, len(ids))
 	for _, id := range ids {
 		e := g.EdgeByID(id)
-		if err := sub.AddWeightedEdge(e.U, e.V, g.EdgeWeight(id)); err != nil {
+		if err := sb.AddWeightedEdge(e.U, e.V, g.EdgeWeight(id)); err != nil {
 			panic(err) // ids come from g; cannot collide
 		}
 		back = append(back, id)
 	}
-	return sub, back
+	return sb.MustBuild(), back
 }
 
 // MWM2Eps computes a (2+ε)-approximate maximum weight matching following
@@ -124,7 +125,8 @@ func MWM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 		if len(gains) == 0 {
 			break
 		}
-		sub := graph.New(g.N())
+		sb := graph.NewBuilder(g.N())
+		sb.Grow(len(gains))
 		var back []int
 		ids := make([]int, 0, len(gains))
 		for id := range gains {
@@ -133,10 +135,14 @@ func MWM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 		sort.Ints(ids)
 		for _, id := range ids {
 			e := g.EdgeByID(id)
-			if err := sub.AddWeightedEdge(e.U, e.V, gains[id]); err != nil {
+			if err := sb.AddWeightedEdge(e.U, e.V, gains[id]); err != nil {
 				return nil, err
 			}
 			back = append(back, id)
+		}
+		sub, err := sb.Build()
+		if err != nil {
+			return nil, err
 		}
 		chosen, rounds, err := bucketedConstApprox(sub, eps, k, cfg, seed+uint64(iter)*7919)
 		if err != nil {

@@ -194,7 +194,7 @@ func TestProposalRoundAccounting(t *testing.T) {
 }
 
 func TestMWM2EpsEmptyAndTrivial(t *testing.T) {
-	res, err := MWM2Eps(graph.New(5), 0.5, 2, simul.Config{})
+	res, err := MWM2Eps(graph.NewBuilder(5).MustBuild(), 0.5, 2, simul.Config{})
 	if err != nil || len(res.Edges) != 0 {
 		t.Fatalf("edgeless graph: %v %v", res, err)
 	}

@@ -66,8 +66,8 @@ func Proposal(g *graph.Graph, eps float64, k int, r *rng.Stream) (*Result, error
 					continue
 				}
 				var options []int
-				for _, u := range g.Neighbors(v) {
-					if side[u] == 1 && mate[u] == -1 {
+				for _, u32 := range g.Neighbors(v) {
+					if u := int(u32); side[u] == 1 && mate[u] == -1 {
 						options = append(options, u)
 					}
 				}

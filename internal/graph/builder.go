@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Builder accumulates nodes, edges and weights and freezes them into an
+// immutable CSR Graph. It replaces the old mutable append-then-sort-lazily
+// Graph: construction cost is paid exactly once in Build, after which every
+// adjacency query is a binary search over flat arrays and every neighbor
+// enumeration is a zero-copy slice.
+//
+// AddEdge validates endpoints immediately; duplicate edges are detected in
+// Build (after the CSR sort, where they are adjacent and free to find).
+type Builder struct {
+	n     int
+	nodeW []int64
+	edges []Edge
+	edgeW []int64
+}
+
+// NewBuilder returns a builder for a graph with n nodes, all node weights 1.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return &Builder{n: n, nodeW: w}
+}
+
+// N returns the number of nodes.
+func (b *Builder) N() int { return b.n }
+
+// M returns the number of edges added so far.
+func (b *Builder) M() int { return len(b.edges) }
+
+// Grow preallocates capacity for m additional edges.
+func (b *Builder) Grow(m int) {
+	b.edges = slices.Grow(b.edges, m)
+	b.edgeW = slices.Grow(b.edgeW, m)
+}
+
+// AddEdge inserts the undirected edge {u, v} with edge weight 1.
+func (b *Builder) AddEdge(u, v int) error {
+	return b.AddWeightedEdge(u, v, 1)
+}
+
+// AddWeightedEdge inserts the undirected edge {u, v} carrying weight w.
+// Out-of-range endpoints and self-loops are rejected immediately; duplicate
+// edges are rejected by Build.
+func (b *Builder) AddWeightedEdge(u, v int, w int64) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at node %d", u)
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v}.Canon())
+	b.edgeW = append(b.edgeW, w)
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for generators and
+// tests where the inputs are known valid.
+func (b *Builder) MustAddEdge(u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// SetNodeWeight sets w(v). Weights must be positive (§2.2).
+func (b *Builder) SetNodeWeight(v int, w int64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive node weight %d", w))
+	}
+	b.nodeW[v] = w
+}
+
+// Build freezes the accumulated edges into an immutable CSR graph. The edge
+// arrays are transferred to the graph, not copied: after a successful Build
+// the builder is reset to an empty edge set (node weights are preserved) and
+// no further builder mutation is reflected in built graphs.
+func (b *Builder) Build() (*Graph, error) {
+	n, m := b.n, len(b.edges)
+	if int64(n) >= math.MaxInt32 || int64(m)*2 >= math.MaxInt32 {
+		return nil, fmt.Errorf("graph: %d nodes / %d edges exceed CSR int32 range", n, m)
+	}
+	g := &Graph{
+		n:         n,
+		offsets:   make([]int32, n+1),
+		neighbors: make([]int32, 2*m),
+		edgeIDs:   make([]int32, 2*m),
+		mirror:    make([]int32, 2*m),
+		nodeW:     b.nodeW,
+		edges:     b.edges,
+		edgeW:     b.edgeW,
+	}
+	// Degree counting pass, then prefix sums.
+	for _, e := range g.edges {
+		g.offsets[e.U+1]++
+		g.offsets[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		d := int(g.offsets[v+1])
+		if d > g.maxDeg {
+			g.maxDeg = d
+		}
+		g.offsets[v+1] += g.offsets[v]
+	}
+	// Fill pass: one arc per edge direction, packed as neighbor<<32 | edgeID
+	// so a plain uint64 sort orders each segment by neighbor without an
+	// interface-based comparator.
+	packed := make([]uint64, 2*m)
+	cursor := make([]int32, n)
+	copy(cursor, g.offsets[:n])
+	for id, e := range g.edges {
+		packed[cursor[e.U]] = uint64(e.V)<<32 | uint64(id)
+		cursor[e.U]++
+		packed[cursor[e.V]] = uint64(e.U)<<32 | uint64(id)
+		cursor[e.V]++
+	}
+	for v := 0; v < n; v++ {
+		seg := packed[g.offsets[v]:g.offsets[v+1]]
+		slices.Sort(seg)
+		for i, p := range seg {
+			u := int32(p >> 32)
+			if i > 0 && g.neighbors[int(g.offsets[v])+i-1] == u {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, u)
+			}
+			g.neighbors[int(g.offsets[v])+i] = u
+			g.edgeIDs[int(g.offsets[v])+i] = int32(p & 0xffffffff)
+		}
+	}
+	// Mirror pass: the two arcs of edge id are the two positions where id
+	// appears in edgeIDs; link them without any searching.
+	first := make([]int32, m)
+	for i := range first {
+		first[i] = -1
+	}
+	for k, id := range g.edgeIDs {
+		if first[id] < 0 {
+			first[id] = int32(k)
+		} else {
+			g.mirror[k] = first[id]
+			g.mirror[first[id]] = int32(k)
+		}
+	}
+	// Detach the builder so later builder mutations cannot alias the
+	// immutable graph.
+	b.nodeW = slices.Clone(b.nodeW)
+	b.edges = nil
+	b.edgeW = nil
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for generators whose
+// edge streams are duplicate-free by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// WithEdges returns a new graph equal to g plus the given extra edges, each
+// with weight 1. This is the amendment idiom for the immutable topology:
+// rebuild instead of mutate. Node weights carry over.
+func (g *Graph) WithEdges(extra ...Edge) (*Graph, error) {
+	b := NewBuilder(g.n)
+	copy(b.nodeW, g.nodeW)
+	b.Grow(len(g.edges) + len(extra))
+	for id, e := range g.edges {
+		if err := b.AddWeightedEdge(e.U, e.V, g.edgeW[id]); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range extra {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

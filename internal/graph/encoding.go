@@ -59,7 +59,7 @@ func Decode(r io.Reader) (*Graph, error) {
 	if n < 0 || m < 0 {
 		return nil, fmt.Errorf("graph: negative sizes in header %q", header)
 	}
-	g := New(n)
+	b := NewBuilder(n)
 
 	if n > 0 {
 		wLine, err := readLine()
@@ -78,7 +78,7 @@ func Decode(r io.Reader) (*Graph, error) {
 			if w <= 0 {
 				return nil, fmt.Errorf("graph: node %d has non-positive weight %d", v, w)
 			}
-			g.SetNodeWeight(v, w)
+			b.SetNodeWeight(v, w)
 		}
 	}
 
@@ -95,9 +95,9 @@ func Decode(r io.Reader) (*Graph, error) {
 		if w <= 0 {
 			return nil, fmt.Errorf("graph: edge %d has non-positive weight %d", i, w)
 		}
-		if err := g.AddWeightedEdge(u, v, w); err != nil {
+		if err := b.AddWeightedEdge(u, v, w); err != nil {
 			return nil, err
 		}
 	}
-	return g, nil
+	return b.Build()
 }

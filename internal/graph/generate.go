@@ -9,15 +9,15 @@ import (
 // GNP returns an Erdős–Rényi random graph G(n, p): each of the C(n,2)
 // possible edges is present independently with probability p.
 func GNP(n int, p float64, r *rng.Stream) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			if r.Bernoulli(p) {
-				g.MustAddEdge(u, v)
+				b.MustAddEdge(u, v)
 			}
 		}
 	}
-	return g
+	return b.MustBuild()
 }
 
 // RandomRegular returns a random d-regular graph on n nodes using the
@@ -31,7 +31,7 @@ func RandomRegular(n, d int, r *rng.Stream) (*Graph, error) {
 		return nil, fmt.Errorf("graph: RandomRegular requires n·d even, got n=%d d=%d", n, d)
 	}
 	if d == 0 {
-		return New(n), nil
+		return NewBuilder(n).MustBuild(), nil
 	}
 	// Random pairing of stubs.
 	stubs := make([]int, 0, n*d)
@@ -66,11 +66,12 @@ func RandomRegular(n, d int, r *rng.Stream) (*Graph, error) {
 			}
 		}
 		if badIdx == -1 {
-			g := New(n)
+			b := NewBuilder(n)
+			b.Grow(len(pairs))
 			for _, e := range pairs {
-				g.MustAddEdge(e.U, e.V)
+				b.MustAddEdge(e.U, e.V)
 			}
-			return g, nil
+			return b.MustBuild(), nil
 		}
 		j := r.Intn(len(pairs))
 		if j == badIdx {
@@ -103,7 +104,7 @@ func RandomRegular(n, d int, r *rng.Stream) (*Graph, error) {
 // an edge independently with probability p. side[v] is 0 for left, 1 for
 // right.
 func RandomBipartite(nl, nr int, p float64, r *rng.Stream) (g *Graph, side []int) {
-	g = New(nl + nr)
+	b := NewBuilder(nl + nr)
 	side = make([]int, nl+nr)
 	for v := nl; v < nl+nr; v++ {
 		side[v] = 1
@@ -111,30 +112,30 @@ func RandomBipartite(nl, nr int, p float64, r *rng.Stream) (g *Graph, side []int
 	for u := 0; u < nl; u++ {
 		for v := nl; v < nl+nr; v++ {
 			if r.Bernoulli(p) {
-				g.MustAddEdge(u, v)
+				b.MustAddEdge(u, v)
 			}
 		}
 	}
-	return g, side
+	return b.MustBuild(), side
 }
 
 // Star returns a star K_{1,n-1} with center 0. This is the example from §2.1
 // on which naive simultaneous weight reduction fails.
 func Star(n int) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for v := 1; v < n; v++ {
-		g.MustAddEdge(0, v)
+		b.MustAddEdge(0, v)
 	}
-	return g
+	return b.MustBuild()
 }
 
 // Path returns the path on n nodes 0-1-…-(n-1).
 func Path(n int) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	for v := 0; v+1 < n; v++ {
-		g.MustAddEdge(v, v+1)
+		b.MustAddEdge(v, v+1)
 	}
-	return g
+	return b.MustBuild()
 }
 
 // Cycle returns the cycle on n nodes; n must be at least 3.
@@ -142,49 +143,53 @@ func Cycle(n int) *Graph {
 	if n < 3 {
 		panic("graph: Cycle requires n >= 3")
 	}
-	g := Path(n)
-	g.MustAddEdge(n-1, 0)
-	return g
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.MustAddEdge(v, v+1)
+	}
+	b.MustAddEdge(n-1, 0)
+	return b.MustBuild()
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
+	b.Grow(n * (n - 1) / 2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			g.MustAddEdge(u, v)
+			b.MustAddEdge(u, v)
 		}
 	}
-	return g
+	return b.MustBuild()
 }
 
 // Grid returns the rows×cols grid graph.
 func Grid(rows, cols int) *Graph {
-	g := New(rows * cols)
+	b := NewBuilder(rows * cols)
 	id := func(r, c int) int { return r*cols + c }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				g.MustAddEdge(id(r, c), id(r, c+1))
+				b.MustAddEdge(id(r, c), id(r, c+1))
 			}
 			if r+1 < rows {
-				g.MustAddEdge(id(r, c), id(r+1, c))
+				b.MustAddEdge(id(r, c), id(r+1, c))
 			}
 		}
 	}
-	return g
+	return b.MustBuild()
 }
 
 // RandomTree returns a uniformly random labeled tree on n nodes via a random
 // Prüfer sequence.
 func RandomTree(n int, r *rng.Stream) *Graph {
-	g := New(n)
+	b := NewBuilder(n)
 	if n <= 1 {
-		return g
+		return b.MustBuild()
 	}
 	if n == 2 {
-		g.MustAddEdge(0, 1)
-		return g
+		b.MustAddEdge(0, 1)
+		return b.MustBuild()
 	}
 	prufer := make([]int, n-2)
 	deg := make([]int, n)
@@ -205,16 +210,16 @@ func RandomTree(n int, r *rng.Stream) *Graph {
 	}
 	for _, v := range prufer {
 		leaf := leafHeap.pop()
-		g.MustAddEdge(leaf, v)
+		b.MustAddEdge(leaf, v)
 		inSeq[v]--
 		if inSeq[v] == 0 {
 			leafHeap.push(v)
 		}
 	}
-	a := leafHeap.pop()
-	b := leafHeap.pop()
-	g.MustAddEdge(a, b)
-	return g
+	x := leafHeap.pop()
+	y := leafHeap.pop()
+	b.MustAddEdge(x, y)
+	return b.MustBuild()
 }
 
 // intHeap is a tiny binary min-heap of ints used by the Prüfer decoder.
@@ -262,18 +267,18 @@ func (h *intHeap) pop() int {
 // stressing the coloring-based algorithm.
 func Caterpillar(spineLen, legsPerSpine int) *Graph {
 	n := spineLen * (1 + legsPerSpine)
-	g := New(n)
+	b := NewBuilder(n)
 	for s := 0; s+1 < spineLen; s++ {
-		g.MustAddEdge(s, s+1)
+		b.MustAddEdge(s, s+1)
 	}
 	next := spineLen
 	for s := 0; s < spineLen; s++ {
 		for l := 0; l < legsPerSpine; l++ {
-			g.MustAddEdge(s, next)
+			b.MustAddEdge(s, next)
 			next++
 		}
 	}
-	return g
+	return b.MustBuild()
 }
 
 // AssignUniformNodeWeights draws each node weight uniformly from [1, maxW].

@@ -10,11 +10,19 @@
 //
 // Nodes are identified by dense integers 0..N()-1; this doubles as the
 // CONGEST model's assumption of unique O(log n)-bit identifiers.
+//
+// A Graph's topology is an immutable compressed-sparse-row (CSR) structure:
+// flat offsets/neighbors/edge-ID arrays with each node's neighbor segment
+// sorted ascending. Graphs are constructed through a Builder (see builder.go);
+// once built, only node and edge weights may change. Adjacency tests and
+// edge-ID lookups binary-search the sorted neighbor segment instead of
+// consulting a hash map, and Neighbors/IncidentEdges return zero-copy
+// subslices of the CSR arrays.
 package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Edge is an undirected edge in canonical form (U < V).
@@ -43,36 +51,27 @@ func (e Edge) Other(x int) int {
 }
 
 // Graph is an undirected graph with integer node weights and integer edge
-// weights. The zero value is an empty graph; use New to create a graph with a
-// fixed node count.
-//
-// Graph is immutable once built except through the Set* and AddEdge methods;
-// algorithms never mutate the graphs they are given.
+// weights, stored in CSR form. Topology is immutable after Build; node and
+// edge weights are mutable through SetNodeWeight/SetEdgeWeight. Construct
+// graphs with NewBuilder or the generators.
 type Graph struct {
-	n         int
-	adj       [][]int // neighbor lists, sorted after Finalize
-	nodeW     []int64
-	edges     []Edge
-	edgeW     []int64
-	edgeIndex map[Edge]int
-	sorted    bool
-}
-
-// New returns an edgeless graph with n nodes, all node weights 1.
-func New(n int) *Graph {
-	if n < 0 {
-		panic("graph: negative node count")
-	}
-	g := &Graph{
-		n:         n,
-		adj:       make([][]int, n),
-		nodeW:     make([]int64, n),
-		edgeIndex: make(map[Edge]int),
-	}
-	for i := range g.nodeW {
-		g.nodeW[i] = 1
-	}
-	return g
+	n int
+	// offsets has length n+1; node v's incident arcs occupy positions
+	// offsets[v]..offsets[v+1] of neighbors and edgeIDs.
+	offsets []int32
+	// neighbors holds each node's adjacent node IDs, sorted ascending within
+	// the node's segment. len(neighbors) == 2·M().
+	neighbors []int32
+	// edgeIDs[k] is the dense edge index of the arc {v, neighbors[k]}.
+	edgeIDs []int32
+	// mirror[k] is the position of the reverse arc: if position k holds the
+	// arc v→u, mirror[k] holds u→v. The round engine uses it for
+	// slot-addressed message delivery.
+	mirror []int32
+	nodeW  []int64
+	edges  []Edge // insertion order; index = dense edge ID
+	edgeW  []int64
+	maxDeg int
 }
 
 // N returns the number of nodes.
@@ -81,85 +80,73 @@ func (g *Graph) N() int { return g.n }
 // M returns the number of edges.
 func (g *Graph) M() int { return len(g.edges) }
 
-// AddEdge inserts the undirected edge {u, v} with edge weight 1. Self-loops
-// and duplicate edges are rejected with an error.
-func (g *Graph) AddEdge(u, v int) error {
-	return g.AddWeightedEdge(u, v, 1)
-}
-
-// AddWeightedEdge inserts the undirected edge {u, v} carrying weight w.
-func (g *Graph) AddWeightedEdge(u, v int, w int64) error {
-	if u < 0 || u >= g.n || v < 0 || v >= g.n {
-		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
-	}
-	if u == v {
-		return fmt.Errorf("graph: self-loop at node %d", u)
-	}
-	e := Edge{U: u, V: v}.Canon()
-	if _, dup := g.edgeIndex[e]; dup {
-		return fmt.Errorf("graph: duplicate edge {%d,%d}", u, v)
-	}
-	g.edgeIndex[e] = len(g.edges)
-	g.edges = append(g.edges, e)
-	g.edgeW = append(g.edgeW, w)
-	g.adj[u] = append(g.adj[u], v)
-	g.adj[v] = append(g.adj[v], u)
-	g.sorted = false
-	return nil
-}
-
-// MustAddEdge is AddEdge that panics on error; intended for generators and
-// tests where the inputs are known valid.
-func (g *Graph) MustAddEdge(u, v int) {
-	if err := g.AddEdge(u, v); err != nil {
-		panic(err)
-	}
-}
-
-// sortAdj sorts all adjacency lists; called lazily by accessors that promise
-// sorted order.
-func (g *Graph) sortAdj() {
-	if g.sorted {
-		return
-	}
-	for _, a := range g.adj {
-		sort.Ints(a)
-	}
-	g.sorted = true
-}
-
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int {
-	g.sortAdj()
-	return g.adj[v]
-}
-
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
 // MaxDegree returns ∆(G), the maximum degree; 0 for an edgeless graph.
-func (g *Graph) MaxDegree() int {
-	d := 0
-	for v := 0; v < g.n; v++ {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
-		}
-	}
-	return d
+func (g *Graph) MaxDegree() int { return g.maxDeg }
+
+// Neighbors returns the sorted neighbor IDs of v as a zero-copy view into the
+// CSR arrays. The slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+}
+
+// IncidentEdges returns the dense edge IDs incident to v, aligned with
+// Neighbors(v) (IncidentEdges(v)[i] is the edge to Neighbors(v)[i]). The
+// slice is a zero-copy view owned by the graph and must not be modified.
+func (g *Graph) IncidentEdges(v int) []int32 {
+	return g.edgeIDs[g.offsets[v]:g.offsets[v+1]]
+}
+
+// CSR exposes the raw offsets/neighbors/edgeIDs arrays for consumers that
+// iterate the whole structure (the round engine, fingerprinting, line-graph
+// construction). The arrays are owned by the graph and must not be modified.
+func (g *Graph) CSR() (offsets, neighbors, edgeIDs []int32) {
+	return g.offsets, g.neighbors, g.edgeIDs
+}
+
+// MirrorArcs returns mirror[k] = position of the reverse arc of position k in
+// the CSR arrays. The round engine uses it to deliver each message directly
+// into the receiver's inbox slot. The slice is owned by the graph and must
+// not be modified.
+func (g *Graph) MirrorArcs() []int32 { return g.mirror }
+
+// arcIndex returns the position of the arc u→v within u's CSR segment, or
+// false if {u,v} is not an edge. It binary-searches the sorted segment.
+func (g *Graph) arcIndex(u, v int) (int32, bool) {
+	seg := g.neighbors[g.offsets[u]:g.offsets[u+1]]
+	i, ok := slices.BinarySearch(seg, int32(v))
+	return g.offsets[u] + int32(i), ok
 }
 
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	_, ok := g.edgeIndex[Edge{U: u, V: v}.Canon()]
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	// Search from the lower-degree endpoint.
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	_, ok := g.arcIndex(u, v)
 	return ok
 }
 
 // EdgeID returns the dense index of edge {u, v} and whether it exists. Edge
 // indices identify nodes of the line graph.
 func (g *Graph) EdgeID(u, v int) (int, bool) {
-	id, ok := g.edgeIndex[Edge{U: u, V: v}.Canon()]
-	return id, ok
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	k, ok := g.arcIndex(u, v)
+	if !ok {
+		return 0, false
+	}
+	return int(g.edgeIDs[k]), true
 }
 
 // EdgeByID returns the edge with dense index id.
@@ -223,108 +210,58 @@ func (g *Graph) TotalNodeWeight() int64 {
 	return s
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a graph sharing g's immutable topology with independent
+// copies of the node and edge weights.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	copy(c.nodeW, g.nodeW)
-	for i, e := range g.edges {
-		if err := c.AddWeightedEdge(e.U, e.V, g.edgeW[i]); err != nil {
-			panic(err) // cannot happen: g is valid
-		}
-	}
-	return c
+	c := *g
+	c.nodeW = append([]int64(nil), g.nodeW...)
+	c.edgeW = append([]int64(nil), g.edgeW...)
+	return &c
 }
 
 // Validate checks internal consistency; it is used by generator tests and by
 // the CLI when loading untrusted input.
 func (g *Graph) Validate() error {
-	if len(g.adj) != g.n || len(g.nodeW) != g.n {
+	if len(g.offsets) != g.n+1 || len(g.nodeW) != g.n {
 		return fmt.Errorf("graph: inconsistent node arrays")
 	}
-	if len(g.edges) != len(g.edgeW) || len(g.edges) != len(g.edgeIndex) {
+	if len(g.edges) != len(g.edgeW) {
 		return fmt.Errorf("graph: inconsistent edge arrays")
 	}
-	degSum := 0
+	if len(g.neighbors) != 2*len(g.edges) || len(g.edgeIDs) != len(g.neighbors) || len(g.mirror) != len(g.neighbors) {
+		return fmt.Errorf("graph: handshake violation: %d arcs, 2m=%d", len(g.neighbors), 2*len(g.edges))
+	}
 	for v := 0; v < g.n; v++ {
-		degSum += len(g.adj[v])
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at node %d", v)
+		}
 		if g.nodeW[v] <= 0 {
 			return fmt.Errorf("graph: node %d has non-positive weight %d", v, g.nodeW[v])
 		}
-	}
-	if degSum != 2*len(g.edges) {
-		return fmt.Errorf("graph: handshake violation: Σdeg=%d, 2m=%d", degSum, 2*len(g.edges))
+		seg := g.Neighbors(v)
+		for i, u := range seg {
+			if i > 0 && seg[i-1] >= u {
+				return fmt.Errorf("graph: neighbor segment of %d not strictly sorted", v)
+			}
+			if int(u) < 0 || int(u) >= g.n || int(u) == v {
+				return fmt.Errorf("graph: bad neighbor %d of node %d", u, v)
+			}
+		}
 	}
 	for i, e := range g.edges {
 		if e.U >= e.V {
 			return fmt.Errorf("graph: edge %d = %v not canonical", i, e)
 		}
-		if got, ok := g.edgeIndex[e]; !ok || got != i {
+		if got, ok := g.EdgeID(e.U, e.V); !ok || got != i {
 			return fmt.Errorf("graph: edge index broken for %v", e)
 		}
 	}
+	for k, mk := range g.mirror {
+		if mk < 0 || int(mk) >= len(g.mirror) || int(g.mirror[mk]) != k {
+			return fmt.Errorf("graph: mirror arc broken at position %d", k)
+		}
+	}
 	return nil
-}
-
-// IncidentEdges returns the dense edge indices incident to v, in neighbor
-// order. A fresh slice is returned each call.
-func (g *Graph) IncidentEdges(v int) []int {
-	out := make([]int, 0, len(g.adj[v]))
-	for _, u := range g.Neighbors(v) {
-		id, _ := g.EdgeID(v, u)
-		out = append(out, id)
-	}
-	return out
-}
-
-// LineGraph returns L(G): one node per edge of g, adjacent iff the edges
-// share an endpoint. Node weights of L(G) are the edge weights of g, as
-// required for reducing maximum weight matching to MaxIS (§2.4).
-func (g *Graph) LineGraph() *Graph {
-	lg := New(len(g.edges))
-	for i := range g.edges {
-		lg.SetNodeWeight(i, g.edgeW[i])
-	}
-	// Two line-graph nodes are adjacent iff the edges share an endpoint:
-	// enumerate pairs of edges around each node of g.
-	for v := 0; v < g.n; v++ {
-		ids := g.IncidentEdges(v)
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				a, b := ids[i], ids[j]
-				if !lg.HasEdge(a, b) {
-					lg.MustAddEdge(a, b)
-				}
-			}
-		}
-	}
-	return lg
-}
-
-// InducedSubgraph returns the subgraph induced by keep (keep[v] true means v
-// survives) together with old→new and new→old node maps.
-func (g *Graph) InducedSubgraph(keep []bool) (sub *Graph, oldToNew, newToOld []int) {
-	oldToNew = make([]int, g.n)
-	for i := range oldToNew {
-		oldToNew[i] = -1
-	}
-	for v := 0; v < g.n; v++ {
-		if keep[v] {
-			oldToNew[v] = len(newToOld)
-			newToOld = append(newToOld, v)
-		}
-	}
-	sub = New(len(newToOld))
-	for i, v := range newToOld {
-		sub.SetNodeWeight(i, g.nodeW[v])
-	}
-	for i, e := range g.edges {
-		if keep[e.U] && keep[e.V] {
-			if err := sub.AddWeightedEdge(oldToNew[e.U], oldToNew[e.V], g.edgeW[i]); err != nil {
-				panic(err)
-			}
-		}
-	}
-	return sub, oldToNew, newToOld
 }
 
 // IsIndependentSet reports whether in[v] designates an independent set.
@@ -348,7 +285,7 @@ func (g *Graph) IsMaximalIndependentSet(in []bool) bool {
 			continue
 		}
 		covered := false
-		for _, u := range g.adj[v] {
+		for _, u := range g.Neighbors(v) {
 			if in[u] {
 				covered = true
 				break
@@ -448,10 +385,10 @@ func (g *Graph) Bipartition() ([]int, bool) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, u := range g.adj[v] {
+			for _, u := range g.Neighbors(v) {
 				if side[u] == -1 {
 					side[u] = 1 - side[v]
-					queue = append(queue, u)
+					queue = append(queue, int(u))
 				} else if side[u] == side[v] {
 					return nil, false
 				}
@@ -479,14 +416,71 @@ func (g *Graph) ConnectedComponents() ([]int, int) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, u := range g.adj[v] {
+			for _, u := range g.Neighbors(v) {
 				if comp[u] == -1 {
 					comp[u] = c
-					queue = append(queue, u)
+					queue = append(queue, int(u))
 				}
 			}
 		}
 		c++
 	}
 	return comp, c
+}
+
+// LineGraph returns L(G): one node per edge of g, adjacent iff the edges
+// share an endpoint. Node weights of L(G) are the edge weights of g, as
+// required for reducing maximum weight matching to MaxIS (§2.4).
+//
+// Construction consumes the CSR directly: in a simple graph two distinct
+// edges share at most one endpoint, so enumerating unordered pairs of
+// incident edges around every node emits each line-graph edge exactly once
+// and no deduplication index is needed.
+func (g *Graph) LineGraph() *Graph {
+	b := NewBuilder(len(g.edges))
+	for i := range g.edges {
+		b.SetNodeWeight(i, g.edgeW[i])
+	}
+	lineEdges := 0
+	for v := 0; v < g.n; v++ {
+		d := g.Degree(v)
+		lineEdges += d * (d - 1) / 2
+	}
+	b.Grow(lineEdges)
+	for v := 0; v < g.n; v++ {
+		ids := g.IncidentEdges(v)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				b.MustAddEdge(int(ids[i]), int(ids[j]))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// InducedSubgraph returns the subgraph induced by keep (keep[v] true means v
+// survives) together with old→new and new→old node maps.
+func (g *Graph) InducedSubgraph(keep []bool) (sub *Graph, oldToNew, newToOld []int) {
+	oldToNew = make([]int, g.n)
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if keep[v] {
+			oldToNew[v] = len(newToOld)
+			newToOld = append(newToOld, v)
+		}
+	}
+	b := NewBuilder(len(newToOld))
+	for i, v := range newToOld {
+		b.SetNodeWeight(i, g.nodeW[v])
+	}
+	for i, e := range g.edges {
+		if keep[e.U] && keep[e.V] {
+			if err := b.AddWeightedEdge(oldToNew[e.U], oldToNew[e.V], g.edgeW[i]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return b.MustBuild(), oldToNew, newToOld
 }

@@ -1,0 +1,71 @@
+package graph_test
+
+// Benchmarks for the graph core hot paths: construction, adjacency queries,
+// edge-ID lookup, and line-graph construction. These are the substrate costs
+// every algorithm in the repository pays.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func BenchmarkBuildGNP(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := graph.GNP(n, 8/float64(n), rng.New(7))
+				if g.N() != n {
+					b.Fatal("bad graph")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEdgeID(b *testing.B) {
+	g := graph.GNP(10000, 8/10000.0, rng.New(7))
+	edges := g.Edges()
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if _, ok := g.EdgeID(e.U, e.V); ok {
+			hits++
+		}
+	}
+	if hits != b.N {
+		b.Fatalf("missed %d lookups", b.N-hits)
+	}
+}
+
+func BenchmarkNeighborScan(b *testing.B) {
+	g := graph.GNP(10000, 8/10000.0, rng.New(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.N(); v++ {
+			for _, u := range g.Neighbors(v) {
+				sum += int64(u)
+			}
+		}
+	}
+	_ = sum
+}
+
+func BenchmarkLineGraph(b *testing.B) {
+	g := graph.GNP(2000, 8/2000.0, rng.New(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg := g.LineGraph()
+		if lg.N() != g.M() {
+			b.Fatal("bad line graph")
+		}
+	}
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestAddEdgeErrors(t *testing.T) {
-	g := New(3)
+	b := NewBuilder(3)
 	tests := []struct {
 		name string
 		u, v int
@@ -20,24 +20,29 @@ func TestAddEdgeErrors(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
-			if err := g.AddEdge(tc.u, tc.v); err == nil {
+			if err := b.AddEdge(tc.u, tc.v); err == nil {
 				t.Fatalf("AddEdge(%d,%d) succeeded, want error", tc.u, tc.v)
 			}
 		})
 	}
-	if err := g.AddEdge(0, 1); err != nil {
+	if err := b.AddEdge(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.AddEdge(1, 0); err == nil {
-		t.Fatal("duplicate edge (reversed) accepted")
+	// Duplicates surface at Build, not AddEdge.
+	if err := b.AddEdge(1, 0); err != nil {
+		t.Fatalf("AddEdge deferred duplicate check, got early error %v", err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate edge (reversed) accepted by Build")
 	}
 }
 
 func TestBasicAccessors(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(2, 1)
-	g.MustAddEdge(3, 1)
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 1)
+	b.MustAddEdge(3, 1)
+	g := b.MustBuild()
 	if g.N() != 4 || g.M() != 3 {
 		t.Fatalf("N=%d M=%d", g.N(), g.M())
 	}
@@ -45,7 +50,7 @@ func TestBasicAccessors(t *testing.T) {
 		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
 	}
 	nb := g.Neighbors(1)
-	want := []int{0, 2, 3}
+	want := []int32{0, 2, 3}
 	if len(nb) != len(want) {
 		t.Fatalf("Neighbors(1) = %v", nb)
 	}
@@ -80,8 +85,9 @@ func TestEdgeOther(t *testing.T) {
 }
 
 func TestWeights(t *testing.T) {
-	g := New(2)
-	g.MustAddEdge(0, 1)
+	b := NewBuilder(2)
+	b.MustAddEdge(0, 1)
+	g := b.MustBuild()
 	g.SetNodeWeight(0, 10)
 	g.SetNodeWeight(1, 4)
 	g.SetEdgeWeight(0, 7)
@@ -99,15 +105,17 @@ func TestWeights(t *testing.T) {
 	g.SetNodeWeight(0, 0)
 }
 
-func TestCloneIsDeep(t *testing.T) {
-	g := New(3)
-	g.MustAddEdge(0, 1)
+func TestCloneIndependentWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1)
+	g := b.MustBuild()
 	g.SetNodeWeight(2, 9)
+	g.SetEdgeWeight(0, 3)
 	c := g.Clone()
 	c.SetNodeWeight(2, 5)
-	c.MustAddEdge(1, 2)
-	if g.NodeWeight(2) != 9 || g.M() != 1 {
-		t.Fatal("Clone shares state with original")
+	c.SetEdgeWeight(0, 8)
+	if g.NodeWeight(2) != 9 || g.EdgeWeight(0) != 3 {
+		t.Fatal("Clone shares weight state with original")
 	}
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
@@ -317,10 +325,11 @@ func TestMatchingPredicates(t *testing.T) {
 }
 
 func TestConnectedComponents(t *testing.T) {
-	g := New(6)
-	g.MustAddEdge(0, 1)
-	g.MustAddEdge(2, 3)
-	g.MustAddEdge(3, 4)
+	b := NewBuilder(6)
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	b.MustAddEdge(3, 4)
+	g := b.MustBuild()
 	comp, nc := g.ConnectedComponents()
 	if nc != 3 {
 		t.Fatalf("components = %d, want 3", nc)

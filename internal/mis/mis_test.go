@@ -36,8 +36,8 @@ func TestMISOnStructuredGraphs(t *testing.T) {
 		"path":     graph.Path(25),
 		"cycle":    graph.Cycle(24),
 		"complete": graph.Complete(12),
-		"edgeless": graph.New(10),
-		"single":   graph.New(1),
+		"edgeless": graph.NewBuilder(10).MustBuild(),
+		"single":   graph.NewBuilder(1).MustBuild(),
 	}
 	for _, name := range allAlgos {
 		for gname, g := range graphs {

@@ -143,7 +143,7 @@ func TestKSweepChangesRounds(t *testing.T) {
 }
 
 func TestEdgelessAndSingleton(t *testing.T) {
-	for _, g := range []*graph.Graph{graph.New(0), graph.New(1), graph.New(5)} {
+	for _, g := range []*graph.Graph{graph.NewBuilder(0).MustBuild(), graph.NewBuilder(1).MustBuild(), graph.NewBuilder(5).MustBuild()} {
 		res, err := Run(g, Params{K: 2, Delta: 0.1}, simul.Config{})
 		if err != nil {
 			t.Fatal(err)

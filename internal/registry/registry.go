@@ -13,6 +13,7 @@ package registry
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"sort"
@@ -454,9 +455,25 @@ func Names() []string {
 }
 
 // Fingerprint returns a stable content hash of g (topology plus weights),
-// used to key the service's result cache.
+// used to key the service's result cache. It hashes the graph's CSR arrays
+// and weight vectors directly in binary — no text encoding pass — so
+// fingerprinting large graphs costs one linear scan.
 func Fingerprint(g *graph.Graph) string {
-	h := sha256.New()
-	graph.Encode(h, g)
-	return hex.EncodeToString(h.Sum(nil)[:16])
+	offsets, neighbors, edgeIDs := g.CSR()
+	buf := make([]byte, 0, 16+4*(len(offsets)+len(neighbors)+len(edgeIDs))+8*(g.N()+g.M()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.N()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.M()))
+	for _, arr := range [][]int32{offsets, neighbors, edgeIDs} {
+		for _, x := range arr {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(g.NodeWeight(v)))
+	}
+	for id := 0; id < g.M(); id++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(g.EdgeWeight(id)))
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:16])
 }

@@ -1,0 +1,86 @@
+package simul_test
+
+// Hot-path benchmarks for the round engine on the three generator families
+// the large-n sweeps use (ring, random, bipartite). These exercise exactly
+// the per-round machinery — inbox delivery, outbox handling, CONGEST
+// accounting — with a trivial automaton, so allocs/op and ns/op changes here
+// measure the engine, not any algorithm.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/simul"
+)
+
+// pulse is a minimal CONGEST-legal message.
+type pulse struct{ hop int32 }
+
+func (p pulse) Bits() int { return simul.BitsForRange(int64(p.hop)) + 1 }
+
+// gossip broadcasts for a fixed number of rounds, folding received hops into
+// local state so the inbox is actually read.
+type gossip struct {
+	rounds int
+	acc    int64
+}
+
+func (a *gossip) Step(ctx *simul.Context, inbox []simul.Envelope) {
+	for _, env := range inbox {
+		a.acc += int64(env.Msg.(pulse).hop) + int64(env.From&1)
+	}
+	if ctx.Round() >= a.rounds {
+		ctx.Halt(a.acc)
+		return
+	}
+	ctx.Broadcast(pulse{hop: int32(ctx.Round())})
+}
+
+func benchGraph(b *testing.B, family string, n int) *graph.Graph {
+	b.Helper()
+	switch family {
+	case "ring":
+		return graph.Cycle(n)
+	case "random":
+		return graph.GNP(n, 8/float64(n), rng.New(uint64(n)))
+	case "bipartite":
+		g, _ := graph.RandomBipartite(n/2, n/2, 8/float64(n), rng.New(uint64(n)))
+		return g
+	default:
+		b.Fatalf("unknown family %q", family)
+		return nil
+	}
+}
+
+func benchEngine(b *testing.B, family string, n, rounds int, parallel bool) {
+	g := benchGraph(b, family, n)
+	cfg := simul.Config{Seed: 42, Parallel: parallel}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
+			return &gossip{rounds: rounds}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Metrics.Rounds != rounds+1 {
+			b.Fatalf("want %d rounds, got %d", rounds+1, res.Metrics.Rounds)
+		}
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	for _, family := range []string{"ring", "random", "bipartite"} {
+		for _, n := range []int{1000, 10000} {
+			b.Run(fmt.Sprintf("%s/n=%d/seq", family, n), func(b *testing.B) {
+				benchEngine(b, family, n, 16, false)
+			})
+			b.Run(fmt.Sprintf("%s/n=%d/par", family, n), func(b *testing.B) {
+				benchEngine(b, family, n, 16, true)
+			})
+		}
+	}
+}

@@ -10,10 +10,33 @@
 // *checks*, rather than assumes, the paper's CONGEST claims.
 //
 // Algorithms are written as per-node automata (the Automaton interface).
-// Two engines execute them: a sequential engine and a goroutine-per-worker
-// parallel engine. Both are deterministic for a fixed Config.Seed because
-// every node draws randomness from its own rng.Stream and nodes interact only
-// via the round barrier.
+//
+// # Engine
+//
+// The engine is allocation-free in steady state. Because a node sends at most
+// one message per incident edge per round, inboxes and outboxes live in flat
+// arenas with one slot per arc (directed edge occurrence) of the graph's CSR
+// layout: node v's slots are positions offsets[v]..offsets[v+1]. A message
+// from v to u is written directly into u's slot for sender v via the graph's
+// precomputed mirror-arc index, so delivery is a slot-addressed store with no
+// queueing, no append, and no sorting — slots are ordered by sender ID
+// already, which yields the engine's canonical ascending-sender delivery
+// order. Each round runs four phases separated by barriers:
+//
+//	step     every live node consumes its (compacted) inbox and fills its
+//	         outbox slots; the consumed inbox slots are cleared
+//	collect  errors and halts are folded in deterministically (ascending ID)
+//	deliver  outbox slots are copied to the receivers' inbox slots and
+//	         cleared; metrics are accumulated per shard
+//	compact  each live node's inbox slots are compacted in place to the
+//	         prefix of its arena segment, preserving sender order
+//
+// The parallel engine shards nodes into contiguous CSR ranges balanced by
+// degree sum (cache-local, one shard per worker) and runs the step, deliver
+// and compact phases on a persistent worker pool. Both engines are
+// deterministic for a fixed Config.Seed: every node draws randomness from its
+// own rng.Stream, and all cross-node effects are slot-addressed writes that
+// commute, so the sequential and parallel engines produce identical results.
 package simul
 
 import (
@@ -21,7 +44,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/graph"
@@ -69,7 +92,9 @@ type Envelope struct {
 // reacts by updating local state and calling ctx.Send / ctx.Broadcast; it
 // terminates by calling ctx.Halt. After Halt, Step is never called again and
 // messages addressed to the node are dropped (the node has left the
-// computation, as in the paper's "return InIS/NotInIS").
+// computation, as in the paper's "return InIS/NotInIS"). The inbox slice is
+// only valid for the duration of the call: the engine reuses its backing
+// arena across rounds.
 type Automaton interface {
 	Step(ctx *Context, inbox []Envelope)
 }
@@ -88,7 +113,7 @@ type Config struct {
 	MaxRounds int
 	// Seed seeds the per-node randomness streams.
 	Seed uint64
-	// Parallel selects the goroutine worker-pool engine. The execution is
+	// Parallel selects the sharded worker-pool engine. The execution is
 	// identical to the sequential engine for the same Seed.
 	Parallel bool
 	// RecordRoundLog enables per-round statistics in Result.RoundLog.
@@ -128,21 +153,20 @@ type Result struct {
 // Context is the interface an automaton uses to interact with the network
 // during one Step call. It is only valid for the duration of that call.
 type Context struct {
-	id        int
-	round     int
-	g         *graph.Graph
-	rand      *rng.Stream
-	outbox    []outMsg
-	sentTo    map[int]bool
+	id    int
+	round int
+	g     *graph.Graph
+	rand  *rng.Stream
+	// nbrs is this node's CSR neighbor segment; out is the outbox arena view
+	// aligned with it (out[i] is the message queued for nbrs[i], nil if
+	// none). inbox is the compacted inbox arena view for the current round.
+	nbrs      []int32
+	out       []Message
+	inbox     []Envelope
 	halted    bool
 	output    any
 	err       error
 	bitBudget int // 0 = unlimited (LOCAL)
-}
-
-type outMsg struct {
-	to  int
-	msg Message
 }
 
 // ID returns this node's identifier (0..N-1). Identifiers double as the
@@ -160,11 +184,12 @@ func (c *Context) N() int { return c.g.N() }
 // (neighbors, degrees, weights) but must not mutate it.
 func (c *Context) Graph() *graph.Graph { return c.g }
 
-// Neighbors returns this node's neighbor IDs, sorted ascending.
-func (c *Context) Neighbors() []int { return c.g.Neighbors(c.id) }
+// Neighbors returns this node's neighbor IDs, sorted ascending. The slice is
+// a zero-copy CSR view and must not be modified.
+func (c *Context) Neighbors() []int32 { return c.nbrs }
 
 // Degree returns this node's degree.
-func (c *Context) Degree() int { return c.g.Degree(c.id) }
+func (c *Context) Degree() int { return len(c.nbrs) }
 
 // Rand returns this node's private randomness stream.
 func (c *Context) Rand() *rng.Stream { return c.rand }
@@ -176,12 +201,25 @@ func (c *Context) Send(to int, m Message) {
 	if c.err != nil {
 		return
 	}
-	if !c.g.HasEdge(c.id, to) {
+	i, ok := 0, false
+	if uint(to) < uint(c.g.N()) { // range check before the int32 narrowing
+		i, ok = slices.BinarySearch(c.nbrs, int32(to))
+	}
+	if !ok {
 		c.err = fmt.Errorf("simul: round %d: node %d sent to non-neighbor %d", c.round, c.id, to)
 		return
 	}
-	if c.sentTo[to] {
-		c.err = fmt.Errorf("simul: round %d: node %d sent twice to neighbor %d (CONGEST allows one message per edge per round)", c.round, c.id, to)
+	c.sendSlot(i, m)
+}
+
+// sendSlot queues m in outbox slot i (the slot for neighbor c.nbrs[i]).
+func (c *Context) sendSlot(i int, m Message) {
+	if m == nil {
+		c.err = fmt.Errorf("simul: round %d: node %d sent a nil message", c.round, c.id)
+		return
+	}
+	if c.out[i] != nil {
+		c.err = fmt.Errorf("simul: round %d: node %d sent twice to neighbor %d (CONGEST allows one message per edge per round)", c.round, c.id, int(c.nbrs[i]))
 		return
 	}
 	if c.bitBudget > 0 {
@@ -190,14 +228,17 @@ func (c *Context) Send(to int, m Message) {
 			return
 		}
 	}
-	c.sentTo[to] = true
-	c.outbox = append(c.outbox, outMsg{to: to, msg: m})
+	c.out[i] = m
 }
 
-// Broadcast sends m to every neighbor.
+// Broadcast sends m to every neighbor. Slots are addressed by index — the
+// i-th neighbor's outbox slot is out[i] — so no per-neighbor search is paid.
 func (c *Context) Broadcast(m Message) {
-	for _, u := range c.Neighbors() {
-		c.Send(u, m)
+	for i := range c.nbrs {
+		if c.err != nil {
+			return
+		}
+		c.sendSlot(i, m)
 	}
 }
 
@@ -206,6 +247,35 @@ func (c *Context) Broadcast(m Message) {
 func (c *Context) Halt(output any) {
 	c.halted = true
 	c.output = output
+}
+
+// shard is one worker's contiguous node range plus its per-round counters.
+type shard struct {
+	lo, hi   int // node range [lo, hi)
+	active   int
+	messages int
+	bits     int
+	maxBits  int
+	_        [16]byte // pad to a cache line so counters don't false-share
+}
+
+// engine holds one run's preallocated state.
+type engine struct {
+	g       *graph.Graph
+	autos   []Automaton
+	ctxs    []Context
+	offsets []int32
+	nbrs    []int32
+	mirror  []int32
+	// inArena/outArena have one slot per arc. A node's slots are its CSR
+	// segment; inbox slots are keyed by sender (mirror-addressed writes),
+	// outbox slots by receiver.
+	inArena  []Envelope
+	outArena []Message
+	halted   []bool
+	stepped  []bool
+	round    int
+	shards   []shard
 }
 
 // Run executes the distributed algorithm defined by build on the graph g.
@@ -223,30 +293,39 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 		budget = cfg.BitsFactor * ceilLog2(n+1)
 	}
 
-	autos := make([]Automaton, n)
-	ctxs := make([]*Context, n)
-	master := rng.New(cfg.Seed)
-	for v := 0; v < n; v++ {
-		autos[v] = build(v)
-		ctxs[v] = &Context{
-			id:        v,
-			g:         g,
-			rand:      master.Split(uint64(v)),
-			sentTo:    make(map[int]bool),
-			bitBudget: budget,
-		}
-	}
-
 	res := &Result{
 		Outputs: make([]any, n),
 		Metrics: Metrics{BitBudget: budget},
 	}
-	inboxes := make([][]Envelope, n)
-	nextInboxes := make([][]Envelope, n)
-	halted := make([]bool, n)
-	liveCount := n
-	if liveCount == 0 {
+	if n == 0 {
 		return res, nil
+	}
+
+	offsets, nbrs, _ := g.CSR()
+	e := &engine{
+		g:        g,
+		autos:    make([]Automaton, n),
+		ctxs:     make([]Context, n),
+		offsets:  offsets,
+		nbrs:     nbrs,
+		mirror:   g.MirrorArcs(),
+		inArena:  make([]Envelope, len(nbrs)),
+		outArena: make([]Message, len(nbrs)),
+		halted:   make([]bool, n),
+		stepped:  make([]bool, n),
+	}
+	master := rng.New(cfg.Seed)
+	for v := 0; v < n; v++ {
+		e.autos[v] = build(v)
+		e.ctxs[v] = Context{
+			id:        v,
+			g:         g,
+			rand:      master.Split(uint64(v)),
+			nbrs:      nbrs[offsets[v]:offsets[v+1]],
+			out:       e.outArena[offsets[v]:offsets[v+1]],
+			inbox:     e.inArena[offsets[v]:offsets[v]],
+			bitBudget: budget,
+		}
 	}
 
 	workers := 1
@@ -259,108 +338,188 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 			workers = 1
 		}
 	}
+	e.shards = shardByDegree(offsets, n, workers)
 
-	for round := 0; liveCount > 0; round++ {
-		if round >= cfg.MaxRounds {
+	// Persistent worker pool: workers 1..k-1 wait on their channel; shard 0
+	// runs on the caller goroutine. Phase funcs are allocated once, so the
+	// per-round cost is a few channel operations and no allocation.
+	var wg sync.WaitGroup
+	var work []chan func(s *shard)
+	if len(e.shards) > 1 {
+		work = make([]chan func(s *shard), len(e.shards))
+		for w := 1; w < len(e.shards); w++ {
+			work[w] = make(chan func(s *shard), 1)
+			go func(w int) {
+				for f := range work[w] {
+					f(&e.shards[w])
+					wg.Done()
+				}
+			}(w)
+		}
+		defer func() {
+			for w := 1; w < len(work); w++ {
+				close(work[w])
+			}
+		}()
+	}
+	runPhase := func(f func(s *shard)) {
+		if len(e.shards) == 1 {
+			f(&e.shards[0])
+			return
+		}
+		wg.Add(len(e.shards) - 1)
+		for w := 1; w < len(e.shards); w++ {
+			work[w] <- f
+		}
+		f(&e.shards[0])
+		wg.Wait()
+	}
+	stepPhase := func(s *shard) { e.step(s) }
+	deliverPhase := func(s *shard) { e.deliver(s) }
+	compactPhase := func(s *shard) { e.compact(s) }
+
+	liveCount := n
+	for e.round = 0; liveCount > 0; e.round++ {
+		if e.round >= cfg.MaxRounds {
 			return res, fmt.Errorf("%w: %d nodes still live after %d rounds", ErrRoundLimit, liveCount, cfg.MaxRounds)
 		}
-		// Step all live nodes.
-		stepNode := func(v int) {
-			ctx := ctxs[v]
-			ctx.round = round
-			ctx.outbox = ctx.outbox[:0]
-			for k := range ctx.sentTo {
-				delete(ctx.sentTo, k)
-			}
-			autos[v].Step(ctx, inboxes[v])
-		}
-		active := 0
-		if workers == 1 {
-			for v := 0; v < n; v++ {
-				if !halted[v] {
-					stepNode(v)
-					active++
-				}
-			}
-		} else {
-			var wg sync.WaitGroup
-			next := make(chan int)
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for v := range next {
-						stepNode(v)
-					}
-				}()
-			}
-			for v := 0; v < n; v++ {
-				if !halted[v] {
-					next <- v
-					active++
-				}
-			}
-			close(next)
-			wg.Wait()
-		}
 
-		// Merge outboxes deterministically (ascending sender ID) and collect
-		// metrics, halts, and errors.
-		roundMsgs, roundBits := 0, 0
+		runPhase(stepPhase)
+
+		// Collect errors and halts deterministically (ascending node ID).
 		for v := 0; v < n; v++ {
-			if halted[v] {
-				continue
-			}
-			ctx := ctxs[v]
-			if ctx.err != nil {
-				return res, ctx.err
-			}
-			for _, om := range ctx.outbox {
-				b := om.msg.Bits()
-				roundMsgs++
-				roundBits += b
-				if b > res.Metrics.MaxMessageBits {
-					res.Metrics.MaxMessageBits = b
-				}
-				nextInboxes[om.to] = append(nextInboxes[om.to], Envelope{From: v, Msg: om.msg})
+			if e.stepped[v] && e.ctxs[v].err != nil {
+				return res, e.ctxs[v].err
 			}
 		}
 		for v := 0; v < n; v++ {
-			if halted[v] {
-				continue
-			}
-			if ctxs[v].halted {
-				halted[v] = true
-				res.Outputs[v] = ctxs[v].output
+			if e.stepped[v] && e.ctxs[v].halted {
+				e.halted[v] = true
+				res.Outputs[v] = e.ctxs[v].output
 				liveCount--
 			}
 		}
 
+		runPhase(deliverPhase)
+		runPhase(compactPhase)
+
+		active, roundMsgs, roundBits := 0, 0, 0
+		for i := range e.shards {
+			s := &e.shards[i]
+			active += s.active
+			roundMsgs += s.messages
+			roundBits += s.bits
+			if s.maxBits > res.Metrics.MaxMessageBits {
+				res.Metrics.MaxMessageBits = s.maxBits
+			}
+			s.active, s.messages, s.bits, s.maxBits = 0, 0, 0, 0
+		}
 		res.Metrics.Rounds++
 		res.Metrics.Messages += roundMsgs
 		res.Metrics.TotalBits += roundBits
 		if cfg.RecordRoundLog {
 			res.RoundLog = append(res.RoundLog, RoundStats{
-				Round: round, Active: active, Messages: roundMsgs, Bits: roundBits,
-			})
-		}
-
-		// Swap inboxes; drop messages to halted nodes and sort by sender for
-		// a canonical delivery order (parallel mode appends in sender order
-		// already, but sorting keeps the contract explicit).
-		for v := 0; v < n; v++ {
-			inboxes[v] = inboxes[v][:0]
-			if halted[v] {
-				nextInboxes[v] = nextInboxes[v][:0]
-				continue
-			}
-			inboxes[v], nextInboxes[v] = nextInboxes[v], inboxes[v]
-			sort.SliceStable(inboxes[v], func(i, j int) bool {
-				return inboxes[v][i].From < inboxes[v][j].From
+				Round: e.round, Active: active, Messages: roundMsgs, Bits: roundBits,
 			})
 		}
 	}
 	return res, nil
+}
+
+// step runs every live node of the shard and clears the consumed inbox slots
+// so the arena is ready for the next delivery into this segment.
+func (e *engine) step(s *shard) {
+	for v := s.lo; v < s.hi; v++ {
+		if e.halted[v] {
+			continue
+		}
+		ctx := &e.ctxs[v]
+		ctx.round = e.round
+		e.autos[v].Step(ctx, ctx.inbox)
+		for j := range ctx.inbox {
+			ctx.inbox[j] = Envelope{}
+		}
+		e.stepped[v] = true
+		s.active++
+	}
+}
+
+// deliver copies each stepped node's outbox slots into the receivers' inbox
+// slots via the mirror-arc index and accumulates metrics. Each arena slot is
+// written by exactly one sender, so shards never contend.
+func (e *engine) deliver(s *shard) {
+	for v := s.lo; v < s.hi; v++ {
+		if !e.stepped[v] {
+			continue
+		}
+		e.stepped[v] = false
+		lo, hi := e.offsets[v], e.offsets[v+1]
+		for k := lo; k < hi; k++ {
+			m := e.outArena[k]
+			if m == nil {
+				continue
+			}
+			e.outArena[k] = nil
+			b := m.Bits()
+			s.messages++
+			s.bits += b
+			if b > s.maxBits {
+				s.maxBits = b
+			}
+			if u := e.nbrs[k]; !e.halted[u] {
+				e.inArena[e.mirror[k]] = Envelope{From: v, Msg: m}
+			}
+		}
+	}
+}
+
+// compact packs each live node's delivered messages to the front of its arena
+// segment, preserving slot order — slots are keyed by sender position in the
+// sorted CSR segment, so the resulting inbox is ordered by ascending sender
+// ID, the engine's canonical delivery order.
+func (e *engine) compact(s *shard) {
+	for v := s.lo; v < s.hi; v++ {
+		if e.halted[v] {
+			continue
+		}
+		seg := e.inArena[e.offsets[v]:e.offsets[v+1]]
+		w := 0
+		for j := range seg {
+			if seg[j].Msg != nil {
+				if j != w {
+					seg[w] = seg[j]
+					seg[j] = Envelope{}
+				}
+				w++
+			}
+		}
+		e.ctxs[v].inbox = seg[:w]
+	}
+}
+
+// shardByDegree cuts 0..n into `workers` contiguous ranges with roughly equal
+// arc counts (degree sums), so each worker touches a compact, similar-sized
+// region of the arenas.
+func shardByDegree(offsets []int32, n, workers int) []shard {
+	if workers <= 1 {
+		return []shard{{lo: 0, hi: n}}
+	}
+	// Weight each node by degree+1 so degree-0 stretches still split; cut
+	// whenever the running weight reaches the remaining average.
+	remaining := int(offsets[n]) + n
+	shards := make([]shard, 0, workers)
+	lo, acc := 0, 0
+	for v := 0; v < n; v++ {
+		acc += int(offsets[v+1]-offsets[v]) + 1
+		left := workers - len(shards)
+		if left > 1 && acc >= remaining/left {
+			shards = append(shards, shard{lo: lo, hi: v + 1})
+			remaining -= acc
+			lo, acc = v+1, 0
+		}
+	}
+	shards = append(shards, shard{lo: lo, hi: n})
+	return shards
 }
 
 // ceilLog2 returns ⌈log₂ x⌉ for x ≥ 1.

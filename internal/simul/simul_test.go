@@ -282,7 +282,7 @@ func TestRoundLogRecording(t *testing.T) {
 }
 
 func TestEmptyGraph(t *testing.T) {
-	res, err := Run(graph.New(0), Config{}, func(v int) Automaton {
+	res, err := Run(graph.NewBuilder(0).MustBuild(), Config{}, func(v int) Automaton {
 		t.Fatal("build called for empty graph")
 		return nil
 	})

@@ -27,7 +27,7 @@
 // cmd/distmatch, cmd/sweep and cmd/benchtab CLIs, and the cmd/reprod job
 // service — identical seeds give identical results across all of them.
 //
-// Graphs are built with the re-exported constructors (NewGraph, GNP,
+// Graphs are built with the re-exported constructors (NewGraphBuilder, GNP,
 // RandomRegular, …). All algorithms are deterministic given WithSeed.
 package repro
 
@@ -41,20 +41,28 @@ import (
 )
 
 // Graph is the undirected node- and edge-weighted graph all algorithms run
-// on. See NewGraph and the generators below.
+// on. Topology is an immutable CSR structure: build graphs with
+// NewGraphBuilder or the generators below, and amend built graphs with
+// Graph.WithEdges.
 type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and freezes them into an immutable Graph.
+type GraphBuilder = graph.Builder
+
+// GraphEdge is an undirected edge in canonical form (U < V).
+type GraphEdge = graph.Edge
 
 // Graph constructors re-exported from the graph substrate.
 var (
-	NewGraph    = graph.New
-	Star        = graph.Star
-	Path        = graph.Path
-	Cycle       = graph.Cycle
-	Complete    = graph.Complete
-	Grid        = graph.Grid
-	Caterpillar = graph.Caterpillar
-	EncodeGraph = graph.Encode
-	DecodeGraph = graph.Decode
+	NewGraphBuilder = graph.NewBuilder
+	Star            = graph.Star
+	Path            = graph.Path
+	Cycle           = graph.Cycle
+	Complete        = graph.Complete
+	Grid            = graph.Grid
+	Caterpillar     = graph.Caterpillar
+	EncodeGraph     = graph.Encode
+	DecodeGraph     = graph.Decode
 )
 
 // GNP returns an Erdős–Rényi G(n, p) graph drawn with the given seed.
