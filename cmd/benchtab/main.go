@@ -10,9 +10,17 @@
 // wall-clock time and allocation counts per row, so the repository's
 // performance trajectory accumulates comparable data points over time.
 //
+// With -compare <file> the fresh measurements are diffed against a previous
+// record: per-row wall_ms and allocs_per_run deltas are printed, and the
+// process exits non-zero if any row's allocs_per_run regressed by more than
+// -threshold percent. Allocation counts are deterministic for a fixed
+// (n, trials, seed), which is what makes them a CI-enforceable gate where
+// wall-clock (reported, but noisy on shared runners) is not.
+//
 // Usage:
 //
 //	benchtab [-n nodes] [-trials k] [-seed s] [-json] [-out file]
+//	         [-compare BENCH_baseline.json] [-threshold pct]
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -74,6 +83,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed")
 	jsonOut := flag.Bool("json", false, "also write a BENCH_<date>.json perf record")
 	outPath := flag.String("out", "", "perf record path (default BENCH_<date>.json; implies -json)")
+	compare := flag.String("compare", "", "previous perf record to diff against; exit 1 on allocs_per_run regression beyond -threshold")
+	threshold := flag.Float64("threshold", 25, "allowed allocs_per_run regression for -compare, in percent")
 	flag.Parse()
 	if *trials < 1 {
 		log.Fatalf("trials must be ≥ 1, got %d", *trials)
@@ -167,6 +178,84 @@ func main() {
 		}
 		fmt.Printf("\nperf record written to %s\n", path)
 	}
+	if *compare != "" {
+		if err := compareRecords(*compare, &record, *threshold); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// compareRecords diffs the fresh record against a previous one and returns an
+// error if any row's allocs_per_run regressed beyond threshold percent.
+func compareRecords(path string, cur *benchRecord, threshold float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prev benchRecord
+	if err := json.Unmarshal(blob, &prev); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if prev.N != cur.N || prev.Trials != cur.Trials || prev.Seed != cur.Seed {
+		// allocs_per_run scales with the workload, so gating across different
+		// configurations would fail (or worse, pass) spuriously; refuse.
+		return fmt.Errorf("records not comparable: baseline (n=%d trials=%d seed=%d) vs current (n=%d trials=%d seed=%d); rerun with matching flags",
+			prev.N, prev.Trials, prev.Seed, cur.N, cur.Trials, cur.Seed)
+	}
+	prevByAlgo := make(map[string]benchRow, len(prev.Rows))
+	for _, r := range prev.Rows {
+		prevByAlgo[r.Algo] = r
+	}
+	fmt.Printf("\ncomparison against %s (%s):\n", path, prev.Date)
+	fmt.Printf("%-12s %12s %12s %8s %14s %14s %9s\n",
+		"algo", "wall_ms", "wall_ms'", "Δwall", "allocs", "allocs'", "Δallocs")
+	var worstAlgo string
+	var worstPct float64
+	var unmatched []string
+	for _, r := range cur.Rows {
+		p, ok := prevByAlgo[r.Algo]
+		if !ok {
+			fmt.Printf("%-12s %51s\n", r.Algo, "(no baseline row)")
+			unmatched = append(unmatched, r.Algo)
+			continue
+		}
+		delete(prevByAlgo, r.Algo)
+		wallPct := pctDelta(float64(r.WallMS), float64(p.WallMS))
+		allocPct := pctDelta(float64(r.AllocsPer), float64(p.AllocsPer))
+		fmt.Printf("%-12s %12.3f %12.3f %+7.1f%% %14d %14d %+8.1f%%\n",
+			r.Algo, p.WallMS, r.WallMS, wallPct, p.AllocsPer, r.AllocsPer, allocPct)
+		if allocPct > worstPct {
+			worstPct, worstAlgo = allocPct, r.Algo
+		}
+	}
+	for algo := range prevByAlgo {
+		fmt.Printf("%-12s %51s\n", algo, "(baseline row missing from current run)")
+		unmatched = append(unmatched, algo)
+	}
+	if len(unmatched) > 0 {
+		// An unmatched row means the gate cannot gate it; fail loudly so a
+		// renamed or dropped algorithm forces a baseline regeneration rather
+		// than silently escaping the regression check.
+		return fmt.Errorf("rows without a counterpart in both records: %v; regenerate the baseline (-out) alongside the row change", unmatched)
+	}
+	if worstPct > threshold {
+		return fmt.Errorf("allocs_per_run regression: %s is %.1f%% above the baseline (threshold %.1f%%)", worstAlgo, worstPct, threshold)
+	}
+	fmt.Printf("allocs_per_run within %.1f%% of baseline (worst: %+.1f%%)\n", threshold, worstPct)
+	return nil
+}
+
+// pctDelta returns the percent change from prev to cur. Growth from a zero
+// baseline is +Inf — above any finite threshold — so a row that once reached
+// zero allocations can never silently regress past the gate.
+func pctDelta(cur, prev float64) float64 {
+	if prev == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - prev) / prev * 100
 }
 
 func isRatio(g *repro.Graph, res *repro.RunResult) float64 {

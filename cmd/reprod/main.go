@@ -28,6 +28,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +45,7 @@ func main() {
 	queue := flag.Int("queue", 256, "job queue capacity")
 	cache := flag.Int("cache", 128, "LRU result-cache entries")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job timeout")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 
 	svc := service.New(service.Config{
@@ -53,9 +55,27 @@ func main() {
 		DefaultTimeout: *timeout,
 	})
 
+	handler := newHandler(svc)
+	if *pprofOn {
+		// Profiling stays off the default surface: the handlers expose stack
+		// traces and timings, so they are gated behind an explicit flag
+		// rather than mounted unconditionally (run `go tool pprof
+		// http://host/debug/pprof/profile` against a -pprof server to
+		// profile the service in situ).
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("pprof handlers enabled at /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -219,11 +219,14 @@ func TestSubmitInlineGraph(t *testing.T) {
 func TestCancellation(t *testing.T) {
 	ts, _ := newTestServer(t, service.Config{Workers: 1})
 
-	// Keep the lone worker busy for several hundred ms (each blocker takes
-	// ~100ms+), then cancel a job queued behind the pile.
+	// Keep the lone worker busy for over a second (each blocker takes
+	// ~300ms+ even after the arena-runtime speedups), then cancel a job
+	// queued behind the pile. The sizing must leave the worker clearly
+	// behind the submissions even on a single-CPU runner, where posting
+	// contends with job execution.
 	var blockers []string
 	for i := 0; i < 4; i++ {
-		busy := fmt.Sprintf(`{"algo":"maxis","gen":{"gen":"gnp","n":500,"p":0.04,"seed":%d}}`, i+1)
+		busy := fmt.Sprintf(`{"algo":"maxis","gen":{"gen":"gnp","n":1500,"p":0.013,"seed":%d}}`, i+1)
 		b, code := postJob(t, ts, busy)
 		if code != http.StatusAccepted {
 			t.Fatalf("busy job status %d", code)

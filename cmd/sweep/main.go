@@ -16,7 +16,7 @@ import (
 	"flag"
 	"log"
 	"os"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro"
@@ -40,7 +40,7 @@ func main() {
 	for name := range experiments {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	exp := flag.String("exp", "E1", "experiment id ("+strings.Join(names, ", ")+")")
 	trials := flag.Int("trials", 3, "trials per configuration")
 	flag.Parse()

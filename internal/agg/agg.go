@@ -23,6 +23,25 @@
 //   - RunLineNaive: the naive simulation the paper warns about, which relays
 //     every incident edge's data individually and pays a Θ(∆) round factor;
 //     kept as the ablation baseline (experiment E8).
+//
+// # Arena runtime
+//
+// All three runtimes are allocation-free in steady state, mirroring the round
+// engine one layer up (DESIGN.md §2c). Per-virtual-node Data vectors, the
+// message payloads, and the per-edge simulation states live in flat []int64 /
+// struct arenas sized once from the graph's CSR layout and reused across
+// rounds; messages are pooled concrete types whose payloads view into those
+// arenas. The contract this imposes on Machines:
+//
+//   - Init fills a caller-provided Data vector of exactly Fields() elements
+//     (an arena view) instead of allocating one.
+//   - Queries appends to a caller-provided buffer and returns it. Because
+//     Queries must be pure in (info, t, data) anyway, machines precompute
+//     their query plans — including every Proj closure — once at construction
+//     and append plan slices, so the per-round cost is a memcpy of Query
+//     headers, never a closure allocation.
+//   - Update may retain no slice it is handed: data and results are arena
+//     views that the runtime reuses the next round.
 package agg
 
 import (
@@ -141,7 +160,9 @@ var (
 
 // Query asks for Agg over Proj(D_u) for every live neighbor u. Proj must be a
 // pure function of the neighbor's Data (it is evaluated independently at both
-// endpoints in the line-graph runtime).
+// endpoints in the line-graph runtime). Construct Query values once, in a
+// machine's precomputed query plan — allocating Proj closures per round is
+// what the arena runtime exists to avoid.
 type Query struct {
 	Agg  Aggregate
 	Proj func(Data) int64
@@ -178,7 +199,7 @@ type NodeInfo struct {
 //
 // Protocol, in virtual rounds t = 0, 1, …:
 //
-//	data₀ = Init()
+//	Init(info, data₀)                             // fills the zeroed data₀
 //	results_t = [q.Eval over live neighbors' data_t) for q in Queries(t, data_t)]
 //	halt, output = Update(t, data_t, results_t)   // mutates data in place → data_{t+1}
 //
@@ -187,13 +208,28 @@ type NodeInfo struct {
 // announce a decision before leaving (the paper's addedToIS/removed
 // messages), publish the decision in data at round t and halt at round t+1.
 //
-// Queries must depend only on (info, t, data) — never on private state or
-// info.Rand — because the line-graph runtime re-evaluates them at the
-// secondary endpoint.
+// Init fills the caller-provided data vector, which has exactly Fields()
+// elements and is zeroed; the vector is an arena view owned by the runtime.
+//
+// Queries appends this round's queries to qs and returns the extended slice.
+// It must depend only on (info, t, data) — never on private state or
+// info.Rand — because the line-graph runtime re-evaluates it at the secondary
+// endpoint. Machines precompute their query plans (see the package comment)
+// and must append into qs rather than return internal slices, so the
+// runtime's buffer is what grows to steady state.
+//
+// A machine that keeps all per-node state in the Data vector (every machine
+// in this repository does) may be shared across virtual nodes: build may
+// return the same instance for every node. Sharing makes the instance's
+// precomputed query plans shared too, which lets the line runtime answer the
+// "every live edge except me" partials of a whole real node from one
+// prefix/suffix fold per query (the [LPSR09] exchange-folding trick; see
+// memo.go) instead of one O(∆) fold per simulated edge. Shared machines must
+// be safe for concurrent method calls — stateless machines are.
 type Machine interface {
 	Fields() int
-	Init(info *NodeInfo) Data
-	Queries(info *NodeInfo, t int, data Data) []Query
+	Init(info *NodeInfo, data Data)
+	Queries(info *NodeInfo, t int, data Data, qs []Query) []Query
 	Update(info *NodeInfo, t int, data Data, results []int64) (halt bool, output any)
 }
 
@@ -207,9 +243,12 @@ type Result struct {
 	Metrics       simul.Metrics
 }
 
-func validateData(id int, want int, d Data) error {
-	if len(d) != want {
-		return fmt.Errorf("agg: virtual node %d produced %d data fields, want %d", id, len(d), want)
+// validateFields rejects machines whose Fields() cannot size an arena slot.
+// (A machine can no longer publish a wrong-length Data vector: Init fills a
+// runtime-owned view of exactly Fields() elements.)
+func validateFields(id int, fields int) error {
+	if fields < 0 {
+		return fmt.Errorf("agg: virtual node %d declared %d data fields", id, fields)
 	}
 	return nil
 }

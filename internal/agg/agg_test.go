@@ -122,12 +122,14 @@ func TestDataBits(t *testing.T) {
 // after one virtual round.
 type sumMachine struct{}
 
+var sumPlan = []Query{{Agg: Sum, Proj: func(d Data) int64 { return d[0] }}}
+
 func (sumMachine) Fields() int { return 1 }
 
-func (sumMachine) Init(info *NodeInfo) Data { return Data{info.Weight} }
+func (sumMachine) Init(info *NodeInfo, data Data) { data[0] = info.Weight }
 
-func (sumMachine) Queries(info *NodeInfo, t int, data Data) []Query {
-	return []Query{{Agg: Sum, Proj: func(d Data) int64 { return d[0] }}}
+func (sumMachine) Queries(info *NodeInfo, t int, data Data, qs []Query) []Query {
+	return append(qs, sumPlan...)
 }
 
 func (sumMachine) Update(info *NodeInfo, t int, data Data, results []int64) (bool, any) {
@@ -163,23 +165,26 @@ type chaosMachine struct {
 	digest int64
 }
 
-func (m *chaosMachine) Fields() int { return 2 }
-
-func (m *chaosMachine) Init(info *NodeInfo) Data {
-	return Data{int64(info.Rand.Intn(64)), info.Weight}
+var chaosPlan = []Query{
+	{Agg: Max, Proj: func(d Data) int64 { return d[0] }},
+	{Agg: Sum, Proj: func(d Data) int64 { return d[0] + d[1] }},
+	{Agg: Or, Proj: func(d Data) int64 {
+		if d[0]%3 == 0 {
+			return 1
+		}
+		return 0
+	}},
 }
 
-func (m *chaosMachine) Queries(info *NodeInfo, t int, data Data) []Query {
-	return []Query{
-		{Agg: Max, Proj: func(d Data) int64 { return d[0] }},
-		{Agg: Sum, Proj: func(d Data) int64 { return d[0] + d[1] }},
-		{Agg: Or, Proj: func(d Data) int64 {
-			if d[0]%3 == 0 {
-				return 1
-			}
-			return 0
-		}},
-	}
+func (m *chaosMachine) Fields() int { return 2 }
+
+func (m *chaosMachine) Init(info *NodeInfo, data Data) {
+	data[0] = int64(info.Rand.Intn(64))
+	data[1] = info.Weight
+}
+
+func (m *chaosMachine) Queries(info *NodeInfo, t int, data Data, qs []Query) []Query {
+	return append(qs, chaosPlan...)
 }
 
 func (m *chaosMachine) Update(info *NodeInfo, t int, data Data, results []int64) (bool, any) {
@@ -275,15 +280,20 @@ type leaderMachine struct {
 	won bool
 }
 
+var leaderPlan = []Query{
+	{Agg: Max, Proj: func(d Data) int64 { return d[0] }},
+	{Agg: Or, Proj: func(d Data) int64 { return d[1] }},
+}
+
 func (m *leaderMachine) Fields() int { return 2 } // key, wonFlag
 
-func (m *leaderMachine) Init(info *NodeInfo) Data { return Data{info.Weight, 0} }
+func (m *leaderMachine) Init(info *NodeInfo, data Data) {
+	data[0] = info.Weight
+	data[1] = 0
+}
 
-func (m *leaderMachine) Queries(info *NodeInfo, t int, data Data) []Query {
-	return []Query{
-		{Agg: Max, Proj: func(d Data) int64 { return d[0] }},
-		{Agg: Or, Proj: func(d Data) int64 { return d[1] }},
-	}
+func (m *leaderMachine) Queries(info *NodeInfo, t int, data Data, qs []Query) []Query {
+	return append(qs, leaderPlan...)
 }
 
 func (m *leaderMachine) Update(info *NodeInfo, t int, data Data, results []int64) (bool, any) {
@@ -357,23 +367,28 @@ func TestRunLineEmptyAndEdgeless(t *testing.T) {
 	}
 }
 
-// badMachine returns the wrong number of fields.
+// badMachine declares a field count that cannot size an arena slot. (A
+// wrong-length Data vector is no longer expressible: Init fills a
+// runtime-owned view of exactly Fields() elements.)
 type badMachine struct{}
 
-func (badMachine) Fields() int              { return 3 }
-func (badMachine) Init(info *NodeInfo) Data { return Data{1} }
-func (badMachine) Queries(*NodeInfo, int, Data) []Query {
-	return nil
+func (badMachine) Fields() int          { return -1 }
+func (badMachine) Init(*NodeInfo, Data) {}
+func (badMachine) Queries(_ *NodeInfo, _ int, _ Data, qs []Query) []Query {
+	return qs
 }
 func (badMachine) Update(*NodeInfo, int, Data, []int64) (bool, any) { return true, nil }
 
 func TestFieldCountValidated(t *testing.T) {
 	g := graph.Path(3)
 	if _, err := RunDirect(g, simul.Config{}, func(v int) Machine { return badMachine{} }); err == nil {
-		t.Fatal("RunDirect accepted a machine with inconsistent field count")
+		t.Fatal("RunDirect accepted a machine with a negative field count")
 	}
 	if _, err := RunLine(g, simul.Config{}, func(id int) Machine { return badMachine{} }); err == nil {
-		t.Fatal("RunLine accepted a machine with inconsistent field count")
+		t.Fatal("RunLine accepted a machine with a negative field count")
+	}
+	if _, err := RunLineNaive(g, simul.Config{}, func(id int) Machine { return badMachine{} }); err == nil {
+		t.Fatal("RunLineNaive accepted a machine with a negative field count")
 	}
 }
 

@@ -1,0 +1,95 @@
+package agg
+
+// Alloc-budget tests: the arena runtime's zero-allocation steady state is a
+// contract, not a benchmark footnote. Each budget runs the same machine for
+// a short and a long horizon and pins the allocation cost of the extra
+// virtual rounds to (effectively) zero — arenas, pooled messages, and query
+// buffers are all sized during the first rounds and reused, so additional
+// rounds must not allocate. Whole-run allocation counts (arenas, automata,
+// RNG streams) scale with the graph, not the round count, and are not
+// pinned here; cmd/benchtab -compare gates those end to end.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/race"
+	"repro/internal/rng"
+	"repro/internal/simul"
+)
+
+// steadyStateBudget is the allowed allocations per extra virtual round for a
+// whole run (all nodes together). The true value is zero; the fraction
+// absorbs one-off growth that lands beyond the short horizon.
+const steadyStateBudget = 0.5
+
+func perRoundAllocs(t *testing.T, run func(rounds int)) float64 {
+	t.Helper()
+	const short, long = 4, 24
+	a := testing.AllocsPerRun(5, func() { run(short) })
+	b := testing.AllocsPerRun(5, func() { run(long) })
+	return (b - a) / float64(long-short)
+}
+
+func allocBudgetGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.GNP(48, 0.15, rng.New(11))
+	graph.AssignUniformEdgeWeights(g, 64, rng.New(12))
+	if g.M() == 0 {
+		t.Fatal("degenerate test graph")
+	}
+	return g
+}
+
+func TestRunDirectSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; budgets only hold unraced")
+	}
+	g := allocBudgetGraph(t)
+	per := perRoundAllocs(t, func(rounds int) {
+		if _, err := RunDirect(g, simul.Config{Seed: 7}, func(v int) Machine {
+			return &chaosMachine{rounds: rounds}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > steadyStateBudget {
+		t.Errorf("RunDirect allocates %.2f/round in steady state, budget %v", per, steadyStateBudget)
+	}
+}
+
+func TestRunLineSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; budgets only hold unraced")
+	}
+	g := allocBudgetGraph(t)
+	per := perRoundAllocs(t, func(rounds int) {
+		if _, err := RunLine(g, simul.Config{Seed: 7}, func(id int) Machine {
+			return &chaosMachine{rounds: rounds}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > steadyStateBudget {
+		t.Errorf("RunLine allocates %.2f/round in steady state, budget %v", per, steadyStateBudget)
+	}
+}
+
+func TestRunLineNaiveSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; budgets only hold unraced")
+	}
+	g := allocBudgetGraph(t)
+	per := perRoundAllocs(t, func(rounds int) {
+		if _, err := RunLineNaive(g, simul.Config{Seed: 7, Model: simul.LOCAL}, func(id int) Machine {
+			return &chaosMachine{rounds: rounds}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A naive virtual round spans ∆ real rounds, but the budget is still per
+	// *virtual* round: relay queues and receive buckets are reused too.
+	if per > steadyStateBudget {
+		t.Errorf("RunLineNaive allocates %.2f/round in steady state, budget %v", per, steadyStateBudget)
+	}
+}

@@ -8,81 +8,98 @@ import (
 	"repro/internal/simul"
 )
 
-// dataMsg carries a virtual node's published Data to a neighbor.
-type dataMsg struct {
-	fields Data
-}
-
-func (m dataMsg) Bits() int { return m.fields.Bits() }
-
 // directNode adapts a Machine to a simul.Automaton running on the graph
 // itself: each round the node broadcasts its Data and evaluates its queries
 // over the Data received from live neighbors.
+//
+// The node owns no per-round allocations: data and the two broadcast
+// snapshots are views into a run-wide arena, the broadcast messages are a
+// double-buffered pair (the copy delivered for round r+1 is read while the
+// copy for round r+2 is written), and the query/result buffers grow to a
+// steady size during the first rounds and are reused thereafter.
 type directNode struct {
 	m    Machine
 	info *NodeInfo
 	data Data
-	err  error
+	msgs [2]dataMsg // round-parity double buffer; fields are arena views
+	qbuf []Query
+	rbuf []int64
+	nbuf []Data // live neighbors' data for the round, for branch-free folds
+}
+
+func (a *directNode) broadcast(ctx *simul.Context) {
+	m := &a.msgs[ctx.Round()&1]
+	copy(m.fields, a.data)
+	ctx.Broadcast(m)
 }
 
 func (a *directNode) Step(ctx *simul.Context, inbox []simul.Envelope) {
 	if ctx.Round() == 0 {
-		a.data = a.m.Init(a.info)
-		if err := validateData(a.info.ID, a.m.Fields(), a.data); err != nil {
-			a.err = err
-			ctx.Halt(nil)
-			return
-		}
-		// Broadcast a copy: the live slice is mutated by future Updates while
-		// receivers still hold the message.
-		ctx.Broadcast(dataMsg{fields: a.data.Clone()})
+		a.broadcast(ctx)
 		return
 	}
 	// The virtual round whose queries we are resolving.
 	t := ctx.Round() - 1
-	neighborData := make([]Data, 0, len(inbox))
+	a.qbuf = a.m.Queries(a.info, t, a.data, a.qbuf[:0])
+	a.nbuf = a.nbuf[:0]
 	for _, env := range inbox {
-		neighborData = append(neighborData, env.Msg.(dataMsg).fields)
+		a.nbuf = append(a.nbuf, env.Msg.(*dataMsg).fields)
 	}
-	queries := a.m.Queries(a.info, t, a.data)
-	results := make([]int64, len(queries))
-	for i, q := range queries {
-		results[i] = q.Eval(neighborData)
+	a.rbuf = a.rbuf[:0]
+	for qi := range a.qbuf {
+		a.rbuf = append(a.rbuf, foldExcept(&a.qbuf[qi], a.nbuf, -1))
 	}
-	halt, output := a.m.Update(a.info, t, a.data, results)
+	halt, output := a.m.Update(a.info, t, a.data, a.rbuf)
 	if halt {
 		ctx.Halt(output)
 		return
 	}
-	ctx.Broadcast(dataMsg{fields: a.data.Clone()})
+	a.broadcast(ctx)
 }
 
 // RunDirect executes the machines on the nodes of g. Virtual round t occupies
 // real round t+1 (round 0 publishes the initial data), so one virtual round
 // costs one real round and one message per edge per direction per round.
 func RunDirect(g *graph.Graph, cfg simul.Config, build func(v int) Machine) (*Result, error) {
-	nodes := make([]*directNode, g.N())
-	master := rng.New(cfg.Seed)
-	res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
-		nodes[v] = &directNode{
-			m: build(v),
-			info: &NodeInfo{
-				ID:     v,
-				N:      g.N(),
-				Degree: g.Degree(v),
-				Weight: g.NodeWeight(v),
-				Rand:   master.Split(uint64(v)),
-			},
+	n := g.N()
+	nodes := make([]directNode, n)
+	totalFields := 0
+	for v := 0; v < n; v++ {
+		nodes[v].m = build(v)
+		f := nodes[v].m.Fields()
+		if err := validateFields(v, f); err != nil {
+			return nil, err
 		}
-		return nodes[v]
-	})
+		totalFields += f
+	}
+	// One arena carve per node: the live Data vector plus the two broadcast
+	// snapshots, all adjacent for locality.
+	arena := make([]int64, 3*totalFields)
+	infos := make([]NodeInfo, n)
+	streams := make([]rng.Stream, n)
+	master := rng.New(cfg.Seed)
+	off := 0
+	for v := 0; v < n; v++ {
+		nd := &nodes[v]
+		f := nd.m.Fields()
+		streams[v] = master.SplitOff(uint64(v))
+		infos[v] = NodeInfo{
+			ID:     v,
+			N:      n,
+			Degree: g.Degree(v),
+			Weight: g.NodeWeight(v),
+			Rand:   &streams[v],
+		}
+		nd.info = &infos[v]
+		nd.data = arena[off : off+f : off+f]
+		nd.msgs[0].fields = arena[off+f : off+2*f : off+2*f]
+		nd.msgs[1].fields = arena[off+2*f : off+3*f : off+3*f]
+		off += 3 * f
+		nd.m.Init(nd.info, nd.data)
+	}
+	res, err := simul.Run(g, cfg, func(v int) simul.Automaton { return &nodes[v] })
 	if err != nil {
 		return nil, err
-	}
-	for _, nd := range nodes {
-		if nd.err != nil {
-			return nil, nd.err
-		}
 	}
 	out := &Result{
 		Outputs:       res.Outputs,
@@ -99,24 +116,8 @@ func max(a, b int) int {
 	return b
 }
 
-// edgeInfo builds the NodeInfo of the virtual node for edge id of g: its
-// L(G)-degree is deg(u)+deg(v)-2 and its weight is the edge weight (the node
-// weight in L(G), §2.4). The randomness stream depends only on (seed, id), so
-// executions on L(G)-via-RunLine and on an explicitly constructed L(G) via
-// RunDirect coincide exactly.
-func edgeInfo(g *graph.Graph, id int, seed uint64) *NodeInfo {
-	e := g.EdgeByID(id)
-	return &NodeInfo{
-		ID:     id,
-		N:      g.M(),
-		Degree: g.Degree(e.U) + g.Degree(e.V) - 2,
-		Weight: g.EdgeWeight(id),
-		Rand:   rng.New(seed).Split(uint64(id)),
-	}
-}
-
 // checkQueryCount guards against machines that change their query count
-// between the two endpoints' evaluations; both runtimes call it.
+// between the two endpoints' evaluations; both line runtimes call it.
 func checkQueryCount(id int, got, want int) error {
 	if got != want {
 		return fmt.Errorf("agg: virtual node %d query count changed between endpoints: %d vs %d (Queries must be pure)", id, got, want)

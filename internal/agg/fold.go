@@ -1,0 +1,121 @@
+package agg
+
+import "math"
+
+// Specialized aggregate folding. The runtimes spend almost all their time
+// folding one query over the Data of up to ∆ neighbors; going through the
+// Aggregate interface costs an indirect call per neighbor per query. Every
+// aggregate the package exports is one of six concrete ops, so the hot loops
+// resolve the op once per query and run a branch-free specialized loop; an
+// unknown (caller-supplied) Aggregate falls back to the generic path.
+
+type aggOp uint8
+
+const (
+	opSum aggOp = iota
+	opMin
+	opMax
+	opAnd
+	opOr
+	opBitOr
+	opGeneric
+)
+
+func opOf(a Aggregate) aggOp {
+	switch a {
+	case Sum:
+		return opSum
+	case Min:
+		return opMin
+	case Max:
+		return opMax
+	case And:
+		return opAnd
+	case Or:
+		return opOr
+	case BitOr:
+		return opBitOr
+	default:
+		return opGeneric
+	}
+}
+
+// foldExcept evaluates q over data, skipping index skip (pass -1 to fold
+// everything). Evaluation order is ascending index, matching Query.Eval, and
+// every element is projected exactly once — projections are pure by contract,
+// but the runtimes still avoid observable short-circuit differences.
+func foldExcept(q *Query, data []Data, skip int) int64 {
+	switch opOf(q.Agg) {
+	case opSum:
+		var acc int64
+		for j := range data {
+			if j == skip {
+				continue
+			}
+			acc += q.Proj(data[j])
+		}
+		return acc
+	case opMin:
+		acc := int64(math.MaxInt64)
+		for j := range data {
+			if j == skip {
+				continue
+			}
+			if v := q.Proj(data[j]); v < acc {
+				acc = v
+			}
+		}
+		return acc
+	case opMax:
+		acc := int64(math.MinInt64)
+		for j := range data {
+			if j == skip {
+				continue
+			}
+			if v := q.Proj(data[j]); v > acc {
+				acc = v
+			}
+		}
+		return acc
+	case opAnd:
+		acc := int64(1)
+		for j := range data {
+			if j == skip {
+				continue
+			}
+			if q.Proj(data[j]) == 0 {
+				acc = 0
+			}
+		}
+		return acc
+	case opOr:
+		var acc int64
+		for j := range data {
+			if j == skip {
+				continue
+			}
+			if q.Proj(data[j]) != 0 {
+				acc = 1
+			}
+		}
+		return acc
+	case opBitOr:
+		var acc int64
+		for j := range data {
+			if j == skip {
+				continue
+			}
+			acc |= q.Proj(data[j])
+		}
+		return acc
+	default:
+		acc := q.Agg.Identity()
+		for j := range data {
+			if j == skip {
+				continue
+			}
+			acc = q.Agg.Join(acc, q.Proj(data[j]))
+		}
+		return acc
+	}
+}

@@ -2,9 +2,9 @@ package agg
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/graph"
+	"repro/internal/rng"
 	"repro/internal/simul"
 )
 
@@ -26,58 +26,66 @@ import (
 //	    halt flag back across e.
 //
 // Exactly one message traverses each live edge per real round.
+//
+// # Arena layout
+//
+// The runtime mirrors the engine's slot-addressed design (DESIGN.md §2c): one
+// lineEdgeState per arc of the CSR layout, in one flat array — node v's
+// states are the positions offsets[v]..offsets[v+1], aligned with Neighbors
+// and IncidentEdges, so states are sorted by the other endpoint's ID and the
+// engine's ascending-sender inbox merges against them with a cursor instead
+// of a map. Data vectors and update-message payloads are carved from two flat
+// []int64 arenas sized once from ΣFields; each state owns one pooled lineMsg
+// whose payload views its arena slot (the mirror arc's state is the other
+// side's slot for the same edge). A state sends on alternate real rounds —
+// partials on A rounds as a secondary, updates on B rounds as a primary — and
+// a message is consumed the round after it is sent, so single-buffering per
+// arc is race-free even under the parallel engine.
 
-// partialMsg carries the secondary's per-query partial aggregates.
-type partialMsg struct {
-	values Data
-}
-
-func (m partialMsg) Bits() int {
-	b := 0
-	for _, v := range m.values {
-		b += partialValueBits(v)
-	}
-	return b
-}
-
-// partialValueBits sizes one partial-aggregate value. The Min/Max identities
-// (±MaxInt64) arise only as "my side is empty" markers; a real wire encoding
-// reserves a short empty-set symbol for them rather than 64 bits.
-func partialValueBits(v int64) int {
-	if v == math.MaxInt64 || v == math.MinInt64 {
-		return 2
-	}
-	if v < 0 {
-		v = -v
-	}
-	return 1 + simul.BitsForRange(v)
-}
-
-// updateMsg carries the primary's new Data and the halt flag.
-type updateMsg struct {
-	fields Data
-	halted bool
-}
-
-func (m updateMsg) Bits() int { return m.fields.Bits() + 1 }
-
-// lineEdgeState is one endpoint's view of the virtual node for edge id.
+// lineEdgeState is one endpoint's view of the virtual node for one edge.
+// States live in the flat per-arc arena described above.
 type lineEdgeState struct {
-	id      int
-	other   int // the other endpoint of the edge
-	primary bool
+	id      int32 // dense edge ID = virtual node ID
+	other   int32 // the other endpoint of the edge
+	primary bool  // this endpoint is min(u, v)
+	live    bool
+	liveIdx int32 // position in the node's dense live-data list; -1 if dead
+	resOff  int32 // extent of this state's results in the node's result buffer
+	resLen  int32
 	m       Machine // authoritative at the primary, query shadow at the secondary
 	info    *NodeInfo
-	data    Data
-	live    bool
+	data    Data    // arena view, Fields() elements
+	msg     lineMsg // pooled outgoing message (partial or update)
 }
 
 // lineNode is the real-node automaton that simulates all its incident edges.
 type lineNode struct {
-	states  []*lineEdgeState // indexed by position in IncidentEdges order
-	byOther map[int]*lineEdgeState
-	outputs map[int]any // edge ID -> output, for edges this node primaries
-	err     error
+	states   []lineEdgeState // arena view: this node's CSR arc segment
+	outputs  []any           // shared, indexed by edge ID; primaries write
+	qbuf     []Query         // reusable query plan buffer
+	rbuf     []int64         // reusable result buffer (all states, B round)
+	liveData []Data          // dense live states' data, for branch-free folds
+	memo     foldMemo        // exchange-folding memo over liveData
+	err      error
+}
+
+// refreshLive rebuilds the dense live-data list and invalidates the fold
+// memo. It runs once per A round, after the update fold: liveness and data
+// next change only in the B round's second pass, so both the list and the
+// memoized prefix/suffix folds stay valid for the A-round partials and the
+// B-round aggregations alike.
+func (a *lineNode) refreshLive() {
+	a.memo.reset()
+	a.liveData = a.liveData[:0]
+	for i := range a.states {
+		st := &a.states[i]
+		if st.live {
+			st.liveIdx = int32(len(a.liveData))
+			a.liveData = append(a.liveData, st.data)
+		} else {
+			st.liveIdx = -1
+		}
+	}
 }
 
 func (a *lineNode) fail(ctx *simul.Context, err error) {
@@ -85,161 +93,217 @@ func (a *lineNode) fail(ctx *simul.Context, err error) {
 	ctx.Halt(nil)
 }
 
-// sidePartials computes, for each query of edge st, the aggregate over the
-// data of this endpoint's other live incident edges. The liveness and data
-// snapshots must predate any Update of the current virtual round, so callers
-// run it before mutating anything.
-func (a *lineNode) sidePartials(st *lineEdgeState, queries []Query) Data {
-	out := make(Data, len(queries))
-	for i, q := range queries {
-		acc := q.Agg.Identity()
-		for _, other := range a.states {
-			if other == st || !other.live {
-				continue
-			}
-			acc = q.Agg.Join(acc, q.Proj(other.data))
-		}
-		out[i] = acc
+// sidePartials appends, for each query, the aggregate over the data of this
+// endpoint's other live incident edges. The liveness and data snapshots must
+// predate any Update of the current virtual round, so callers run it before
+// mutating anything.
+func (a *lineNode) sidePartials(st *lineEdgeState, queries []Query, out []int64) []int64 {
+	for qi := range queries {
+		out = append(out, a.memo.partial(&queries[qi], a.liveData, int(st.liveIdx)))
 	}
 	return out
 }
 
-func (a *lineNode) anyLive() bool {
-	for _, st := range a.states {
-		if st.live {
-			return true
+// foldUpdates applies the primaries' B-round messages to the mirrored states.
+// The inbox is sorted by sender and the states by other endpoint, so a single
+// merge cursor replaces the old sender→state map.
+func (a *lineNode) foldUpdates(inbox []simul.Envelope) {
+	i := 0
+	for _, env := range inbox {
+		um, ok := env.Msg.(*lineMsg)
+		if !ok || um.kind != msgUpdate {
+			continue
+		}
+		for i < len(a.states) && int(a.states[i].other) < env.From {
+			i++
+		}
+		if i == len(a.states) || int(a.states[i].other) != env.From {
+			continue
+		}
+		st := &a.states[i]
+		copy(st.data, um.vals)
+		if um.halted {
+			st.live = false
 		}
 	}
-	return false
 }
 
 func (a *lineNode) Step(ctx *simul.Context, inbox []simul.Envelope) {
 	if len(a.states) == 0 {
-		ctx.Halt(a.outputs)
+		ctx.Halt(nil)
 		return
 	}
 	t := ctx.Round() / 2
 	if ctx.Round()%2 == 0 {
 		// A round. First fold in the primaries' B messages from the previous
 		// virtual round (secondary side).
-		for _, env := range inbox {
-			st, ok := a.byOther[env.From]
-			if !ok {
-				continue
-			}
-			upd := env.Msg.(updateMsg)
-			copy(st.data, upd.fields)
-			if upd.halted {
-				st.live = false
-			}
-		}
-		if !a.anyLive() {
-			ctx.Halt(a.outputs)
+		a.foldUpdates(inbox)
+		if !statesAlive(a.states) {
+			ctx.Halt(nil)
 			return
 		}
+		a.refreshLive()
 		// Then send partials for every live edge we secondary.
-		for _, st := range a.states {
+		for i := range a.states {
+			st := &a.states[i]
 			if !st.live || st.primary {
 				continue
 			}
-			queries := st.m.Queries(st.info, t, st.data)
-			ctx.Send(st.other, partialMsg{values: a.sidePartials(st, queries)})
+			a.qbuf = st.m.Queries(st.info, t, st.data, a.qbuf[:0])
+			st.msg.vals = a.sidePartials(st, a.qbuf, st.msg.vals[:0])
+			ctx.SendNbr(i, &st.msg)
 		}
 		return
 	}
 
 	// B round: primaries resolve virtual round t.
-	partials := make(map[int]Data, len(inbox))
-	for _, env := range inbox {
-		partials[env.From] = env.Msg.(partialMsg).values
-	}
-	// Pass 1: compute all aggregations against the pre-update snapshot.
-	type pending struct {
-		st      *lineEdgeState
-		results []int64
-	}
-	var work []pending
-	for _, st := range a.states {
+	// Pass 1: compute all aggregations against the pre-update snapshot,
+	// merging the secondaries' partials (inbox, ascending sender) with the
+	// primary states (ascending other endpoint).
+	a.rbuf = a.rbuf[:0]
+	pi := 0
+	for i := range a.states {
+		st := &a.states[i]
 		if !st.live || !st.primary {
 			continue
 		}
-		queries := st.m.Queries(st.info, t, st.data)
-		secondary, ok := partials[st.other]
-		if !ok {
+		for pi < len(inbox) && inbox[pi].From < int(st.other) {
+			pi++
+		}
+		var secondary *lineMsg
+		if pi < len(inbox) && inbox[pi].From == int(st.other) {
+			if pm, ok := inbox[pi].Msg.(*lineMsg); ok && pm.kind == msgPartial {
+				secondary = pm
+			}
+		}
+		if secondary == nil {
 			// The secondary endpoint vanished without handing over; this
 			// indicates a machine protocol bug.
 			a.fail(ctx, fmt.Errorf("agg: line runtime: no partial aggregate from secondary %d for edge %d at virtual round %d", st.other, st.id, t))
 			return
 		}
-		if err := checkQueryCount(st.id, len(secondary), len(queries)); err != nil {
+		a.qbuf = st.m.Queries(st.info, t, st.data, a.qbuf[:0])
+		if err := checkQueryCount(int(st.id), len(secondary.vals), len(a.qbuf)); err != nil {
 			a.fail(ctx, err)
 			return
 		}
-		mine := a.sidePartials(st, queries)
-		results := make([]int64, len(queries))
-		for i, q := range queries {
-			results[i] = q.Agg.Join(mine[i], secondary[i])
+		st.resOff = int32(len(a.rbuf))
+		st.resLen = int32(len(a.qbuf))
+		for qi := range a.qbuf {
+			q := &a.qbuf[qi]
+			mine := a.memo.partial(q, a.liveData, int(st.liveIdx))
+			a.rbuf = append(a.rbuf, q.Agg.Join(mine, secondary.vals[qi]))
 		}
-		work = append(work, pending{st: st, results: results})
 	}
 	// Pass 2: run the updates and ship the new data to the secondaries.
-	for _, p := range work {
-		halt, output := p.st.m.Update(p.st.info, t, p.st.data, p.results)
-		ctx.Send(p.st.other, updateMsg{fields: p.st.data.Clone(), halted: halt})
+	for i := range a.states {
+		st := &a.states[i]
+		if !st.live || !st.primary {
+			continue
+		}
+		halt, output := st.m.Update(st.info, t, st.data, a.rbuf[st.resOff:st.resOff+st.resLen])
+		copy(st.msg.vals, st.data)
+		st.msg.halted = halt
+		ctx.SendNbr(i, &st.msg)
 		if halt {
-			a.outputs[p.st.id] = output
-			p.st.live = false
+			a.outputs[st.id] = output
+			st.live = false
 		}
 	}
-	if !a.anyLive() {
-		ctx.Halt(a.outputs)
+	if !statesAlive(a.states) {
+		ctx.Halt(nil)
 	}
+}
+
+// buildLineStates allocates the flat per-arc arenas for a line-graph
+// simulation of g — states, NodeInfos, randomness streams, Data vectors and
+// update-message payloads — and initializes every state. The state at arc
+// position k (node v → neighbor u) simulates edge edgeIDs[k]; both endpoints
+// derive identical initial data from the edge's deterministic stream, so no
+// bootstrap message is needed.
+func buildLineStates(g *graph.Graph, seed uint64, build func(edgeID int) Machine) ([]lineEdgeState, error) {
+	offsets, neighbors, edgeIDs := g.CSR()
+	arcs := len(neighbors)
+	states := make([]lineEdgeState, arcs)
+	totalFields := 0
+	for k := 0; k < arcs; k++ {
+		id := int(edgeIDs[k])
+		states[k].m = build(id)
+		f := states[k].m.Fields()
+		if err := validateFields(id, f); err != nil {
+			return nil, err
+		}
+		totalFields += f
+	}
+	// dataArena holds the mirrored Data vectors; msgArena the update-message
+	// payload slots (secondaries reuse theirs as the partial vector, growing
+	// past Fields() only if a machine asks more queries than it has fields).
+	dataArena := make([]int64, totalFields)
+	msgArena := make([]int64, totalFields)
+	infos := make([]NodeInfo, arcs)
+	streams := make([]rng.Stream, arcs)
+	master := rng.New(seed)
+	m := g.M()
+	off := 0
+	for v := 0; v < g.N(); v++ {
+		for k := int(offsets[v]); k < int(offsets[v+1]); k++ {
+			st := &states[k]
+			u := int(neighbors[k])
+			id := int(edgeIDs[k])
+			e := g.EdgeByID(id)
+			f := st.m.Fields()
+			// The randomness stream depends only on (seed, id), so executions
+			// on L(G)-via-RunLine and on an explicitly constructed L(G) via
+			// RunDirect coincide exactly.
+			streams[k] = master.SplitOff(uint64(id))
+			infos[k] = NodeInfo{
+				ID:     id,
+				N:      m,
+				Degree: g.Degree(e.U) + g.Degree(e.V) - 2,
+				Weight: g.EdgeWeight(id),
+				Rand:   &streams[k],
+			}
+			st.id = int32(id)
+			st.other = int32(u)
+			st.primary = v == e.U // canonical edges have U < V
+			st.live = true
+			st.info = &infos[k]
+			st.data = dataArena[off : off+f : off+f]
+			st.msg.vals = msgArena[off : off+f : off+f]
+			if st.primary {
+				st.msg.kind = msgUpdate
+			} else {
+				st.msg.kind = msgPartial
+			}
+			off += f
+			st.m.Init(st.info, st.data)
+		}
+	}
+	return states, nil
 }
 
 // RunLine executes the machines on the virtual nodes of L(G) — one per edge
 // of g — inside the CONGEST model of g, per Theorem 2.8. Outputs are indexed
 // by edge ID. Virtual round t spans real rounds 2t and 2t+1.
 func RunLine(g *graph.Graph, cfg simul.Config, build func(edgeID int) Machine) (*Result, error) {
-	nodes := make([]*lineNode, g.N())
+	states, err := buildLineStates(g, cfg.Seed, build)
+	if err != nil {
+		return nil, err
+	}
+	offsets, _, _ := g.CSR()
+	outputs := make([]any, g.M())
+	nodes := make([]lineNode, g.N())
 	res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
-		ln := &lineNode{
-			byOther: make(map[int]*lineEdgeState),
-			outputs: make(map[int]any),
-		}
-		for _, id32 := range g.IncidentEdges(v) {
-			id := int(id32)
-			e := g.EdgeByID(id)
-			st := &lineEdgeState{
-				id:      id,
-				other:   e.Other(v),
-				primary: v == e.U, // canonical edges have U < V
-				m:       build(id),
-				info:    edgeInfo(g, id, cfg.Seed),
-				live:    true,
-			}
-			// Both endpoints derive the identical initial data from the
-			// edge's deterministic stream; no bootstrap message is needed.
-			st.data = st.m.Init(st.info)
-			if err := validateData(id, st.m.Fields(), st.data); err != nil {
-				st.live = false
-				ln.err = err
-			}
-			ln.states = append(ln.states, st)
-			ln.byOther[st.other] = st
-		}
-		nodes[v] = ln
-		return ln
+		nodes[v].states = states[offsets[v]:offsets[v+1]]
+		nodes[v].outputs = outputs
+		return &nodes[v]
 	})
 	if err != nil {
 		return nil, err
 	}
-	outputs := make([]any, g.M())
-	for _, ln := range nodes {
-		if ln.err != nil {
-			return nil, ln.err
-		}
-		for id, out := range ln.outputs {
-			outputs[id] = out
+	for v := range nodes {
+		if nodes[v].err != nil {
+			return nil, nodes[v].err
 		}
 	}
 	return &Result{

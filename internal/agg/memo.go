@@ -1,0 +1,226 @@
+package agg
+
+import "unsafe"
+
+// Exchange folding (the suffix-sum trick of [LPSR09]): a node simulating d
+// edges evaluates each state's queries over the data of its d-1 other live
+// states — O(d²·q) projection calls per round if done directly. But most
+// query plans are shared: the paper's machines precompute them once (often at
+// package level), so many states of one node ask the *same* (Agg, Proj)
+// query over the same live-data list, each excluding only itself. For such a
+// query the node builds prefix and suffix folds once —
+//
+//	pre[i] = f(liveData[0..i))    suf[i] = f(liveData[i..d))
+//
+// — and answers every state's "all except me" partial as
+// φ(pre[i], suf[i+1]) in O(1), which is exact for any joining function φ
+// (Definition 2.5 demands associativity and commutativity). Queries are
+// identified by aggregate identity plus the Proj closure's funcval pointer:
+// two func values behave identically if they are the same closure object,
+// which precomputed plans guarantee.
+//
+// The memo is promotion-based so singleton queries (per-instance closures
+// like Luby's, asked once per node) never pay the 2× build cost: the first
+// sighting folds directly and records the key; only a second sighting builds
+// the prefix/suffix entry. Entries and keys are capped, and everything is
+// reused across rounds, so the memo allocates only while growing to steady
+// state.
+
+const (
+	memoPlanCap = 8  // max prefix/suffix entries per node per round
+	memoSeenCap = 16 // max once-seen keys tracked per node per round
+)
+
+// projID returns the Proj closure's funcval pointer, the identity under
+// which query plans are shared.
+func projID(f func(Data) int64) uintptr {
+	return uintptr(*(*unsafe.Pointer)(unsafe.Pointer(&f)))
+}
+
+// planKey identifies a query: the Proj closure pointer plus the aggregate.
+// Scans compare the pointer first — it almost always decides — so the
+// aggregate interface comparison (a runtime call) runs at most once per
+// lookup, and the opcode is resolved only when an entry is built.
+type planKey struct {
+	agg  Aggregate
+	proj uintptr
+}
+
+func (k planKey) matches(o planKey) bool {
+	return k.proj == o.proj && k.agg == o.agg
+}
+
+type partialPlan struct {
+	key planKey
+	op  aggOp
+	pre []int64 // len(liveData)+1 each, reused across rounds
+	suf []int64
+}
+
+// foldMemo is one node's per-round exchange-folding state.
+type foldMemo struct {
+	plans []partialPlan
+	nplan int
+	seen  []planKey
+}
+
+// reset invalidates the memo for a new virtual round (the live-data list or
+// the underlying Data values changed). Entry buffers stay allocated.
+func (m *foldMemo) reset() {
+	m.nplan = 0
+	m.seen = m.seen[:0]
+}
+
+func opIdentity(op aggOp, agg Aggregate) int64 {
+	switch op {
+	case opSum, opOr, opBitOr:
+		return 0
+	case opMin:
+		return Min.Identity()
+	case opMax:
+		return Max.Identity()
+	case opAnd:
+		return 1
+	default:
+		return agg.Identity()
+	}
+}
+
+func opJoin(op aggOp, agg Aggregate, a, b int64) int64 {
+	switch op {
+	case opSum:
+		return a + b
+	case opMin:
+		if a < b {
+			return a
+		}
+		return b
+	case opMax:
+		if a > b {
+			return a
+		}
+		return b
+	case opAnd:
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	case opOr:
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	case opBitOr:
+		return a | b
+	default:
+		return agg.Join(a, b)
+	}
+}
+
+// build fills the prefix/suffix folds of q over data, projecting each
+// element exactly twice with the join specialized outside the loops.
+func (p *partialPlan) build(q *Query, data []Data) {
+	n := len(data)
+	if cap(p.pre) < n+1 {
+		p.pre = make([]int64, n+1)
+	}
+	if cap(p.suf) < n+1 {
+		p.suf = make([]int64, n+1)
+	}
+	p.pre = p.pre[:n+1]
+	p.suf = p.suf[:n+1]
+	id := opIdentity(p.op, p.key.agg)
+	p.pre[0] = id
+	p.suf[n] = id
+	switch p.op {
+	case opSum:
+		for j := 0; j < n; j++ {
+			p.pre[j+1] = p.pre[j] + q.Proj(data[j])
+		}
+		for j := n - 1; j >= 0; j-- {
+			p.suf[j] = q.Proj(data[j]) + p.suf[j+1]
+		}
+	case opMin:
+		for j := 0; j < n; j++ {
+			if v := q.Proj(data[j]); v < p.pre[j] {
+				p.pre[j+1] = v
+			} else {
+				p.pre[j+1] = p.pre[j]
+			}
+		}
+		for j := n - 1; j >= 0; j-- {
+			if v := q.Proj(data[j]); v < p.suf[j+1] {
+				p.suf[j] = v
+			} else {
+				p.suf[j] = p.suf[j+1]
+			}
+		}
+	case opMax:
+		for j := 0; j < n; j++ {
+			if v := q.Proj(data[j]); v > p.pre[j] {
+				p.pre[j+1] = v
+			} else {
+				p.pre[j+1] = p.pre[j]
+			}
+		}
+		for j := n - 1; j >= 0; j-- {
+			if v := q.Proj(data[j]); v > p.suf[j+1] {
+				p.suf[j] = v
+			} else {
+				p.suf[j] = p.suf[j+1]
+			}
+		}
+	case opBitOr:
+		for j := 0; j < n; j++ {
+			p.pre[j+1] = p.pre[j] | q.Proj(data[j])
+		}
+		for j := n - 1; j >= 0; j-- {
+			p.suf[j] = q.Proj(data[j]) | p.suf[j+1]
+		}
+	default: // opAnd, opOr, opGeneric
+		for j := 0; j < n; j++ {
+			p.pre[j+1] = opJoin(p.op, p.key.agg, p.pre[j], q.Proj(data[j]))
+		}
+		for j := n - 1; j >= 0; j-- {
+			p.suf[j] = opJoin(p.op, p.key.agg, q.Proj(data[j]), p.suf[j+1])
+		}
+	}
+}
+
+// partial returns q folded over data excluding index skip, memoizing
+// prefix/suffix folds for queries seen more than once this round. Key scans
+// compare the closure pointer before the aggregate: the pointer almost
+// always decides, and comparing interfaces costs a runtime call.
+func (m *foldMemo) partial(q *Query, data []Data, skip int) int64 {
+	key := planKey{agg: q.Agg, proj: projID(q.Proj)}
+	for k := 0; k < m.nplan; k++ {
+		p := &m.plans[k]
+		if p.key.matches(key) {
+			return opJoin(p.op, key.agg, p.pre[skip], p.suf[skip+1])
+		}
+	}
+	for k := range m.seen {
+		if !m.seen[k].matches(key) {
+			continue
+		}
+		if m.nplan >= memoPlanCap {
+			return foldExcept(q, data, skip)
+		}
+		// Second sighting: promote to a prefix/suffix entry.
+		m.seen[k] = m.seen[len(m.seen)-1]
+		m.seen = m.seen[:len(m.seen)-1]
+		if m.nplan == len(m.plans) {
+			m.plans = append(m.plans, partialPlan{})
+		}
+		p := &m.plans[m.nplan]
+		m.nplan++
+		p.key = key
+		p.op = opOf(q.Agg)
+		p.build(q, data)
+		return opJoin(p.op, key.agg, p.pre[skip], p.suf[skip+1])
+	}
+	if len(m.seen) < memoSeenCap {
+		m.seen = append(m.seen, key)
+	}
+	return foldExcept(q, data, skip)
+}

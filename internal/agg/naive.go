@@ -14,62 +14,80 @@ import (
 //
 // The relay schedule length is derived from the globally known ∆(G); all
 // nodes must agree on it for the synchronous schedule to line up.
-
-// relayMsg carries one edge's Data, tagged with the edge ID so the receiver
-// can attribute it.
-type relayMsg struct {
-	edgeID int
-	fields Data
-}
-
-func (m relayMsg) Bits() int {
-	return simul.BitsForRange(int64(m.edgeID)) + m.fields.Bits()
-}
-
+//
+// The runtime shares the flat per-arc state arena with RunLine (so the E8
+// ablation compares simulations, not allocators) and adds the naive
+// machinery: a per-virtual-round snapshot arena the relays point into, relay
+// queues as index lists, and per-neighbor receive buckets — the relays from
+// neighbor u are exactly u's other incident live edges, which is the far side
+// of the shared edge's L(G) neighborhood, so bucketing by sender replaces the
+// old edge-ID map and its shares-an-endpoint filter. Relay messages are
+// pooled per neighbor and double-buffered by round parity (a relay is sent
+// every round while the previous one is still being read).
 type naiveNode struct {
-	g       *graph.Graph
-	relayR  int // relay rounds per virtual round
-	states  []*lineEdgeState
-	byOther map[int]*lineEdgeState
-	outputs map[int]any
-	err     error
+	relayR   int // relay rounds per virtual round
+	states   []lineEdgeState
+	outputs  []any // shared, indexed by edge ID; primaries write
+	qbuf     []Query
+	rbuf     []int64
+	liveData []Data // dense live states' data, rebuilt at phase 0
 
-	// received accumulates this virtual round's relayed remote edge data.
-	received map[int]Data
-	// queues[i] is the per-neighbor relay queue for the current virtual
-	// round, parallel to states.
-	queues [][]relayMsg
+	// snaps[i] is the phase-0 snapshot of states[i].data relayed this
+	// virtual round; views into one per-node arena.
+	snaps []Data
+	// queues[i] lists the state indices still to relay to neighbor i this
+	// virtual round; heads[i] is the cursor (pop = advance, no reslicing).
+	queues [][]int32
+	heads  []int32
+	// recv[i] collects the snapshot views relayed by neighbor i.
+	recv [][]Data
+	// relayMsgs[parity][i] is the pooled relay message for neighbor i.
+	relayMsgs [2][]lineMsg
 }
 
-func (a *naiveNode) anyLive() bool {
-	for _, st := range a.states {
-		if st.live {
+func statesAlive(states []lineEdgeState) bool {
+	for i := range states {
+		if states[i].live {
 			return true
 		}
 	}
 	return false
 }
 
-// rebuildQueues prepares, for each neighbor, the list of our other live
-// edges' data to relay this virtual round.
-func (a *naiveNode) rebuildQueues() {
-	for i, st := range a.states {
+// rebuild starts a virtual round: drop stale received data, snapshot every
+// live edge's data, queue the relays, and refresh the dense live-data list
+// (liveness next changes in the update round's second pass, so the list
+// stays valid through the whole virtual round).
+func (a *naiveNode) rebuild() {
+	a.liveData = a.liveData[:0]
+	for i := range a.states {
+		st := &a.states[i]
+		a.recv[i] = a.recv[i][:0]
 		a.queues[i] = a.queues[i][:0]
-		if !st.live {
+		a.heads[i] = 0
+		if st.live {
+			copy(a.snaps[i], st.data)
+			st.liveIdx = int32(len(a.liveData))
+			a.liveData = append(a.liveData, st.data)
+		} else {
+			st.liveIdx = -1
+		}
+	}
+	for i := range a.states {
+		if !a.states[i].live {
 			continue
 		}
-		for _, other := range a.states {
-			if other == st || !other.live {
-				continue
+		for j := range a.states {
+			if j != i && a.states[j].live {
+				a.queues[i] = append(a.queues[i], int32(j))
 			}
-			a.queues[i] = append(a.queues[i], relayMsg{edgeID: other.id, fields: other.data.Clone()})
 		}
 	}
 }
 
 func (a *naiveNode) Step(ctx *simul.Context, inbox []simul.Envelope) {
 	if len(a.states) == 0 {
-		ctx.Halt(a.outputs)
+		ctx.Halt(nil)
 		return
 	}
 	period := a.relayR + 1
@@ -77,98 +95,98 @@ func (a *naiveNode) Step(ctx *simul.Context, inbox []simul.Envelope) {
 	t := ctx.Round() / period
 
 	// Fold in whatever arrived: relayed remote data during relay rounds,
-	// update messages at the start of a new virtual round.
+	// update messages at the start of a new virtual round. The inbox is
+	// sorted by sender and the states by other endpoint, so one merge cursor
+	// attributes every message.
+	i := 0
 	for _, env := range inbox {
-		switch m := env.Msg.(type) {
-		case relayMsg:
-			a.received[m.edgeID] = m.fields
-		case updateMsg:
-			st, ok := a.byOther[env.From]
-			if !ok {
-				continue
-			}
-			copy(st.data, m.fields)
-			if m.halted {
+		lm, ok := env.Msg.(*lineMsg)
+		if !ok {
+			continue
+		}
+		for i < len(a.states) && int(a.states[i].other) < env.From {
+			i++
+		}
+		if i == len(a.states) || int(a.states[i].other) != env.From {
+			continue
+		}
+		st := &a.states[i]
+		switch lm.kind {
+		case msgRelay:
+			// The view stays valid until the sender's next phase-0 snapshot,
+			// which is after our update round consumes it.
+			a.recv[i] = append(a.recv[i], Data(lm.vals))
+		case msgUpdate:
+			copy(st.data, lm.vals)
+			if lm.halted {
 				st.live = false
 			}
 		}
 	}
 
 	if phase == 0 {
-		if !a.anyLive() {
-			ctx.Halt(a.outputs)
+		if !statesAlive(a.states) {
+			ctx.Halt(nil)
 			return
 		}
-		// A fresh virtual round: drop stale remote data, rebuild queues.
-		for k := range a.received {
-			delete(a.received, k)
-		}
-		a.rebuildQueues()
+		a.rebuild()
 	}
 
 	if phase < a.relayR {
 		// Relay round: pop one queued item per neighbor.
-		for i, st := range a.states {
-			if len(a.queues[i]) == 0 || !st.live {
+		par := ctx.Round() & 1
+		for i := range a.states {
+			st := &a.states[i]
+			if !st.live || int(a.heads[i]) >= len(a.queues[i]) {
 				continue
 			}
-			ctx.Send(st.other, a.queues[i][0])
-			a.queues[i] = a.queues[i][1:]
+			j := a.queues[i][a.heads[i]]
+			a.heads[i]++
+			msg := &a.relayMsgs[par][i]
+			msg.edgeID = a.states[j].id
+			msg.vals = a.snaps[j]
+			ctx.SendNbr(i, msg)
 		}
 		return
 	}
 
 	// Update round: primaries now hold the data of every L(G)-neighbor of
-	// their edges — own-side locally, other-side via relays.
-	type pending struct {
-		st      *lineEdgeState
-		results []int64
-	}
-	var work []pending
-	for _, st := range a.states {
+	// their edges — own-side locally, other-side via relays. Pass 1 computes
+	// every aggregation against the pre-update snapshot.
+	a.rbuf = a.rbuf[:0]
+	for i := range a.states {
+		st := &a.states[i]
 		if !st.live || !st.primary {
 			continue
 		}
-		queries := st.m.Queries(st.info, t, st.data)
-		results := make([]int64, len(queries))
-		for qi, q := range queries {
-			acc := q.Agg.Identity()
-			for _, other := range a.states {
-				if other == st || !other.live {
-					continue
-				}
-				acc = q.Agg.Join(acc, q.Proj(other.data))
-			}
-			for edgeID, d := range a.received {
-				if edgeID == st.id {
-					continue
-				}
-				// Only edges sharing the *other* endpoint: the relay sender
-				// was st.other, and it relayed exactly its other live edges.
-				if sharesEndpoint(a.g, edgeID, st.other) {
-					acc = q.Agg.Join(acc, q.Proj(d))
-				}
-			}
-			results[qi] = acc
+		a.qbuf = st.m.Queries(st.info, t, st.data, a.qbuf[:0])
+		st.resOff = int32(len(a.rbuf))
+		st.resLen = int32(len(a.qbuf))
+		for qi := range a.qbuf {
+			q := &a.qbuf[qi]
+			acc := foldExcept(q, a.liveData, int(st.liveIdx))
+			acc = q.Agg.Join(acc, foldExcept(q, a.recv[i], -1))
+			a.rbuf = append(a.rbuf, acc)
 		}
-		work = append(work, pending{st: st, results: results})
 	}
-	for _, p := range work {
-		halt, output := p.st.m.Update(p.st.info, t, p.st.data, p.results)
-		ctx.Send(p.st.other, updateMsg{fields: p.st.data.Clone(), halted: halt})
+	// Pass 2: run the updates and ship the new data to the secondaries.
+	for i := range a.states {
+		st := &a.states[i]
+		if !st.live || !st.primary {
+			continue
+		}
+		halt, output := st.m.Update(st.info, t, st.data, a.rbuf[st.resOff:st.resOff+st.resLen])
+		copy(st.msg.vals, st.data)
+		st.msg.halted = halt
+		ctx.SendNbr(i, &st.msg)
 		if halt {
-			a.outputs[p.st.id] = output
-			p.st.live = false
+			a.outputs[st.id] = output
+			st.live = false
 		}
 	}
-	if !a.anyLive() {
-		ctx.Halt(a.outputs)
+	if !statesAlive(a.states) {
+		ctx.Halt(nil)
 	}
-}
-
-func sharesEndpoint(g *graph.Graph, edgeID, v int) bool {
-	e := g.EdgeByID(edgeID)
-	return e.U == v || e.V == v
 }
 
 // RunLineNaive executes the machines on L(G) using the naive relay schedule.
@@ -179,49 +197,45 @@ func RunLineNaive(g *graph.Graph, cfg simul.Config, build func(edgeID int) Machi
 	if relayR < 1 {
 		relayR = 1
 	}
-	nodes := make([]*naiveNode, g.N())
-	res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
-		nn := &naiveNode{
-			g:        g,
-			relayR:   relayR,
-			byOther:  make(map[int]*lineEdgeState),
-			outputs:  make(map[int]any),
-			received: make(map[int]Data),
-		}
-		for _, id32 := range g.IncidentEdges(v) {
-			id := int(id32)
-			e := g.EdgeByID(id)
-			st := &lineEdgeState{
-				id:      id,
-				other:   e.Other(v),
-				primary: v == e.U,
-				m:       build(id),
-				info:    edgeInfo(g, id, cfg.Seed),
-				live:    true,
-			}
-			st.data = st.m.Init(st.info)
-			if err := validateData(id, st.m.Fields(), st.data); err != nil {
-				st.live = false
-				nn.err = err
-			}
-			nn.states = append(nn.states, st)
-			nn.byOther[st.other] = st
-		}
-		nn.queues = make([][]relayMsg, len(nn.states))
-		nodes[v] = nn
-		return nn
-	})
+	states, err := buildLineStates(g, cfg.Seed, build)
 	if err != nil {
 		return nil, err
 	}
+	offsets, _, _ := g.CSR()
 	outputs := make([]any, g.M())
-	for _, nn := range nodes {
-		if nn.err != nil {
-			return nil, nn.err
+	nodes := make([]naiveNode, g.N())
+	res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
+		nd := &nodes[v]
+		nd.relayR = relayR
+		nd.states = states[offsets[v]:offsets[v+1]]
+		nd.outputs = outputs
+		d := len(nd.states)
+		sum := 0
+		for i := range nd.states {
+			sum += len(nd.states[i].data)
 		}
-		for id, out := range nn.outputs {
-			outputs[id] = out
+		snapArena := make([]int64, sum)
+		nd.snaps = make([]Data, d)
+		off := 0
+		for i := range nd.states {
+			f := len(nd.states[i].data)
+			nd.snaps[i] = snapArena[off : off+f : off+f]
+			off += f
 		}
+		nd.queues = make([][]int32, d)
+		nd.heads = make([]int32, d)
+		nd.recv = make([][]Data, d)
+		nd.relayMsgs[0] = make([]lineMsg, d)
+		nd.relayMsgs[1] = make([]lineMsg, d)
+		for p := 0; p < 2; p++ {
+			for i := range nd.relayMsgs[p] {
+				nd.relayMsgs[p][i].kind = msgRelay
+			}
+		}
+		return nd
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Result{
 		Outputs:       outputs,

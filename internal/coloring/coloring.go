@@ -59,23 +59,25 @@ const chunkBits = 62 // palette bits carried per BitOr mask
 
 // paletteMachine is the randomized free-palette coloring as an agg.Machine.
 // Data layout: [state, candidate, color]; state 0 = undecided, 1 = decided.
+// The query plan depends only on the global palette size, so one plan (built
+// by palettePlan) is shared by every machine of a run.
 type paletteMachine struct {
-	palette int // global palette size (∆+1 of the virtual graph)
+	palette int         // global palette size (∆+1 of the virtual graph)
+	plan    []agg.Query // shared precomputed plan: 2 masks per chunk + allDecided
+	free    []int       // reusable redraw scratch
 }
 
 func (m *paletteMachine) Fields() int { return 3 }
 
-func (m *paletteMachine) chunks() int { return (m.palette + chunkBits - 1) / chunkBits }
-
-func (m *paletteMachine) Init(info *agg.NodeInfo) agg.Data {
-	d := agg.Data{0, 0, -1}
-	d[1] = int64(info.Rand.Intn(min(info.Degree+1, m.palette)))
-	return d
-}
-
-func (m *paletteMachine) Queries(info *agg.NodeInfo, t int, data agg.Data) []agg.Query {
-	qs := make([]agg.Query, 0, 2*m.chunks()+1)
-	for c := 0; c < m.chunks(); c++ {
+// palettePlan precomputes the per-round query set for the given palette size:
+// per 62-bit palette chunk one BitOr mask of undecided neighbors' proposals
+// and one of decided neighbors' fixed colors, plus an And over the decided
+// flags. The closures capture only the chunk bounds, so the plan is immutable
+// and safely shared across machines.
+func palettePlan(palette int) []agg.Query {
+	chunks := (palette + chunkBits - 1) / chunkBits
+	qs := make([]agg.Query, 0, 2*chunks+1)
+	for c := 0; c < chunks; c++ {
 		lo := int64(c * chunkBits)
 		hi := lo + chunkBits
 		// Candidates proposed by undecided neighbors this round.
@@ -97,6 +99,16 @@ func (m *paletteMachine) Queries(info *agg.NodeInfo, t int, data agg.Data) []agg
 		return nd[0] // all neighbors decided?
 	}})
 	return qs
+}
+
+func (m *paletteMachine) Init(info *agg.NodeInfo, d agg.Data) {
+	d[0] = 0
+	d[1] = int64(info.Rand.Intn(min(info.Degree+1, m.palette)))
+	d[2] = -1
+}
+
+func (m *paletteMachine) Queries(info *agg.NodeInfo, t int, data agg.Data, qs []agg.Query) []agg.Query {
+	return append(qs, m.plan...)
 }
 
 func (m *paletteMachine) maskHas(results []int64, stride, value int) bool {
@@ -124,18 +136,18 @@ func (m *paletteMachine) Update(info *agg.NodeInfo, t int, data agg.Data, result
 	// Redraw from the palette minus decided neighbors' colors. The palette of
 	// size deg+1 always has a free color.
 	limit := min(info.Degree+1, m.palette)
-	free := make([]int, 0, limit)
+	m.free = m.free[:0]
 	for c := 0; c < limit; c++ {
 		if !m.maskHas(results, 1, c) {
-			free = append(free, c)
+			m.free = append(m.free, c)
 		}
 	}
-	if len(free) == 0 {
+	if len(m.free) == 0 {
 		// Cannot happen on a correct run; fall back to full palette so the
 		// failure is visible as non-termination rather than a panic.
-		free = append(free, info.Rand.Intn(m.palette))
+		m.free = append(m.free, info.Rand.Intn(m.palette))
 	}
-	data[1] = int64(free[info.Rand.Intn(len(free))])
+	data[1] = int64(m.free[info.Rand.Intn(len(m.free))])
 	return false, nil
 }
 
@@ -149,8 +161,9 @@ func min(a, b int) int {
 // RandomGreedy colors g with at most ∆+1 colors in O(log n) rounds w.h.p.
 func RandomGreedy(g *graph.Graph, cfg simul.Config) (*Result, error) {
 	palette := g.MaxDegree() + 1
+	plan := palettePlan(palette)
 	res, err := agg.RunDirect(g, cfg, func(v int) agg.Machine {
-		return &paletteMachine{palette: palette}
+		return &paletteMachine{palette: palette, plan: plan}
 	})
 	if err != nil {
 		return nil, err
@@ -163,8 +176,9 @@ func RandomGreedy(g *graph.Graph, cfg simul.Config) (*Result, error) {
 // indexed by edge ID.
 func RandomGreedyOnLine(g *graph.Graph, cfg simul.Config) (*Result, error) {
 	palette := maxLineDegree(g) + 1
+	plan := palettePlan(palette)
 	res, err := agg.RunLine(g, cfg, func(e int) agg.Machine {
-		return &paletteMachine{palette: palette}
+		return &paletteMachine{palette: palette, plan: plan}
 	})
 	if err != nil {
 		return nil, err

@@ -28,35 +28,42 @@ const (
 	stInISAnnounce = 3
 )
 
-// additionQueries are appended to every round's query set: they drive the
+// additionPlan is appended to every round's query set: it drives the
 // addition stage, in which a candidate may enter the independent set once
 // every neighbor with precedence over it has decided (§2.2). Precedence =
 // removed later = larger candidate timestamp, plus every neighbor still in
-// the removal stage.
-func additionQueries() []agg.Query {
-	return []agg.Query{
-		// Latest candidate timestamp among live candidate neighbors.
-		{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
-			if nd[fStatus] == stCandidate {
-				return nd[fCandTime]
-			}
-			return -1
-		}},
-		// Did a neighbor just enter the independent set?
-		{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
-			if nd[fStatus] == stInISAnnounce {
-				return 1
-			}
-			return 0
-		}},
-		// Is any neighbor still in the removal stage?
-		{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
-			if nd[fStatus] == stWaiting || nd[fStatus] == stReady {
-				return 1
-			}
-			return 0
-		}},
-	}
+// the removal stage. The projections read only the shared fields, so one
+// package-level plan serves Algorithms 2 and 3 alike.
+var additionPlan = [3]agg.Query{
+	// Latest candidate timestamp among live candidate neighbors.
+	{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
+		if nd[fStatus] == stCandidate {
+			return nd[fCandTime]
+		}
+		return -1
+	}},
+	// Did a neighbor just enter the independent set?
+	{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
+		if nd[fStatus] == stInISAnnounce {
+			return 1
+		}
+		return 0
+	}},
+	// Is any neighbor still in the removal stage?
+	{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
+		if nd[fStatus] == stWaiting || nd[fStatus] == stReady {
+			return 1
+		}
+		return 0
+	}},
+}
+
+// reducePlan sums the reduce amounts published by candidate neighbors — the
+// apply half of the local-ratio weight reduction, shared by both machines.
+var reducePlan = [1]agg.Query{
+	{Agg: agg.Sum, Proj: func(nd agg.Data) int64 {
+		return nd[fReduce]
+	}},
 }
 
 // handleAddition advances the addition stage. results must be the three
@@ -122,39 +129,39 @@ func (m *algorithm2) window() int { return m.misT + 3 }
 
 func (m *algorithm2) Fields() int { return numShared + m.sub.Fields() }
 
-func (m *algorithm2) Init(info *agg.NodeInfo) agg.Data {
-	d := make(agg.Data, m.Fields())
+// waitingLayerPlan asks for the highest weight layer among live waiting
+// neighbors (the sync round's gate).
+var waitingLayerPlan = [1]agg.Query{
+	{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
+		if nd[fStatus] == stWaiting {
+			return nd[fLayer]
+		}
+		return -1
+	}},
+}
+
+func (m *algorithm2) Init(info *agg.NodeInfo, d agg.Data) {
 	d[fStatus] = stWaiting
 	d[fWeight] = info.Weight
 	d[fLayer] = layerOf(info.Weight)
 	d[fCandTime] = -1
 	d[fReduce] = 0
 	m.sub.Begin(info, d, false)
-	return d
 }
 
-func (m *algorithm2) Queries(info *agg.NodeInfo, t int, data agg.Data) []agg.Query {
+func (m *algorithm2) Queries(info *agg.NodeInfo, t int, data agg.Data, qs []agg.Query) []agg.Query {
 	τ := t % m.window()
-	var qs []agg.Query
 	switch {
 	case τ == 0:
-		// Highest weight layer among live waiting neighbors.
-		qs = []agg.Query{{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
-			if nd[fStatus] == stWaiting {
-				return nd[fLayer]
-			}
-			return -1
-		}}}
+		qs = append(qs, waitingLayerPlan[:]...)
 	case τ <= m.misT:
-		qs = m.sub.Queries(info, τ-1, data)
+		qs = m.sub.Queries(info, τ-1, data, qs)
 	case τ == m.misT+1:
-		qs = nil // bookkeeping round; addition queries only
+		// bookkeeping round; addition queries only
 	default: // τ == misT+2: apply reductions
-		qs = []agg.Query{{Agg: agg.Sum, Proj: func(nd agg.Data) int64 {
-			return nd[fReduce]
-		}}}
+		qs = append(qs, reducePlan[:]...)
 	}
-	return append(qs, additionQueries()...)
+	return append(qs, additionPlan[:]...)
 }
 
 func (m *algorithm2) Update(info *agg.NodeInfo, t int, data agg.Data, results []int64) (bool, any) {

@@ -36,32 +36,33 @@ func newAlgorithm3(color int) *algorithm3 {
 
 func (m *algorithm3) Fields() int { return numShared }
 
-func (m *algorithm3) Init(info *agg.NodeInfo) agg.Data {
-	d := make(agg.Data, numShared)
+// waitingColorPlan asks for the highest color among live waiting neighbors.
+// (fColor aliases fLayer, so this is distinct from waitingLayerPlan only in
+// name; it is kept separate to mirror the paper's reduce-round phrasing.)
+var waitingColorPlan = [1]agg.Query{
+	{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
+		if nd[fStatus] == stWaiting {
+			return nd[fColor]
+		}
+		return -1
+	}},
+}
+
+func (m *algorithm3) Init(info *agg.NodeInfo, d agg.Data) {
 	d[fStatus] = stWaiting
 	d[fWeight] = info.Weight
 	d[fColor] = m.color
 	d[fCandTime] = -1
 	d[fReduce] = 0
-	return d
 }
 
-func (m *algorithm3) Queries(info *agg.NodeInfo, t int, data agg.Data) []agg.Query {
-	var qs []agg.Query
+func (m *algorithm3) Queries(info *agg.NodeInfo, t int, data agg.Data, qs []agg.Query) []agg.Query {
 	if t%2 == 0 {
-		// Highest color among live waiting neighbors.
-		qs = []agg.Query{{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
-			if nd[fStatus] == stWaiting {
-				return nd[fColor]
-			}
-			return -1
-		}}}
+		qs = append(qs, waitingColorPlan[:]...)
 	} else {
-		qs = []agg.Query{{Agg: agg.Sum, Proj: func(nd agg.Data) int64 {
-			return nd[fReduce]
-		}}}
+		qs = append(qs, reducePlan[:]...)
 	}
-	return append(qs, additionQueries()...)
+	return append(qs, additionPlan[:]...)
 }
 
 func (m *algorithm3) Update(info *agg.NodeInfo, t int, data agg.Data, results []int64) (bool, any) {

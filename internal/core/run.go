@@ -43,16 +43,17 @@ func DistributedMaxIS(g *graph.Graph, misName string, cfg simul.Config) (*MaxISR
 	if err != nil {
 		return nil, err
 	}
-	var window int
-	res, err := agg.RunDirect(g, cfg, func(v int) agg.Machine {
-		m := newAlgorithm2(factory, g.N())
-		window = m.window()
-		return m
-	})
+	// One machine serves every node: algorithm2 (and the Subs it embeds)
+	// keeps all per-node state in the Data vector, and sharing the instance
+	// makes every precomputed query plan shared too, which is what lets the
+	// line/direct runtimes answer "all neighbors except me" partials from
+	// per-node prefix/suffix folds instead of O(∆) work per virtual node.
+	m := newAlgorithm2(factory, g.N())
+	res, err := agg.RunDirect(g, cfg, func(v int) agg.Machine { return m })
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm 2 on %d nodes: %w", g.N(), err)
 	}
-	return buildMaxISResult(g, res, window)
+	return buildMaxISResult(g, res, m.window())
 }
 
 // ColoringMaxIS runs Algorithm 3 on g: a coloring phase (deterministic Linial
@@ -70,8 +71,9 @@ func ColoringMaxIS(g *graph.Graph, deterministic bool, cfg simul.Config) (*MaxIS
 	if err != nil {
 		return nil, fmt.Errorf("core: coloring phase: %w", err)
 	}
+	machines := algorithm3ByColor(col.NumColors)
 	res, err := agg.RunDirect(g, cfg, func(v int) agg.Machine {
-		return newAlgorithm3(col.Colors[v])
+		return machines(col.Colors[v])
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm 3: %w", err)
@@ -85,6 +87,19 @@ func ColoringMaxIS(g *graph.Graph, deterministic bool, cfg simul.Config) (*MaxIS
 	out.Metrics.Messages += col.Metrics.Messages
 	out.Metrics.TotalBits += col.Metrics.TotalBits
 	return out, nil
+}
+
+// algorithm3ByColor returns a lazily-filled color → shared machine table:
+// algorithm3 is stateless apart from its color, so nodes of one color class
+// share a single instance (and therefore its query plans).
+func algorithm3ByColor(numColors int) func(color int) agg.Machine {
+	machines := make([]*algorithm3, numColors)
+	return func(color int) agg.Machine {
+		if machines[color] == nil {
+			machines[color] = newAlgorithm3(color)
+		}
+		return machines[color]
+	}
 }
 
 func buildMaxISResult(g *graph.Graph, res *agg.Result, window int) (*MaxISResult, error) {
@@ -123,9 +138,9 @@ func DistributedMWM2(g *graph.Graph, misName string, cfg simul.Config) (*Matchin
 	if err != nil {
 		return nil, err
 	}
-	res, err := agg.RunLine(g, cfg, func(e int) agg.Machine {
-		return newAlgorithm2(factory, g.M())
-	})
+	// As in DistributedMaxIS, one stateless machine serves every edge.
+	m := newAlgorithm2(factory, g.M())
+	res, err := agg.RunLine(g, cfg, func(e int) agg.Machine { return m })
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm 2 on L(G) with %d edges: %w", g.M(), err)
 	}
@@ -142,8 +157,9 @@ func ColoringMWM2(g *graph.Graph, cfg simul.Config) (*MatchingResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: line-graph coloring: %w", err)
 	}
+	machines := algorithm3ByColor(col.NumColors)
 	res, err := agg.RunLine(g, cfg, func(e int) agg.Machine {
-		return newAlgorithm3(col.Colors[e])
+		return machines(col.Colors[e])
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm 3 on L(G): %w", err)

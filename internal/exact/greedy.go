@@ -1,7 +1,8 @@
 package exact
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -15,8 +16,8 @@ func GreedyMatching(g *graph.Graph) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return g.EdgeWeight(order[a]) > g.EdgeWeight(order[b])
+	slices.SortStableFunc(order, func(a, b int) int {
+		return cmp.Compare(g.EdgeWeight(b), g.EdgeWeight(a))
 	})
 	used := make([]bool, g.N())
 	var out []int
@@ -78,8 +79,8 @@ func GreedyWeightIS(g *graph.Graph) []bool {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return g.NodeWeight(order[a]) > g.NodeWeight(order[b])
+	slices.SortStableFunc(order, func(a, b int) int {
+		return cmp.Compare(g.NodeWeight(b), g.NodeWeight(a))
 	})
 	out := make([]bool, g.N())
 	blocked := make([]bool, g.N())

@@ -19,7 +19,7 @@ package fastmatch
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/nmis"
@@ -132,7 +132,7 @@ func MWM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 		for id := range gains {
 			ids = append(ids, id)
 		}
-		sort.Ints(ids)
+		slices.Sort(ids)
 		for _, id := range ids {
 			e := g.EdgeByID(id)
 			if err := sb.AddWeightedEdge(e.U, e.V, gains[id]); err != nil {
@@ -205,7 +205,7 @@ func bucketedConstApprox(g *graph.Graph, eps float64, k int, cfg simul.Config, s
 	for i := range big {
 		bigKeys = append(bigKeys, i)
 	}
-	sort.Ints(bigKeys)
+	slices.Sort(bigKeys)
 	for _, i := range bigKeys {
 		ids := big[i]
 		// Split into small buckets, processed highest first.
@@ -218,8 +218,8 @@ func bucketedConstApprox(g *graph.Graph, eps float64, k int, cfg simul.Config, s
 		for s := range smalls {
 			keys = append(keys, s)
 		}
-		sort.Sort(sort.Reverse(sort.IntSlice(keys)))
-		blocked := make(map[int]bool) // nodes matched within this big bucket
+		slices.SortFunc(keys, func(a, b int) int { return b - a }) // descending
+		blocked := make(map[int]bool)                              // nodes matched within this big bucket
 		bucketRounds := 0
 		for ki, s := range keys {
 			var free []int
@@ -276,7 +276,15 @@ func bucketedConstApprox(g *graph.Graph, eps float64, k int, cfg simul.Config, s
 	}
 	// The winners-only set can still conflict pairwise at a shared endpoint
 	// when each beats the other's alternatives; resolve greedily by weight.
-	sort.Slice(kept, func(a, b int) bool { return beats(kept[a], kept[b]) })
+	slices.SortFunc(kept, func(a, b int) int {
+		if a == b {
+			return 0
+		}
+		if beats(a, b) {
+			return -1
+		}
+		return 1
+	})
 	used := make(map[int]bool)
 	var final []int
 	for _, id := range kept {

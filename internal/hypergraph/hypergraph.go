@@ -13,7 +13,7 @@ package hypergraph
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/rng"
 )
@@ -49,7 +49,7 @@ func (h *Hypergraph) AddEdge(nodes []int) (int, error) {
 		return 0, fmt.Errorf("hypergraph: edge size %d outside [1, %d]", len(nodes), h.rank)
 	}
 	sorted := append([]int(nil), nodes...)
-	sort.Ints(sorted)
+	slices.Sort(sorted)
 	for i, v := range sorted {
 		if v < 0 || v >= h.n {
 			return 0, fmt.Errorf("hypergraph: node %d out of range", v)

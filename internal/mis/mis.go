@@ -15,6 +15,9 @@
 // All three are local aggregation algorithms (§2.4): they touch their
 // neighborhoods only through Max/Min/Or/Sum aggregates, which is what lets
 // Algorithm 2 run on the line graph in CONGEST without congestion overhead.
+// Per the agg arena contract, every sub-protocol builds its query plans —
+// including the Proj closures — once at construction and appends them in
+// Queries, so driving a Sub allocates nothing per round.
 package mis
 
 import (
@@ -46,7 +49,9 @@ type Sub interface {
 	WindowRounds(n int) int
 	// Begin (re)initializes the sub-fields at offset for a new instance.
 	Begin(info *agg.NodeInfo, d agg.Data, active bool)
-	Queries(info *agg.NodeInfo, t int, d agg.Data) []agg.Query
+	// Queries appends the round's precomputed query plan to qs, following the
+	// agg.Machine contract.
+	Queries(info *agg.NodeInfo, t int, d agg.Data, qs []agg.Query) []agg.Query
 	Update(info *agg.NodeInfo, t int, d agg.Data, results []int64)
 	// Decided reports whether this node settled in the current instance.
 	Decided(d agg.Data) bool
@@ -75,12 +80,27 @@ func ceilLog2(n int) int {
 type lubySub struct {
 	off          int
 	participates func(agg.Data) bool
+	compete      [1]agg.Query // even rounds: compare keys
+	notify       [1]agg.Query // odd rounds: did a neighbor join?
 }
 
 // NewLubySub returns the Luby sub-protocol factory.
 func NewLubySub() SubFactory {
 	return func(off int, participates func(agg.Data) bool) Sub {
-		return &lubySub{off: off, participates: participates}
+		s := &lubySub{off: off, participates: participates}
+		s.compete[0] = agg.Query{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
+			if s.participates(nd) && s.state(nd) == subCompeting {
+				return s.key(nd)
+			}
+			return -1
+		}}
+		s.notify[0] = agg.Query{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
+			if s.participates(nd) && s.state(nd) == subInMIS {
+				return 1
+			}
+			return 0
+		}}
+		return s
 	}
 }
 
@@ -115,23 +135,11 @@ func (s *lubySub) Begin(info *agg.NodeInfo, d agg.Data, active bool) {
 	}
 }
 
-func (s *lubySub) Queries(info *agg.NodeInfo, t int, d agg.Data) []agg.Query {
+func (s *lubySub) Queries(info *agg.NodeInfo, t int, d agg.Data, qs []agg.Query) []agg.Query {
 	if t%2 == 0 {
-		// Compare keys among competing participants.
-		return []agg.Query{{Agg: agg.Max, Proj: func(nd agg.Data) int64 {
-			if s.participates(nd) && s.state(nd) == subCompeting {
-				return s.key(nd)
-			}
-			return -1
-		}}}
+		return append(qs, s.compete[:]...)
 	}
-	// Notify: did any participating neighbor join?
-	return []agg.Query{{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
-		if s.participates(nd) && s.state(nd) == subInMIS {
-			return 1
-		}
-		return 0
-	}}}
+	return append(qs, s.notify[:]...)
 }
 
 func (s *lubySub) Update(info *agg.NodeInfo, t int, d agg.Data, results []int64) {
@@ -170,12 +178,34 @@ type ghaffariSub struct {
 	off          int
 	participates func(agg.Data) bool
 	maxExp       int64
+	plan         [3]agg.Query
 }
 
 // NewGhaffariSub returns the Ghaffari-style sub-protocol factory.
 func NewGhaffariSub() SubFactory {
 	return func(off int, participates func(agg.Data) bool) Sub {
-		return &ghaffariSub{off: off, participates: participates, maxExp: pFixShift - 1}
+		s := &ghaffariSub{off: off, participates: participates, maxExp: pFixShift - 1}
+		s.plan = [3]agg.Query{
+			{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // a marked competing neighbor?
+				if s.participates(nd) && s.state(nd) == subCompeting && s.marked(nd) {
+					return 1
+				}
+				return 0
+			}},
+			{Agg: agg.Sum, Proj: func(nd agg.Data) int64 { // effective degree
+				if s.participates(nd) && s.state(nd) == subCompeting {
+					return pFix(s.pexp(nd))
+				}
+				return 0
+			}},
+			{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // a neighbor already in the set?
+				if s.participates(nd) && s.state(nd) == subInMIS {
+					return 1
+				}
+				return 0
+			}},
+		}
+		return s
 	}
 }
 
@@ -213,28 +243,8 @@ func (s *ghaffariSub) Begin(info *agg.NodeInfo, d agg.Data, active bool) {
 	}
 }
 
-func (s *ghaffariSub) Queries(info *agg.NodeInfo, t int, d agg.Data) []agg.Query {
-	part := s.participates
-	return []agg.Query{
-		{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // a marked competing neighbor?
-			if part(nd) && s.state(nd) == subCompeting && s.marked(nd) {
-				return 1
-			}
-			return 0
-		}},
-		{Agg: agg.Sum, Proj: func(nd agg.Data) int64 { // effective degree
-			if part(nd) && s.state(nd) == subCompeting {
-				return pFix(s.pexp(nd))
-			}
-			return 0
-		}},
-		{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // a neighbor already in the set?
-			if part(nd) && s.state(nd) == subInMIS {
-				return 1
-			}
-			return 0
-		}},
-	}
+func (s *ghaffariSub) Queries(info *agg.NodeInfo, t int, d agg.Data, qs []agg.Query) []agg.Query {
+	return append(qs, s.plan[:]...)
 }
 
 func (s *ghaffariSub) Update(info *agg.NodeInfo, t int, d agg.Data, results []int64) {
@@ -276,12 +286,28 @@ func (s *ghaffariSub) InMIS(d agg.Data) bool { return s.state(d) == subInMIS }
 type greedyIDSub struct {
 	off          int
 	participates func(agg.Data) bool
+	compete      [1]agg.Query
+	notify       [1]agg.Query
 }
 
 // NewGreedyIDSub returns the deterministic greedy-by-ID factory.
 func NewGreedyIDSub() SubFactory {
 	return func(off int, participates func(agg.Data) bool) Sub {
-		return &greedyIDSub{off: off, participates: participates}
+		s := &greedyIDSub{off: off, participates: participates}
+		s.compete[0] = agg.Query{Agg: agg.Min, Proj: func(nd agg.Data) int64 {
+			if s.participates(nd) && s.state(nd) == subCompeting {
+				return nd[s.off+1]
+			}
+			// Non-participant sentinel above any real ID but cheap to encode.
+			return int64(1) << 40
+		}}
+		s.notify[0] = agg.Query{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
+			if s.participates(nd) && s.state(nd) == subInMIS {
+				return 1
+			}
+			return 0
+		}}
+		return s
 	}
 }
 
@@ -300,22 +326,11 @@ func (s *greedyIDSub) Begin(info *agg.NodeInfo, d agg.Data, active bool) {
 	d[s.off+1] = int64(info.ID)
 }
 
-func (s *greedyIDSub) Queries(info *agg.NodeInfo, t int, d agg.Data) []agg.Query {
+func (s *greedyIDSub) Queries(info *agg.NodeInfo, t int, d agg.Data, qs []agg.Query) []agg.Query {
 	if t%2 == 0 {
-		return []agg.Query{{Agg: agg.Min, Proj: func(nd agg.Data) int64 {
-			if s.participates(nd) && s.state(nd) == subCompeting {
-				return nd[s.off+1]
-			}
-			// Non-participant sentinel above any real ID but cheap to encode.
-			return int64(1) << 40
-		}}}
+		return append(qs, s.compete[:]...)
 	}
-	return []agg.Query{{Agg: agg.Or, Proj: func(nd agg.Data) int64 {
-		if s.participates(nd) && s.state(nd) == subInMIS {
-			return 1
-		}
-		return 0
-	}}}
+	return append(qs, s.notify[:]...)
 }
 
 func (s *greedyIDSub) Update(info *agg.NodeInfo, t int, d agg.Data, results []int64) {

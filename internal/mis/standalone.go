@@ -54,14 +54,12 @@ func NewMachine(name string) (func(v int) agg.Machine, error) {
 
 func (m *standalone) Fields() int { return m.sub.Fields() }
 
-func (m *standalone) Init(info *agg.NodeInfo) agg.Data {
-	d := make(agg.Data, m.sub.Fields())
+func (m *standalone) Init(info *agg.NodeInfo, d agg.Data) {
 	m.sub.Begin(info, d, true)
-	return d
 }
 
-func (m *standalone) Queries(info *agg.NodeInfo, t int, data agg.Data) []agg.Query {
-	return m.sub.Queries(info, t, data)
+func (m *standalone) Queries(info *agg.NodeInfo, t int, data agg.Data, qs []agg.Query) []agg.Query {
+	return m.sub.Queries(info, t, data, qs)
 }
 
 func (m *standalone) Update(info *agg.NodeInfo, t int, data agg.Data, results []int64) (bool, any) {

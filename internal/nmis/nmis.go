@@ -135,11 +135,12 @@ func fixShiftFor(n int) uint {
 	return s
 }
 
-func (m *machine) Init(info *agg.NodeInfo) agg.Data {
+func (m *machine) Init(info *agg.NodeInfo, d agg.Data) {
 	m.shift = fixShiftFor(info.N)
-	d := agg.Data{stCompeting, m.pToFix(m.pCap), 0}
+	d[0] = stCompeting
+	d[1] = m.pToFix(m.pCap)
+	d[2] = 0
 	m.draw(info, d)
-	return d
 }
 
 func (m *machine) draw(info *agg.NodeInfo, d agg.Data) {
@@ -151,27 +152,31 @@ func (m *machine) draw(info *agg.NodeInfo, d agg.Data) {
 	}
 }
 
-func (m *machine) Queries(info *agg.NodeInfo, t int, data agg.Data) []agg.Query {
-	return []agg.Query{
-		{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // marked competing neighbor?
-			if nd[0] == stCompeting && nd[2] != 0 {
-				return 1
-			}
-			return 0
-		}},
-		{Agg: agg.Sum, Proj: func(nd agg.Data) int64 { // effective degree
-			if nd[0] == stCompeting {
-				return nd[1]
-			}
-			return 0
-		}},
-		{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // neighbor joined?
-			if nd[0] == stInSet {
-				return 1
-			}
-			return 0
-		}},
-	}
+// queryPlan is the machine's fixed query set. The projections close over
+// nothing, so one package-level plan serves every node and round.
+var queryPlan = [3]agg.Query{
+	{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // marked competing neighbor?
+		if nd[0] == stCompeting && nd[2] != 0 {
+			return 1
+		}
+		return 0
+	}},
+	{Agg: agg.Sum, Proj: func(nd agg.Data) int64 { // effective degree
+		if nd[0] == stCompeting {
+			return nd[1]
+		}
+		return 0
+	}},
+	{Agg: agg.Or, Proj: func(nd agg.Data) int64 { // neighbor joined?
+		if nd[0] == stInSet {
+			return 1
+		}
+		return 0
+	}},
+}
+
+func (m *machine) Queries(info *agg.NodeInfo, t int, data agg.Data, qs []agg.Query) []agg.Query {
+	return append(qs, queryPlan[:]...)
 }
 
 func (m *machine) Update(info *agg.NodeInfo, t int, data agg.Data, results []int64) (bool, any) {

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package race reports whether the race detector instruments this build.
+// Alloc-budget tests skip under -race: instrumentation allocates on its own
+// and would fail any steady-state-zero assertion.
+package race
+
+// Enabled is true when the binary is built with -race.
+const Enabled = false

@@ -8,8 +8,9 @@ package registry
 
 import (
 	"bytes"
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"testing"
 
 	"repro/internal/graph"
@@ -54,11 +55,10 @@ func referenceAdjacency(g *graph.Graph) (adj [][]int, inc [][]int) {
 	}
 	for v := range adj {
 		ids := inc[v]
-		sort.Slice(ids, func(i, j int) bool {
-			ei, ej := g.EdgeByID(ids[i]), g.EdgeByID(ids[j])
-			return ei.Other(v) < ej.Other(v)
+		slices.SortFunc(ids, func(a, b int) int {
+			return cmp.Compare(g.EdgeByID(a).Other(v), g.EdgeByID(b).Other(v))
 		})
-		sort.Ints(adj[v])
+		slices.Sort(adj[v])
 	}
 	return adj, inc
 }

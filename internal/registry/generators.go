@@ -2,7 +2,8 @@ package registry
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -249,7 +250,7 @@ func GetGenerator(name string) (*GenSpec, bool) {
 func Generators() []*GenSpec {
 	out := make([]*GenSpec, len(genSpecs))
 	copy(out, genSpecs)
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b *GenSpec) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 
@@ -259,6 +260,6 @@ func GeneratorNames() []string {
 	for _, s := range genSpecs {
 		names = append(names, s.Name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }

@@ -16,7 +16,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"repro/internal/augment"
@@ -440,7 +440,7 @@ func Get(name string) (*Spec, bool) {
 func All() []*Spec {
 	out := make([]*Spec, len(specs))
 	copy(out, specs)
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b *Spec) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 
@@ -450,7 +450,7 @@ func Names() []string {
 	for _, s := range specs {
 		names = append(names, s.Name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 

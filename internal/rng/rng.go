@@ -42,10 +42,17 @@ func New(seed uint64) *Stream {
 // with distinct ids yields streams that are statistically independent of each
 // other and of the parent, without advancing the parent.
 func (s *Stream) Split(id uint64) *Stream {
+	child := s.SplitOff(id)
+	return &child
+}
+
+// SplitOff is Split returning the child by value, for callers that store
+// their streams in preallocated arenas instead of one heap object per node.
+func (s *Stream) SplitOff(id uint64) Stream {
 	st := s.state
 	// Mix the id into a copy of the parent state through two rounds.
 	st ^= splitmix64(&st) + id*0x9e3779b97f4a7c15
-	child := &Stream{state: st}
+	child := Stream{state: st}
 	splitmix64(&child.state)
 	return child
 }

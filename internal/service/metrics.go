@@ -1,7 +1,7 @@
 package service
 
 import (
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -62,7 +62,7 @@ func (c *counters) percentiles() (p50, p90, p99 float64) {
 	}
 	xs := make([]time.Duration, n)
 	copy(xs, c.latencies[:n])
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	at := func(q float64) float64 {
 		idx := int(q * float64(n-1))
 		return float64(xs[idx]) / float64(time.Millisecond)

@@ -1,0 +1,51 @@
+package simul_test
+
+// Alloc-budget test for the round engine itself (DESIGN.md §2b): extra
+// rounds of a run must not allocate — the arenas, contexts and shard
+// counters are sized once. The per-round cost is measured as the allocation
+// difference between a long and a short run of the same automaton, so the
+// O(n) setup (automata, RNG streams, arenas) cancels out.
+
+import (
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/simul"
+)
+
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates; budgets only hold unraced")
+	}
+	for _, parallel := range []bool{false, true} {
+		name := "seq"
+		if parallel {
+			name = "par"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := benchGraph(t, "random", 256)
+			run := func(rounds int) {
+				if _, err := simul.Run(g, simul.Config{Seed: 3, Parallel: parallel}, func(v int) simul.Automaton {
+					return &gossip{rounds: rounds}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The short horizon sits past the warmup rounds in which
+			// lazily-grown buffers reach their steady size.
+			const short, long = 16, 56
+			a := testing.AllocsPerRun(5, func() { run(short) })
+			b := testing.AllocsPerRun(5, func() { run(long) })
+			per := (b - a) / float64(long-short)
+			// The parallel engine's per-round channel operations may allocate
+			// scheduler-side; allow a small constant, zero for sequential.
+			budget := 0.5
+			if parallel {
+				budget = 4
+			}
+			if per > budget {
+				t.Errorf("engine (%s) allocates %.2f/round in steady state, budget %v", name, per, budget)
+			}
+		})
+	}
+}

@@ -38,7 +38,7 @@ func (a *gossip) Step(ctx *simul.Context, inbox []simul.Envelope) {
 	ctx.Broadcast(pulse{hop: int32(ctx.Round())})
 }
 
-func benchGraph(b *testing.B, family string, n int) *graph.Graph {
+func benchGraph(b testing.TB, family string, n int) *graph.Graph {
 	b.Helper()
 	switch family {
 	case "ring":

@@ -94,7 +94,10 @@ type Envelope struct {
 // messages addressed to the node are dropped (the node has left the
 // computation, as in the paper's "return InIS/NotInIS"). The inbox slice is
 // only valid for the duration of the call: the engine reuses its backing
-// arena across rounds.
+// arena across rounds. Senders may pool message objects (the agg runtimes
+// do), so a received Message and anything it points into are guaranteed
+// stable only until the sender's next Step; consume messages in the Step
+// they are delivered unless the sending protocol promises otherwise.
 type Automaton interface {
 	Step(ctx *Context, inbox []Envelope)
 }
@@ -159,9 +162,12 @@ type Context struct {
 	rand  *rng.Stream
 	// nbrs is this node's CSR neighbor segment; out is the outbox arena view
 	// aligned with it (out[i] is the message queued for nbrs[i], nil if
-	// none). inbox is the compacted inbox arena view for the current round.
+	// none) and outBits the matching metered sizes, so Bits() runs exactly
+	// once per message. inbox is the compacted inbox arena view for the
+	// current round.
 	nbrs      []int32
 	out       []Message
+	outBits   []int32
 	inbox     []Envelope
 	halted    bool
 	output    any
@@ -212,7 +218,24 @@ func (c *Context) Send(to int, m Message) {
 	c.sendSlot(i, m)
 }
 
-// sendSlot queues m in outbox slot i (the slot for neighbor c.nbrs[i]).
+// SendNbr transmits m to the i-th neighbor (Neighbors()[i]) at the end of
+// this round. It is Send for callers that already know the neighbor's
+// position in the CSR segment — the agg runtimes keep per-arc state aligned
+// with it — and skips Send's binary search.
+func (c *Context) SendNbr(i int, m Message) {
+	if c.err != nil {
+		return
+	}
+	if i < 0 || i >= len(c.nbrs) {
+		c.err = fmt.Errorf("simul: round %d: node %d sent to out-of-range neighbor index %d", c.round, c.id, i)
+		return
+	}
+	c.sendSlot(i, m)
+}
+
+// sendSlot queues m in outbox slot i (the slot for neighbor c.nbrs[i]). The
+// metered size is computed here, once, and stashed in the aligned outBits
+// slot for the deliver phase.
 func (c *Context) sendSlot(i int, m Message) {
 	if m == nil {
 		c.err = fmt.Errorf("simul: round %d: node %d sent a nil message", c.round, c.id)
@@ -222,23 +245,38 @@ func (c *Context) sendSlot(i int, m Message) {
 		c.err = fmt.Errorf("simul: round %d: node %d sent twice to neighbor %d (CONGEST allows one message per edge per round)", c.round, c.id, int(c.nbrs[i]))
 		return
 	}
-	if c.bitBudget > 0 {
-		if b := m.Bits(); b > c.bitBudget {
-			c.err = fmt.Errorf("simul: round %d: node %d message of %d bits exceeds CONGEST budget of %d bits", c.round, c.id, b, c.bitBudget)
-			return
-		}
+	b := m.Bits()
+	if c.bitBudget > 0 && b > c.bitBudget {
+		c.err = fmt.Errorf("simul: round %d: node %d message of %d bits exceeds CONGEST budget of %d bits", c.round, c.id, b, c.bitBudget)
+		return
 	}
 	c.out[i] = m
+	c.outBits[i] = int32(b)
 }
 
 // Broadcast sends m to every neighbor. Slots are addressed by index — the
-// i-th neighbor's outbox slot is out[i] — so no per-neighbor search is paid.
+// i-th neighbor's outbox slot is out[i] — and the message is metered once
+// for all of them: the same m lands in every slot.
 func (c *Context) Broadcast(m Message) {
+	if c.err != nil || len(c.nbrs) == 0 {
+		return
+	}
+	if m == nil {
+		c.err = fmt.Errorf("simul: round %d: node %d sent a nil message", c.round, c.id)
+		return
+	}
+	b := m.Bits()
+	if c.bitBudget > 0 && b > c.bitBudget {
+		c.err = fmt.Errorf("simul: round %d: node %d message of %d bits exceeds CONGEST budget of %d bits", c.round, c.id, b, c.bitBudget)
+		return
+	}
 	for i := range c.nbrs {
-		if c.err != nil {
+		if c.out[i] != nil {
+			c.err = fmt.Errorf("simul: round %d: node %d sent twice to neighbor %d (CONGEST allows one message per edge per round)", c.round, c.id, int(c.nbrs[i]))
 			return
 		}
-		c.sendSlot(i, m)
+		c.out[i] = m
+		c.outBits[i] = int32(b)
 	}
 }
 
@@ -269,13 +307,15 @@ type engine struct {
 	mirror  []int32
 	// inArena/outArena have one slot per arc. A node's slots are its CSR
 	// segment; inbox slots are keyed by sender (mirror-addressed writes),
-	// outbox slots by receiver.
-	inArena  []Envelope
-	outArena []Message
-	halted   []bool
-	stepped  []bool
-	round    int
-	shards   []shard
+	// outbox slots by receiver. outBitsArena carries each outbox slot's
+	// metered size, computed once at Send time.
+	inArena      []Envelope
+	outArena     []Message
+	outBitsArena []int32
+	halted       []bool
+	stepped      []bool
+	round        int
+	shards       []shard
 }
 
 // Run executes the distributed algorithm defined by build on the graph g.
@@ -303,16 +343,17 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 
 	offsets, nbrs, _ := g.CSR()
 	e := &engine{
-		g:        g,
-		autos:    make([]Automaton, n),
-		ctxs:     make([]Context, n),
-		offsets:  offsets,
-		nbrs:     nbrs,
-		mirror:   g.MirrorArcs(),
-		inArena:  make([]Envelope, len(nbrs)),
-		outArena: make([]Message, len(nbrs)),
-		halted:   make([]bool, n),
-		stepped:  make([]bool, n),
+		g:            g,
+		autos:        make([]Automaton, n),
+		ctxs:         make([]Context, n),
+		offsets:      offsets,
+		nbrs:         nbrs,
+		mirror:       g.MirrorArcs(),
+		inArena:      make([]Envelope, len(nbrs)),
+		outArena:     make([]Message, len(nbrs)),
+		outBitsArena: make([]int32, len(nbrs)),
+		halted:       make([]bool, n),
+		stepped:      make([]bool, n),
 	}
 	master := rng.New(cfg.Seed)
 	for v := 0; v < n; v++ {
@@ -323,6 +364,7 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 			rand:      master.Split(uint64(v)),
 			nbrs:      nbrs[offsets[v]:offsets[v+1]],
 			out:       e.outArena[offsets[v]:offsets[v+1]],
+			outBits:   e.outBitsArena[offsets[v]:offsets[v+1]],
 			inbox:     e.inArena[offsets[v]:offsets[v]],
 			bitBudget: budget,
 		}
@@ -460,7 +502,7 @@ func (e *engine) deliver(s *shard) {
 				continue
 			}
 			e.outArena[k] = nil
-			b := m.Bits()
+			b := int(e.outBitsArena[k])
 			s.messages++
 			s.bits += b
 			if b > s.maxBits {
