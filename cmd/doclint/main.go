@@ -1,0 +1,107 @@
+// Command doclint enforces the repository's documentation floor: every Go
+// package under the given roots (default: internal, cmd, examples, and the
+// repository root) must carry a package-level doc comment. CI runs it so a
+// new package cannot land undocumented; DESIGN.md §2 expects each internal
+// package's comment to state its layer and concurrency contract.
+//
+// Usage:
+//
+//	doclint [root ...]
+//
+// Exits non-zero listing every package directory whose non-test files all
+// lack a package comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doclint: ")
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{".", "internal", "cmd", "examples"}
+	}
+	var missing []string
+	for _, root := range roots {
+		m, err := Undocumented(root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "doclint: package in %s has no package comment\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// Undocumented walks root and returns every directory holding a Go package
+// (at least one non-test .go file) in which no non-test file carries a
+// package doc comment. Root itself is checked non-recursively when it is
+// ".", recursively otherwise; vendor, testdata and hidden directories are
+// skipped.
+func Undocumented(root string) ([]string, error) {
+	byDir := make(map[string]bool) // dir -> has a package comment
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			// "." means "this directory only": don't recurse into children
+			// (they are covered by their own roots).
+			if root == "." && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		has, err := hasPackageComment(path)
+		if err != nil {
+			return err
+		}
+		byDir[dir] = byDir[dir] || has
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for dir, has := range byDir {
+		if !has {
+			missing = append(missing, dir)
+		}
+	}
+	return missing, nil
+}
+
+// hasPackageComment reports whether the file carries a non-empty doc
+// comment on its package clause.
+func hasPackageComment(path string) (bool, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+	if err != nil {
+		return false, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "", nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+// TestRepositoryIsFullyDocumented is the enforcement the CI docs-lint step
+// duplicates: no package in this repository may lack a package comment.
+func TestRepositoryIsFullyDocumented(t *testing.T) {
+	repoRoot := filepath.Join("..", "..")
+	for _, root := range []string{"internal", "cmd", "examples"} {
+		missing, err := Undocumented(filepath.Join(repoRoot, root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dir := range missing {
+			t.Errorf("package in %s has no package comment", dir)
+		}
+	}
+}
+
+func TestUndocumentedDetection(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good/a.go", "// Package good is documented.\npackage good\n")
+	write("good/b.go", "package good\n") // one documented file suffices
+	write("bad/a.go", "package bad\n")
+	write("bad/a_test.go", "// Package bad has only a test-file comment.\npackage bad\n")
+	write("empty/a.go", "//\npackage empty\n") // whitespace-only doc does not count
+	write("testdata/skip.go", "package skipped\n")
+	write(".hidden/skip.go", "package skipped\n")
+
+	missing, err := Undocumented(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slices.Sort(missing)
+	want := []string{filepath.Join(dir, "bad"), filepath.Join(dir, "empty")}
+	if !slices.Equal(missing, want) {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte("pkg broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Undocumented(dir); err == nil {
+		t.Fatal("broken file parsed without error")
+	}
+}

@@ -1,22 +1,32 @@
 // Command reprod serves the repository's distributed-approximation
-// algorithms as a long-running HTTP JSON service backed by the
-// internal/service job engine: a bounded worker pool, an in-memory job store
-// and an LRU result cache keyed by (graph fingerprint, algorithm, params).
+// algorithms as a long-running HTTP JSON service (the internal/httpapi
+// surface) backed by the internal/service job and batch engines and the
+// internal/store named graph registry: a bounded worker pool, an in-memory
+// job store, an LRU result cache keyed by (graph fingerprint, algorithm,
+// params), fingerprint-deduplicated named graphs, and batch sweeps that
+// expand a parameter grid over stored graphs.
 //
-// Endpoints:
+// Endpoints (see internal/httpapi for the full wire format):
 //
-//	POST   /v1/jobs        submit a job (inline graph or generator spec)
-//	GET    /v1/jobs/{id}   poll a job
-//	DELETE /v1/jobs/{id}   cancel a queued or running job
-//	GET    /v1/algorithms  list registered algorithms and generators
-//	GET    /healthz        liveness
-//	GET    /metrics        service counters and latency percentiles
+//	POST   /v1/jobs            submit a job (inline graph, stored graph, or generator spec)
+//	GET    /v1/jobs/{id}       poll a job
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	PUT    /v1/graphs/{name}   register a named graph (upload or generator spec)
+//	GET    /v1/graphs[/{name}] list or inspect named graphs
+//	DELETE /v1/graphs/{name}   delete a named graph (409 while a batch pins it)
+//	POST   /v1/batches         submit a batch (stored graphs × parameter grid)
+//	GET    /v1/batches/{id}    poll a batch; ?wait=5s long-polls until terminal
+//	DELETE /v1/batches/{id}    cancel a batch (fans out to member jobs)
+//	GET    /v1/algorithms      list registered algorithms and generators
+//	GET    /healthz            liveness
+//	GET    /metrics            service + batch counters and latency percentiles
 //
 // Example:
 //
 //	reprod -addr :8080 &
-//	curl -s localhost:8080/v1/jobs -d '{"algo":"mwm2","gen":{"gen":"gnp","n":64,"p":0.1,"seed":1,"maxw":64}}'
-//	curl -s localhost:8080/v1/jobs/j00000001
+//	curl -s -X PUT localhost:8080/v1/graphs/demo -d '{"gen":{"gen":"gnp","n":64,"p":0.1,"seed":1,"maxw":64}}'
+//	curl -s localhost:8080/v1/batches -d '{"graphs":["demo"],"algos":["mwm2"],"seeds":[1,2,3]}'
+//	curl -s 'localhost:8080/v1/batches/b000001?wait=10s'
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections, drains in-flight requests, then drains the job queue.
@@ -34,7 +44,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -45,6 +57,8 @@ func main() {
 	queue := flag.Int("queue", 256, "job queue capacity")
 	cache := flag.Int("cache", 128, "LRU result-cache entries")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job timeout")
+	maxGraphs := flag.Int("maxgraphs", 256, "named graph store capacity")
+	maxCells := flag.Int("maxcells", 4096, "cell cap per batch")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 
@@ -54,8 +68,10 @@ func main() {
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
 	})
+	st := store.New(store.Config{MaxGraphs: *maxGraphs})
+	batches := service.NewBatches(svc, st, service.BatchConfig{MaxCells: *maxCells})
 
-	handler := newHandler(svc)
+	handler := httpapi.NewHandler(svc, st, batches)
 	if *pprofOn {
 		// Profiling stays off the default surface: the handlers expose stack
 		// traces and timings, so they are gated behind an explicit flag

@@ -42,6 +42,19 @@
 //     headers, never a closure allocation.
 //   - Update may retain no slice it is handed: data and results are arena
 //     views that the runtime reuses the next round.
+//
+// Layer (DESIGN.md §2): agg sits directly above the internal/simul round
+// engine and below the algorithm packages (core, mis, nmis, coloring) that
+// express themselves as Machines.
+//
+// Concurrency and ownership: a runtime invocation (RunDirect/RunLine/
+// RunLineNaive) is driven from one goroutine; any internal parallelism
+// belongs to the simul engine underneath, whose sharding guarantees each
+// Machine is stepped by exactly one worker per round. Machines are owned by
+// their run — a Machine instance that keeps all per-node state in its Data
+// arena view may be shared across virtual nodes, otherwise the build
+// function must return a fresh instance per node. Result values are
+// immutable once returned.
 package agg
 
 import (

@@ -4,6 +4,17 @@
 // phase framework driven by nearly-maximal hypergraph matchings, and the
 // bipartite forward/backward counting traversals of Claims B.5/B.6
 // (Figure 1).
+//
+// Layer (DESIGN.md §2): augment is part of the §3/§B algorithm layer,
+// above internal/graph, internal/rng and internal/hypergraph and below
+// internal/registry.
+//
+// Concurrency and ownership: every entry point is a synchronous computation
+// on the calling goroutine. Input graphs are read-only (weights included);
+// mate/active slices passed in are mutated in place exactly where the
+// function documents it (FlipPath, the phase drivers) and are owned by the
+// caller. Concurrent runs must not share mate/active slices; sharing the
+// immutable graph is fine.
 package augment
 
 import (

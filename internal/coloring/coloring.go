@@ -15,6 +15,14 @@
 //     the standard one-color-class-per-round reduction to ∆+1. Fully
 //     deterministic; it substitutes for the O(∆ + log* n) algorithm of
 //     [BEK14, Bar15] that the paper cites (see DESIGN.md §3).
+//
+// Layer (DESIGN.md §2): coloring is a black-box layer beside internal/mis,
+// above the internal/simul engine (and internal/agg for the line-graph
+// form), below internal/core.
+//
+// Concurrency and ownership: each call runs one simulation to completion on
+// the calling goroutine; input graphs are read-only and may be shared, and
+// the returned Result (color vector included) is owned by the caller.
 package coloring
 
 import (

@@ -15,6 +15,14 @@
 // aggregation algorithms" (Theorem 2.9) — so one implementation serves both
 // the MaxIS case (agg.RunDirect on G) and the matching case (agg.RunLine on
 // L(G)) with no congestion overhead in CONGEST.
+//
+// Layer (DESIGN.md §2): core is the primary algorithm layer, above
+// internal/agg and the mis/coloring black boxes, below internal/registry.
+//
+// Concurrency and ownership: every entry point is a synchronous run on the
+// calling goroutine (the parallel simul engine underneath is an internal
+// detail). Input graphs are strictly read-only and may be shared between
+// concurrent runs; returned results are owned by the caller.
 package core
 
 import (

@@ -3,6 +3,13 @@
 // about approximation factors; these solvers supply the optima (or, for
 // greedy, the classical baselines) that the distributed algorithms' outputs
 // are measured against in the test suite and the benchmark harness.
+//
+// Layer (DESIGN.md §2): exact is a substrate/baseline layer above
+// internal/graph only; anything may import it.
+//
+// Concurrency and ownership: all solvers are pure functions — input graphs
+// are read-only and shareable, results are freshly allocated and owned by
+// the caller, so concurrent invocations are safe.
 package exact
 
 import "repro/internal/graph"

@@ -14,6 +14,14 @@
 //     left nodes propose along random remaining edges, right nodes accept
 //     the highest ID, generalized to arbitrary graphs by random
 //     bipartitions.
+//
+// Layer (DESIGN.md §2): fastmatch is part of the §3/§B algorithm layer,
+// above internal/agg, internal/nmis and internal/augment, below
+// internal/registry.
+//
+// Concurrency and ownership: every entry point is a synchronous run on the
+// calling goroutine; input graphs are read-only and shareable, returned
+// Results are owned by the caller.
 package fastmatch
 
 import (

@@ -3,6 +3,15 @@
 // graphs to minimum cut. The reduction provides exact MaxIS baselines at
 // scales where branch and bound is infeasible, so approximation ratios can be
 // measured on large bipartite instances.
+//
+// Layer (DESIGN.md §2): flow is a substrate layer beside internal/exact,
+// above internal/graph only.
+//
+// Concurrency and ownership: a Network is a mutable single-goroutine value
+// (MaxFlow mutates residual capacities); build and solve it on one
+// goroutine. The package-level reductions construct their own Network per
+// call, so they are safe to invoke concurrently on a shared, read-only
+// graph.
 package flow
 
 import (

@@ -18,6 +18,18 @@
 // edge-ID lookups binary-search the sorted neighbor segment instead of
 // consulting a hash map, and Neighbors/IncidentEdges return zero-copy
 // subslices of the CSR arrays.
+//
+// Layer (DESIGN.md §2, §2a): graph is the bottom substrate; every other
+// package imports it and it imports only internal/rng.
+//
+// Concurrency and ownership: topology is immutable after Build, so any
+// number of goroutines may read a shared Graph concurrently — this is what
+// lets the job service and the graph store hand one Graph to many
+// concurrent runs. Node and edge weights are mutable and unsynchronized:
+// mutate them only while the graph is exclusively owned (construction
+// time), never once it is shared. Neighbors/IncidentEdges return views into
+// the CSR arrays that must not be modified or retained past the graph's
+// lifetime.
 package graph
 
 import (

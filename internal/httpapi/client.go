@@ -1,0 +1,175 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client is a typed client for the httpapi surface. cmd/sweep and
+// examples/batchsweep use it against either a remote server or an
+// in-process httptest server, so every consumer exercises the same wire
+// format the service serves. The zero Client is not usable; construct with
+// NewClient. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the API rooted at base (e.g.
+// "http://localhost:8080"). hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// APIError is a non-2xx response decoded from the server's error envelope.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("httpapi: %d: %s", e.Status, e.Message)
+}
+
+// do round-trips one JSON request. A nil out discards the response body.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		return &APIError{Status: resp.StatusCode, Message: env.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// PutGraph registers a graph in the graph.Encode text format under name.
+func (c *Client) PutGraph(name, text string) (GraphInfo, error) {
+	var out GraphInfo
+	err := c.do(http.MethodPut, "/v1/graphs/"+url.PathEscape(name), GraphRequest{Graph: text}, &out)
+	return out, err
+}
+
+// PutGraphGen registers a generated graph under name.
+func (c *Client) PutGraphGen(name string, gen GenRequest) (GraphInfo, error) {
+	var out GraphInfo
+	err := c.do(http.MethodPut, "/v1/graphs/"+url.PathEscape(name), GraphRequest{Gen: &gen}, &out)
+	return out, err
+}
+
+// GetGraph fetches a stored graph's metadata.
+func (c *Client) GetGraph(name string) (GraphInfo, error) {
+	var out GraphInfo
+	err := c.do(http.MethodGet, "/v1/graphs/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// ListGraphs lists every stored graph.
+func (c *Client) ListGraphs() ([]GraphInfo, error) {
+	var out struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	err := c.do(http.MethodGet, "/v1/graphs", nil, &out)
+	return out.Graphs, err
+}
+
+// DeleteGraph removes a stored graph; pinned graphs refuse with a 409
+// APIError.
+func (c *Client) DeleteGraph(name string) error {
+	return c.do(http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
+}
+
+// SubmitJob submits one job.
+func (c *Client) SubmitJob(req SubmitRequest) (JobResponse, error) {
+	var out JobResponse
+	err := c.do(http.MethodPost, "/v1/jobs", req, &out)
+	return out, err
+}
+
+// GetJob polls one job.
+func (c *Client) GetJob(id string) (JobResponse, error) {
+	var out JobResponse
+	err := c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// SubmitBatch submits a batch.
+func (c *Client) SubmitBatch(req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(http.MethodPost, "/v1/batches", req, &out)
+	return out, err
+}
+
+// GetBatch polls a batch; wait > 0 long-polls server-side until the batch
+// is terminal or wait has elapsed.
+func (c *Client) GetBatch(id string, wait time.Duration) (BatchResponse, error) {
+	path := "/v1/batches/" + url.PathEscape(id)
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	var out BatchResponse
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// CancelBatch cancels a running batch.
+func (c *Client) CancelBatch(id string) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.do(http.MethodDelete, "/v1/batches/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// WaitBatch long-polls the batch until it is terminal or timeout elapses
+// (timeout <= 0 waits indefinitely), re-issuing bounded server-side waits so
+// proxies with idle limits stay happy.
+func (c *Client) WaitBatch(id string, timeout time.Duration) (BatchResponse, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		wait := 10 * time.Second
+		if timeout > 0 {
+			left := time.Until(deadline)
+			if left <= 0 {
+				return BatchResponse{}, fmt.Errorf("httpapi: batch %s not terminal after %s", id, timeout)
+			}
+			wait = min(wait, left)
+		}
+		v, err := c.GetBatch(id, wait)
+		if err != nil {
+			return v, err
+		}
+		if v.Terminal() {
+			return v, nil
+		}
+	}
+}

@@ -1,0 +1,735 @@
+// Package httpapi is the HTTP JSON transport over the job service, the
+// named graph store and the batch-sweep engine. cmd/reprod mounts the
+// handler as its entire surface; cmd/sweep and examples/batchsweep drive the
+// same handler in-process through the typed Client, so the CLI, the
+// examples and the served API share one engine and one wire format.
+//
+// Layer (DESIGN.md §2): httpapi sits above internal/service and
+// internal/store and below the cmd binaries; it owns every wire type
+// (requests and responses) so no other layer marshals JSON.
+//
+// Concurrency and ownership: the handler returned by NewHandler is a plain
+// stateless http.Handler — all state lives in the Service, Store and
+// Batches it wraps, each of which is safe for concurrent use. Request
+// bodies are bounded by maxBodyBytes before decoding.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs            submit a job (inline graph, stored graph, or generator spec)
+//	GET    /v1/jobs/{id}       poll a job
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	PUT    /v1/graphs/{name}   register a named graph (upload or generator spec)
+//	GET    /v1/graphs          list named graphs
+//	GET    /v1/graphs/{name}   inspect a named graph
+//	DELETE /v1/graphs/{name}   delete a named graph (409 while pinned)
+//	POST   /v1/batches         submit a batch (stored graphs × parameter grid)
+//	GET    /v1/batches         list batches
+//	GET    /v1/batches/{id}    poll a batch; ?wait=5s long-polls until terminal
+//	DELETE /v1/batches/{id}    cancel a batch (fans out to member jobs)
+//	GET    /v1/algorithms      list registered algorithms and generators
+//	GET    /healthz            liveness
+//	GET    /metrics            service + batch counters and latency percentiles
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/registry"
+	"repro/internal/service"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// maxBodyBytes bounds a request body (inline graphs included).
+const maxBodyBytes = 64 << 20
+
+// maxWait caps the ?wait= long-poll duration.
+const maxWait = 60 * time.Second
+
+// SubmitRequest is the POST /v1/jobs body. Exactly one of Graph (the
+// graph.Encode text format), GraphName (a stored graph) and Gen (a
+// generator spec) must be set.
+type SubmitRequest struct {
+	Algo      string         `json:"algo"`
+	Graph     string         `json:"graph,omitempty"`
+	GraphName string         `json:"graph_name,omitempty"`
+	Gen       *GenRequest    `json:"gen,omitempty"`
+	Params    *ParamsRequest `json:"params,omitempty"`
+	TimeoutMs int64          `json:"timeout_ms,omitempty"`
+}
+
+// GenRequest mirrors registry.GenParams with the generator name inline:
+// {"gen":"gnp","n":64,"p":0.1,"seed":1}.
+type GenRequest struct {
+	Gen   string  `json:"gen"`
+	N     int     `json:"n,omitempty"`
+	N2    int     `json:"n2,omitempty"`
+	D     int     `json:"d,omitempty"`
+	P     float64 `json:"p,omitempty"`
+	Rows  int     `json:"rows,omitempty"`
+	Cols  int     `json:"cols,omitempty"`
+	Spine int     `json:"spine,omitempty"`
+	Legs  int     `json:"legs,omitempty"`
+	Seed  uint64  `json:"seed,omitempty"`
+	MaxW  int64   `json:"maxw,omitempty"`
+}
+
+func (g *GenRequest) genParams() registry.GenParams {
+	return registry.GenParams{
+		N: g.N, N2: g.N2, D: g.D, P: g.P,
+		Rows: g.Rows, Cols: g.Cols,
+		Spine: g.Spine, Legs: g.Legs,
+		Seed: g.Seed, MaxW: g.MaxW,
+	}
+}
+
+// ParamsRequest is the wire form of registry.Params.
+type ParamsRequest struct {
+	Eps         float64 `json:"eps,omitempty"`
+	K           int     `json:"k,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	MIS         string  `json:"mis,omitempty"`
+	Model       string  `json:"model,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	DetColoring bool    `json:"det_coloring,omitempty"`
+}
+
+func (p *ParamsRequest) params() (registry.Params, error) {
+	if p == nil {
+		return registry.Params{}, nil
+	}
+	mdl, err := registry.ParseModel(p.Model)
+	if err != nil {
+		return registry.Params{}, err
+	}
+	return registry.Params{
+		Eps: p.Eps, K: p.K, Delta: p.Delta, MIS: p.MIS,
+		Model: mdl, Seed: p.Seed, DeterministicColoring: p.DetColoring,
+	}, nil
+}
+
+func paramsWire(p registry.Params) *ParamsRequest {
+	model := ""
+	if p.Model != 0 {
+		model = p.Model.String()
+	}
+	return &ParamsRequest{
+		Eps: p.Eps, K: p.K, Delta: p.Delta, MIS: p.MIS,
+		Model: model, Seed: p.Seed, DetColoring: p.DeterministicColoring,
+	}
+}
+
+// JobResponse is the wire form of a job snapshot.
+type JobResponse struct {
+	ID          string     `json:"id"`
+	Algo        string     `json:"algo"`
+	State       string     `json:"state"`
+	CacheHit    bool       `json:"cache_hit"`
+	Error       string     `json:"error,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// JobResult is the wire form of a registry.Result.
+type JobResult struct {
+	Kind      string        `json:"kind"`
+	Size      int           `json:"size"`
+	Weight    int64         `json:"weight"`
+	Uncovered int           `json:"uncovered,omitempty"`
+	InSet     []bool        `json:"in_set,omitempty"`
+	Edges     []int         `json:"edges,omitempty"`
+	Cost      registry.Cost `json:"cost"`
+}
+
+// GraphRequest is the PUT /v1/graphs/{name} body: exactly one of Graph (the
+// graph.Encode text format) and Gen must be set.
+type GraphRequest struct {
+	Graph string      `json:"graph,omitempty"`
+	Gen   *GenRequest `json:"gen,omitempty"`
+}
+
+// GraphInfo is the wire form of a stored graph's metadata.
+type GraphInfo struct {
+	Name        string    `json:"name"`
+	Fingerprint string    `json:"fingerprint"`
+	Nodes       int       `json:"nodes"`
+	Edges       int       `json:"edges"`
+	Gen         string    `json:"gen,omitempty"`
+	Pins        int       `json:"pins"`
+	Shared      int       `json:"shared"`
+	CreatedAt   time.Time `json:"created_at"`
+	// Dedup is true on PUT responses whose content was already stored
+	// (under this or another name).
+	Dedup bool `json:"dedup,omitempty"`
+}
+
+// BatchRequest is the POST /v1/batches body: either explicit cells, or a
+// grid of stored graphs × algorithms × parameter axes.
+type BatchRequest struct {
+	Graphs    []string    `json:"graphs,omitempty"`
+	Algos     []string    `json:"algos,omitempty"`
+	Eps       []float64   `json:"eps,omitempty"`
+	K         []int       `json:"k,omitempty"`
+	Delta     []float64   `json:"delta,omitempty"`
+	MIS       []string    `json:"mis,omitempty"`
+	Seeds     []uint64    `json:"seeds,omitempty"`
+	Cells     []BatchCell `json:"cells,omitempty"`
+	TimeoutMs int64       `json:"timeout_ms,omitempty"`
+}
+
+// BatchCell is one explicit (stored graph, algorithm, params) cell.
+type BatchCell struct {
+	Graph  string         `json:"graph"`
+	Algo   string         `json:"algo"`
+	Params *ParamsRequest `json:"params,omitempty"`
+}
+
+// BatchResponse is the wire form of a batch snapshot. Cells and Groups are
+// only present on single-batch GETs; Groups only once the batch is
+// terminal.
+type BatchResponse struct {
+	ID         string          `json:"id"`
+	State      string          `json:"state"`
+	Total      int             `json:"total"`
+	Submitted  int             `json:"submitted"`
+	Done       int             `json:"done"`
+	Failed     int             `json:"failed"`
+	Canceled   int             `json:"canceled"`
+	CacheHits  int             `json:"cache_hits"`
+	CreatedAt  time.Time       `json:"created_at"`
+	FinishedAt *time.Time      `json:"finished_at,omitempty"`
+	Cells      []BatchCellView `json:"cells,omitempty"`
+	Groups     []BatchGroup    `json:"groups,omitempty"`
+}
+
+// Terminal reports whether the batch snapshot is final.
+func (b *BatchResponse) Terminal() bool {
+	return service.BatchState(b.State).Terminal()
+}
+
+// BatchCellView is the wire form of one member run.
+type BatchCellView struct {
+	Index    int            `json:"index"`
+	Graph    string         `json:"graph"`
+	Algo     string         `json:"algo"`
+	Params   *ParamsRequest `json:"params,omitempty"`
+	JobID    string         `json:"job_id,omitempty"`
+	State    string         `json:"state"`
+	CacheHit bool           `json:"cache_hit,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Result   *JobResult     `json:"result,omitempty"`
+}
+
+// BatchGroup is the wire form of one aggregated grid cell: the done members
+// sharing (graph, algo, params modulo seed), summarized.
+type BatchGroup struct {
+	Graph  string         `json:"graph"`
+	Algo   string         `json:"algo"`
+	Params *ParamsRequest `json:"params,omitempty"`
+	Runs   int            `json:"runs"`
+	Done   int            `json:"done"`
+	Failed int            `json:"failed"`
+	Rounds stats.Summary  `json:"rounds"`
+	Weight stats.Summary  `json:"weight"`
+	Size   stats.Summary  `json:"size"`
+}
+
+// metricsResponse merges the job-service and batch-engine counters into one
+// /metrics document.
+type metricsResponse struct {
+	service.Metrics
+	service.BatchMetrics
+}
+
+// NewHandler wires the HTTP API around the job service, the graph store and
+// the batch engine. It is a plain http.Handler so tests and in-process
+// clients can drive it through httptest.
+func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, metricsResponse{svc.Metrics(), batches.Metrics()})
+	})
+	mux.HandleFunc("GET /v1/algorithms", handleAlgorithms)
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(svc, st, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := svc.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, toJobResponse(v))
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := svc.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, service.ErrNotFound):
+			writeErr(w, http.StatusNotFound, "no such job")
+		case errors.Is(err, service.ErrFinished):
+			writeErr(w, http.StatusConflict, "job already finished")
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, toJobResponse(v))
+		}
+	})
+
+	mux.HandleFunc("PUT /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		handlePutGraph(st, w, r)
+	})
+	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		infos := st.List()
+		out := struct {
+			Graphs []GraphInfo `json:"graphs"`
+		}{Graphs: make([]GraphInfo, len(infos))}
+		for i, info := range infos {
+			out.Graphs[i] = toGraphInfo(info, false)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		info, ok := st.Get(r.PathValue("name"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such graph")
+			return
+		}
+		writeJSON(w, http.StatusOK, toGraphInfo(info, false))
+	})
+	mux.HandleFunc("DELETE /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		err := st.Delete(r.PathValue("name"))
+		switch {
+		case errors.Is(err, store.ErrNotFound):
+			writeErr(w, http.StatusNotFound, "no such graph")
+		case errors.Is(err, store.ErrPinned):
+			writeErr(w, http.StatusConflict, err.Error())
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+
+	mux.HandleFunc("POST /v1/batches", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmitBatch(batches, w, r)
+	})
+	mux.HandleFunc("GET /v1/batches", func(w http.ResponseWriter, r *http.Request) {
+		views := batches.List()
+		out := struct {
+			Batches []BatchResponse `json:"batches"`
+		}{Batches: make([]BatchResponse, len(views))}
+		for i, v := range views {
+			out.Batches[i] = toBatchResponse(v, false)
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/batches/{id}", func(w http.ResponseWriter, r *http.Request) {
+		wait, err := parseWait(r.URL.Query().Get("wait"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		v, ok := batches.Wait(r.PathValue("id"), wait)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such batch")
+			return
+		}
+		writeJSON(w, http.StatusOK, toBatchResponse(v, true))
+	})
+	mux.HandleFunc("DELETE /v1/batches/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := batches.Cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, service.ErrBatchNotFound):
+			writeErr(w, http.StatusNotFound, "no such batch")
+		case errors.Is(err, service.ErrBatchFinished):
+			writeErr(w, http.StatusConflict, "batch already finished")
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, toBatchResponse(v, true))
+		}
+	})
+	return mux
+}
+
+// parseWait parses the ?wait= long-poll duration, capped at maxWait.
+func parseWait(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad wait %q: %v", s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("bad wait %q: must be non-negative", s)
+	}
+	return min(d, maxWait), nil
+}
+
+func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	type algoJSON struct {
+		Name    string   `json:"name"`
+		Kind    string   `json:"kind"`
+		Summary string   `json:"summary"`
+		Params  []string `json:"params"`
+	}
+	type genJSON struct {
+		Name    string   `json:"name"`
+		Summary string   `json:"summary"`
+		Params  []string `json:"params"`
+	}
+	var out struct {
+		Algorithms []algoJSON `json:"algorithms"`
+		Generators []genJSON  `json:"generators"`
+	}
+	for _, s := range registry.All() {
+		out.Algorithms = append(out.Algorithms, algoJSON{s.Name, s.Kind.String(), s.Summary, s.Params})
+	}
+	for _, s := range registry.Generators() {
+		out.Generators = append(out.Generators, genJSON{s.Name, s.Summary, s.Params})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Algo == "" {
+		writeErr(w, http.StatusBadRequest, "missing algo (see GET /v1/algorithms)")
+		return
+	}
+
+	g, release, err := resolveGraph(st, req.Graph, req.GraphName, req.Gen)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, store.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, err.Error())
+		return
+	}
+	// A single job may finish long after this handler returns; the stored
+	// graph stays pinned only for the duration of the submission. The job
+	// holds its own reference to the immutable graph, so eviction of the
+	// name cannot invalidate a running job.
+	defer release()
+
+	params, err := req.Params.params()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	v, err := svc.Submit(service.Request{
+		Algo:    req.Algo,
+		Graph:   g,
+		Params:  params,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+	})
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, service.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, toJobResponse(v))
+	}
+}
+
+func handlePutGraph(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	var req GraphRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	src, err := toSource(req.Graph, req.Gen)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info, dedup, err := st.Put(r.PathValue("name"), src)
+	switch {
+	case errors.Is(err, store.ErrExists):
+		writeErr(w, http.StatusConflict, err.Error())
+	case errors.Is(err, store.ErrFull):
+		writeErr(w, http.StatusInsufficientStorage, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		code := http.StatusCreated
+		if dedup {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, toGraphInfo(info, dedup))
+	}
+}
+
+func handleSubmitBatch(batches *service.Batches, w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	spec := service.BatchSpec{
+		Graphs:  req.Graphs,
+		Algos:   req.Algos,
+		Eps:     req.Eps,
+		K:       req.K,
+		Delta:   req.Delta,
+		MIS:     req.MIS,
+		Seeds:   req.Seeds,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+	}
+	for i, c := range req.Cells {
+		params, err := c.Params.params()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("cell %d: %v", i, err))
+			return
+		}
+		spec.Cells = append(spec.Cells, service.BatchCell{Graph: c.Graph, Algo: c.Algo, Params: params})
+	}
+	v, err := batches.Submit(spec)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		writeErr(w, http.StatusNotFound, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, toBatchResponse(v, true))
+	}
+}
+
+// decodeInlineGraph validates and decodes an inline text graph — the one
+// path every inline submission (job or store upload) goes through.
+func decodeInlineGraph(text string) (*graph.Graph, error) {
+	if err := checkGraphHeader(text); err != nil {
+		return nil, err
+	}
+	g, err := graph.Decode(strings.NewReader(text))
+	if err != nil {
+		return nil, fmt.Errorf("malformed graph: %v", err)
+	}
+	return g, nil
+}
+
+// toSource validates and converts an upload body to a store source.
+func toSource(text string, gen *GenRequest) (store.Source, error) {
+	switch {
+	case text != "" && gen != nil:
+		return store.Source{}, errors.New("set exactly one of graph and gen, not both")
+	case text != "":
+		g, err := decodeInlineGraph(text)
+		if err != nil {
+			return store.Source{}, err
+		}
+		return store.Source{Graph: g}, nil
+	case gen != nil:
+		return store.Source{Gen: gen.Gen, GenParams: gen.genParams()}, nil
+	default:
+		return store.Source{}, errors.New("missing graph: set graph (text format) or gen (generator spec)")
+	}
+}
+
+// resolveGraph produces the input graph of a job submission from exactly one
+// of: an inline text graph, a stored graph name, or a generator spec. The
+// release function is a no-op except for stored graphs, which stay pinned
+// until it runs.
+func resolveGraph(st *store.Store, text, name string, gen *GenRequest) (*graph.Graph, func(), error) {
+	nop := func() {}
+	set := 0
+	for _, ok := range []bool{text != "", name != "", gen != nil} {
+		if ok {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, nop, errors.New("set exactly one of graph, graph_name and gen")
+	}
+	switch {
+	case name != "":
+		return st.Acquire(name)
+	case text != "":
+		g, err := decodeInlineGraph(text)
+		if err != nil {
+			return nil, nop, err
+		}
+		return g, nop, nil
+	case gen != nil:
+		spec, ok := registry.GetGenerator(gen.Gen)
+		if !ok {
+			return nil, nop, fmt.Errorf("unknown generator %q (have: %s)",
+				gen.Gen, strings.Join(registry.GeneratorNames(), ", "))
+		}
+		g, err := spec.Build(gen.genParams())
+		if err != nil {
+			return nil, nop, err
+		}
+		return g, nop, nil
+	default:
+		return nil, nop, errors.New("missing graph: set graph (text format), graph_name (stored) or gen (generator spec)")
+	}
+}
+
+// checkGraphHeader bounds the declared sizes of an inline graph before
+// graph.Decode allocates for them: the n/m header is attacker-controlled,
+// and Decode trusts it. Lines that don't parse are left for Decode to
+// reject with its own error.
+func checkGraphHeader(text string) error {
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var n, m int
+		if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+			return nil
+		}
+		if n > registry.MaxGraphNodes {
+			return fmt.Errorf("graph declares %d nodes, cap %d", n, registry.MaxGraphNodes)
+		}
+		if m > registry.MaxGraphEdges {
+			return fmt.Errorf("graph declares %d edges, cap %d", m, registry.MaxGraphEdges)
+		}
+		return nil
+	}
+	return nil
+}
+
+// decodeBody decodes a bounded JSON request body, writing the error response
+// itself when it reports false.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func toJobResponse(v service.JobView) JobResponse {
+	out := JobResponse{
+		ID:          v.ID,
+		Algo:        v.Algo,
+		State:       string(v.State),
+		CacheHit:    v.CacheHit,
+		Error:       v.Error,
+		SubmittedAt: v.SubmittedAt,
+	}
+	if !v.StartedAt.IsZero() {
+		t := v.StartedAt
+		out.StartedAt = &t
+	}
+	if !v.FinishedAt.IsZero() {
+		t := v.FinishedAt
+		out.FinishedAt = &t
+	}
+	out.Result = toJobResult(v.Result)
+	return out
+}
+
+func toJobResult(res *registry.Result) *JobResult {
+	if res == nil {
+		return nil
+	}
+	return &JobResult{
+		Kind:      res.Kind.String(),
+		Size:      res.Size(),
+		Weight:    res.Weight,
+		Uncovered: res.Uncovered,
+		InSet:     res.InSet,
+		Edges:     res.Edges,
+		Cost:      res.Cost,
+	}
+}
+
+func toGraphInfo(info store.Info, dedup bool) GraphInfo {
+	return GraphInfo{
+		Name:        info.Name,
+		Fingerprint: info.Fingerprint,
+		Nodes:       info.Nodes,
+		Edges:       info.Edges,
+		Gen:         info.Gen,
+		Pins:        info.Pins,
+		Shared:      info.Shared,
+		CreatedAt:   info.CreatedAt,
+		Dedup:       dedup,
+	}
+}
+
+func toBatchResponse(v service.BatchView, detail bool) BatchResponse {
+	out := BatchResponse{
+		ID:        v.ID,
+		State:     string(v.State),
+		Total:     v.Total,
+		Submitted: v.Submitted,
+		Done:      v.Done,
+		Failed:    v.Failed,
+		Canceled:  v.Canceled,
+		CacheHits: v.CacheHits,
+		CreatedAt: v.CreatedAt,
+	}
+	if !v.FinishedAt.IsZero() {
+		t := v.FinishedAt
+		out.FinishedAt = &t
+	}
+	if !detail {
+		return out
+	}
+	for _, c := range v.Cells {
+		out.Cells = append(out.Cells, BatchCellView{
+			Index:    c.Index,
+			Graph:    c.Graph,
+			Algo:     c.Algo,
+			Params:   paramsWire(c.Params),
+			JobID:    c.JobID,
+			State:    string(c.State),
+			CacheHit: c.CacheHit,
+			Error:    c.Error,
+			Result:   toJobResult(c.Result),
+		})
+	}
+	for _, g := range v.Groups {
+		out.Groups = append(out.Groups, BatchGroup{
+			Graph:  g.Graph,
+			Algo:   g.Algo,
+			Params: paramsWire(g.Params),
+			Runs:   g.Runs,
+			Done:   g.Done,
+			Failed: g.Failed,
+			Rounds: g.Rounds,
+			Weight: g.Weight,
+			Size:   g.Size,
+		})
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("httpapi: encoding response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

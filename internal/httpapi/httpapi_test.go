@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"bytes"
@@ -13,27 +13,36 @@ import (
 
 	"repro"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func newTestServer(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
 	t.Helper()
+	ts, svc, _ := newFullServer(t, cfg, service.BatchConfig{})
+	return ts, svc
+}
+
+func newFullServer(t *testing.T, cfg service.Config, bcfg service.BatchConfig) (*httptest.Server, *service.Service, *store.Store) {
+	t.Helper()
 	svc := service.New(cfg)
-	ts := httptest.NewServer(newHandler(svc))
+	st := store.New(store.Config{})
+	batches := service.NewBatches(svc, st, bcfg)
+	ts := httptest.NewServer(NewHandler(svc, st, batches))
 	t.Cleanup(func() {
 		ts.Close()
 		svc.Close()
 	})
-	return ts, svc
+	return ts, svc, st
 }
 
-func postJob(t *testing.T, ts *httptest.Server, body string) (jobResponse, int) {
+func postJob(t *testing.T, ts *httptest.Server, body string) (JobResponse, int) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var jr jobResponse
+	var jr JobResponse
 	if resp.StatusCode == http.StatusAccepted {
 		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
 			t.Fatal(err)
@@ -42,7 +51,7 @@ func postJob(t *testing.T, ts *httptest.Server, body string) (jobResponse, int) 
 	return jr, resp.StatusCode
 }
 
-func pollDone(t *testing.T, ts *httptest.Server, id string) jobResponse {
+func pollDone(t *testing.T, ts *httptest.Server, id string) JobResponse {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
@@ -50,7 +59,7 @@ func pollDone(t *testing.T, ts *httptest.Server, id string) jobResponse {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var jr jobResponse
+		var jr JobResponse
 		err = json.NewDecoder(resp.Body).Decode(&jr)
 		resp.Body.Close()
 		if err != nil {
@@ -63,7 +72,7 @@ func pollDone(t *testing.T, ts *httptest.Server, id string) jobResponse {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("job %s never finished", id)
-	return jobResponse{}
+	return JobResponse{}
 }
 
 // encodeGraph renders g in the text format the service accepts inline.

@@ -8,6 +8,14 @@
 // deactivating each node with probability at most δ. Lemma B.3 shows the
 // algorithm below leaves no hyperedge with all nodes active after
 // O(d²·(K²log(1/δ) + log_K ∆)) iterations.
+//
+// Layer (DESIGN.md §2): hypergraph is a substrate consumed by
+// internal/augment's phase framework; it imports only internal/rng.
+//
+// Concurrency and ownership: a Hypergraph is a mutable single-goroutine
+// value — build it, run the matching, read the outcome, all on one
+// goroutine. Distinct Hypergraphs are independent, so concurrent phases
+// over separate instances are safe.
 package hypergraph
 
 import (

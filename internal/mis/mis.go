@@ -18,6 +18,14 @@
 // Per the agg arena contract, every sub-protocol builds its query plans —
 // including the Proj closures — once at construction and appends them in
 // Queries, so driving a Sub allocates nothing per round.
+//
+// Layer (DESIGN.md §2): mis is a black-box layer beside internal/coloring,
+// above internal/agg and internal/simul, below internal/core.
+//
+// Concurrency and ownership: factories return fresh protocol state per
+// invocation; the Machines and Subs they build keep all per-node state in
+// their Data arena views and are owned by (and confined to) the run that
+// drives them. Input graphs are read-only and shareable.
 package mis
 
 import (

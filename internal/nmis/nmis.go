@@ -19,6 +19,13 @@
 // The algorithm is a local aggregation algorithm, so running it on the line
 // graph via agg.RunLine yields the nearly-maximal matching behind the
 // (2+ε)-approximation of Theorem 3.2.
+//
+// Layer (DESIGN.md §2): nmis is part of the §3/§B algorithm layer, above
+// internal/agg, below internal/fastmatch and internal/registry.
+//
+// Concurrency and ownership: Run/RunOnLine are synchronous runs on the
+// calling goroutine; input graphs are read-only and shareable, Results are
+// owned by the caller.
 package nmis
 
 import (

@@ -3,6 +3,10 @@
 // Package race reports whether the race detector instruments this build.
 // Alloc-budget tests skip under -race: instrumentation allocates on its own
 // and would fail any steady-state-zero assertion.
+//
+// Layer (DESIGN.md §2): race is a leaf substrate with no imports, usable
+// from any layer. Concurrency: it exposes a single build-time constant, so
+// there is no state to synchronize.
 package race
 
 // Enabled is true when the binary is built with -race.

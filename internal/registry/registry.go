@@ -9,6 +9,16 @@
 //	Run(g *graph.Graph, p Params) (*Result, error)
 //
 // with zero-valued Params fields meaning "use the documented default".
+//
+// Layer (DESIGN.md §2, §4): registry sits above every algorithm package and
+// below the facade, the service/store layer and the cmd binaries.
+//
+// Concurrency and ownership: the spec and generator tables are populated at
+// init and never mutated, so all lookups (Get, All, Names, GetGenerator, …)
+// are safe for concurrent use. Spec.Run and GenSpec.Build are pure per
+// call — input graphs are read-only and shareable, each call returns a
+// fresh Result/Graph owned by the caller — so one Spec may serve any number
+// of concurrent runs.
 package registry
 
 import (

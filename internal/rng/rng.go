@@ -7,6 +7,12 @@
 // simulator engines), each node derives its own Stream from a master seed and
 // its node ID via SplitMix64. Streams never share state, so stepping nodes in
 // any order — or concurrently — yields the same execution.
+//
+// Layer (DESIGN.md §2): rng is a leaf substrate with no repository imports.
+//
+// Concurrency and ownership: a single Stream is mutable and NOT safe for
+// concurrent use — confine each Stream to one goroutine. Concurrency is
+// achieved by splitting (New per node ID, SplitOff), never by sharing.
 package rng
 
 import "math"

@@ -9,19 +9,28 @@ import (
 // estimates.
 const latencyWindow = 1024
 
-// Metrics is a point-in-time snapshot of the service's counters.
+// Metrics is a point-in-time snapshot of the service's counters. Submitted,
+// Completed, Failed and Canceled count every job; cache traffic is split by
+// origin: CacheHits/CacheMisses cover single-job submissions only, while
+// batch-expanded members are metered in BatchCacheHits/BatchCacheMisses (and
+// counted in BatchMembers), so a cached batch cell is distinguishable from a
+// single-job miss.
 type Metrics struct {
-	Submitted    uint64  `json:"submitted"`
-	Completed    uint64  `json:"completed"`
-	Failed       uint64  `json:"failed"`
-	Canceled     uint64  `json:"canceled"`
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	CacheSize    int     `json:"cache_size"`
-	Queued       int     `json:"queued"`
-	Running      int     `json:"running"`
-	Workers      int     `json:"workers"`
+	Submitted         uint64  `json:"submitted"`
+	Completed         uint64  `json:"completed"`
+	Failed            uint64  `json:"failed"`
+	Canceled          uint64  `json:"canceled"`
+	CacheHits         uint64  `json:"cache_hits"`
+	CacheMisses       uint64  `json:"cache_misses"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	BatchMembers      uint64  `json:"batch_members"`
+	BatchCacheHits    uint64  `json:"batch_cache_hits"`
+	BatchCacheMisses  uint64  `json:"batch_cache_misses"`
+	BatchCacheHitRate float64 `json:"batch_cache_hit_rate"`
+	CacheSize         int     `json:"cache_size"`
+	Queued            int     `json:"queued"`
+	Running           int     `json:"running"`
+	Workers           int     `json:"workers"`
 	// Latency percentiles over the last latencyWindow completed jobs, in
 	// milliseconds. Zero when nothing has completed yet.
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
@@ -32,11 +41,12 @@ type Metrics struct {
 // counters is the mutable metrics state; the Service guards it with its
 // mutex.
 type counters struct {
-	submitted, completed, failed, canceled uint64
-	cacheHits, cacheMisses                 uint64
-	latencies                              []time.Duration // ring buffer
-	latNext                                int
-	latFull                                bool
+	submitted, completed, failed, canceled         uint64
+	cacheHits, cacheMisses                         uint64
+	batchMembers, batchCacheHits, batchCacheMisses uint64
+	latencies                                      []time.Duration // ring buffer
+	latNext                                        int
+	latFull                                        bool
 }
 
 func (c *counters) recordLatency(d time.Duration) {

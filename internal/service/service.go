@@ -1,12 +1,28 @@
-// Package service is the concurrent job engine behind cmd/reprod: a bounded
-// worker pool that executes registry algorithms on submitted graphs, an
-// in-memory job store with queued/running/done/failed/canceled states,
-// per-job context cancellation and timeouts, an LRU result cache keyed by
-// (graph fingerprint, algorithm, params), and service metrics.
+// Package service is the concurrent job and batch engine behind the HTTP
+// API: a bounded worker pool that executes registry algorithms on submitted
+// graphs, an in-memory job store with queued/running/done/failed/canceled
+// states, per-job context cancellation and timeouts, an LRU result cache
+// keyed by (graph fingerprint, algorithm, params), service metrics, and the
+// batch layer (Batches) that expands one stored graph × a parameter grid
+// into member jobs with per-batch progress, cancel fan-out and aggregated
+// per-cell statistics (DESIGN.md §4, §4a).
 //
-// The engine is deliberately self-contained and transport-agnostic: the HTTP
-// front-end in cmd/reprod is one client; embedding the Service directly (as
-// the tests do) is another.
+// The engine is deliberately self-contained and transport-agnostic: the
+// internal/httpapi front-end served by cmd/reprod is one client; embedding
+// the Service directly (as the tests and cmd/sweep's in-process mode do) is
+// another.
+//
+// Layer (DESIGN.md §2): service sits above internal/registry,
+// internal/store and internal/stats, below internal/httpapi and the cmd
+// binaries.
+//
+// Concurrency and ownership: a Service and a Batches are safe for
+// concurrent use. The Service takes ownership of submitted graphs — callers
+// must not mutate them after Submit (sharing one immutable graph across
+// many jobs is fine and is exactly what the batch layer does with stored
+// graphs). Results handed out in JobViews/BatchViews are shared with the
+// result cache and must be treated as immutable. Lock ordering is
+// Service.mu → batch.mu → (store/engine locks); see Batches.
 package service
 
 import (
@@ -107,6 +123,15 @@ type job struct {
 	params   registry.Params
 	cacheKey string
 	timeout  time.Duration
+	// fromBatch marks jobs expanded from a batch; their cache traffic is
+	// metered separately so /metrics can tell a cached batch cell from a
+	// single-job miss.
+	fromBatch bool
+	// notify, when set, is invoked exactly once — under s.mu, from
+	// markTerminal — when the job reaches a terminal state. It must be fast
+	// and must not call back into the Service (the batch engine only touches
+	// its own state).
+	notify func(JobView)
 
 	state     State
 	err       string
@@ -144,8 +169,9 @@ type Service struct {
 }
 
 // markTerminal must be called with s.mu held once a job reaches a terminal
-// state: it releases the job's input graph and evicts the oldest finished
-// jobs beyond the retention bound.
+// state: it releases the job's input graph, evicts the oldest finished
+// jobs beyond the retention bound, and fires the job's terminal
+// notification (batch bookkeeping) exactly once.
 func (s *Service) markTerminal(jb *job) {
 	jb.g = nil
 	jb.finished = time.Now()
@@ -153,6 +179,9 @@ func (s *Service) markTerminal(jb *job) {
 	for len(s.terminal) > s.cfg.MaxJobs {
 		delete(s.jobs, s.terminal[0])
 		s.terminal = s.terminal[1:]
+	}
+	if jb.notify != nil {
+		jb.notify(jb.view())
 	}
 }
 
@@ -176,6 +205,13 @@ func New(cfg Config) *Service {
 // fingerprint, algorithm and normalized params) is cached, the job completes
 // immediately with CacheHit set and never occupies a worker.
 func (s *Service) Submit(req Request) (JobView, error) {
+	return s.submit(req, false, nil)
+}
+
+// submit is the shared submission path. fromBatch routes cache accounting to
+// the batch counters; notify, if non-nil, fires once at the job's terminal
+// transition (see job.notify).
+func (s *Service) submit(req Request, fromBatch bool, notify func(JobView)) (JobView, error) {
 	spec, ok := registry.Get(req.Algo)
 	if !ok {
 		return JobView{}, fmt.Errorf("service: unknown algorithm %q", req.Algo)
@@ -206,29 +242,47 @@ func (s *Service) Submit(req Request) (JobView, error) {
 		params:    params,
 		cacheKey:  key,
 		timeout:   timeout,
+		fromBatch: fromBatch,
+		notify:    notify,
 		state:     Queued,
 		submitted: time.Now(),
 	}
 	s.met.submitted++
+	if fromBatch {
+		s.met.batchMembers++
+	}
 
 	if res, hit := s.cache.get(key); hit {
 		jb.state = Done
 		jb.cacheHit = true
 		jb.result = res
 		jb.started = jb.submitted
-		s.met.cacheHits++
+		if fromBatch {
+			s.met.batchCacheHits++
+		} else {
+			s.met.cacheHits++
+		}
 		s.met.completed++
 		s.jobs[jb.id] = jb
 		s.markTerminal(jb)
 		return jb.view(), nil
 	}
-	s.met.cacheMisses++
+	if fromBatch {
+		s.met.batchCacheMisses++
+	} else {
+		s.met.cacheMisses++
+	}
 
 	select {
 	case s.queue <- jb:
 	default:
 		s.met.submitted--
-		s.met.cacheMisses--
+		if fromBatch {
+			s.met.batchMembers--
+			s.met.batchCacheMisses--
+		} else {
+			s.met.cacheMisses--
+		}
 		return JobView{}, ErrQueueFull
 	}
 	s.queued++
@@ -279,22 +333,28 @@ func (s *Service) Metrics() Metrics {
 	defer s.mu.Unlock()
 	p50, p90, p99 := s.met.percentiles()
 	m := Metrics{
-		Submitted:    s.met.submitted,
-		Completed:    s.met.completed,
-		Failed:       s.met.failed,
-		Canceled:     s.met.canceled,
-		CacheHits:    s.met.cacheHits,
-		CacheMisses:  s.met.cacheMisses,
-		CacheSize:    s.cache.len(),
-		Queued:       s.queued,
-		Running:      s.running,
-		Workers:      s.cfg.Workers,
-		LatencyP50Ms: p50,
-		LatencyP90Ms: p90,
-		LatencyP99Ms: p99,
+		Submitted:        s.met.submitted,
+		Completed:        s.met.completed,
+		Failed:           s.met.failed,
+		Canceled:         s.met.canceled,
+		CacheHits:        s.met.cacheHits,
+		CacheMisses:      s.met.cacheMisses,
+		BatchMembers:     s.met.batchMembers,
+		BatchCacheHits:   s.met.batchCacheHits,
+		BatchCacheMisses: s.met.batchCacheMisses,
+		CacheSize:        s.cache.len(),
+		Queued:           s.queued,
+		Running:          s.running,
+		Workers:          s.cfg.Workers,
+		LatencyP50Ms:     p50,
+		LatencyP90Ms:     p90,
+		LatencyP99Ms:     p99,
 	}
 	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
+	}
+	if lookups := m.BatchCacheHits + m.BatchCacheMisses; lookups > 0 {
+		m.BatchCacheHitRate = float64(m.BatchCacheHits) / float64(lookups)
 	}
 	return m
 }

@@ -179,9 +179,13 @@ func TestCancelQueued(t *testing.T) {
 func TestTimeout(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Close()
+	// The blocker must reliably outlast its 1ms timeout: after the arena
+	// runtime speedups a mid-sized maxis run can finish inside a
+	// millisecond, so size the graph like TestCancellation's blockers
+	// (~hundreds of ms).
 	v, err := s.Submit(Request{
 		Algo:    "maxis",
-		Graph:   graph.GNP(400, 0.05, rng.New(5)),
+		Graph:   graph.GNP(1500, 0.013, rng.New(5)),
 		Timeout: time.Millisecond,
 	})
 	if err != nil {

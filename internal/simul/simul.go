@@ -37,6 +37,16 @@
 // deterministic for a fixed Config.Seed: every node draws randomness from its
 // own rng.Stream, and all cross-node effects are slot-addressed writes that
 // commute, so the sequential and parallel engines produce identical results.
+//
+// Layer (DESIGN.md §2, §2b): simul is the bottom execution layer; only
+// internal/graph and internal/rng sit below it.
+//
+// Concurrency and ownership: a Run owns its automata and arenas for the
+// duration of the call and is driven from one goroutine; the parallel
+// engine's worker pool is internal and barrier-synchronized. Automata are
+// confined to their shard within a round and must not retain the inbox
+// slice across rounds (message values may be retained; the slice may not).
+// Input graphs are read-only and may be shared between concurrent runs.
 package simul
 
 import (

@@ -1,5 +1,13 @@
 // Package stats provides the small statistical and tabular helpers used by
-// the benchmark harness and command-line tools.
+// the benchmark harness, the batch engine's per-group aggregates, and the
+// command-line tools.
+//
+// Layer (DESIGN.md §2): stats is a leaf substrate with no repository
+// imports; the service, httpapi and cmd layers all consume it.
+//
+// Concurrency and ownership: Summarize and Ratio are pure functions and
+// safe anywhere; a Table is a mutable single-goroutine value — build and
+// render it on one goroutine.
 package stats
 
 import (
@@ -10,11 +18,15 @@ import (
 	"strings"
 )
 
-// Summary describes a sample.
+// Summary describes a sample. The JSON tags serve the batch API, which
+// reports per-group aggregates as Summaries.
 type Summary struct {
-	N                int
-	Mean, Std        float64
-	Min, Median, Max float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize computes a Summary of xs; the zero Summary for empty input.

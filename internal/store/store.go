@@ -1,0 +1,307 @@
+// Package store is the named graph registry behind the batch-sweep
+// subsystem: clients register a graph once — uploaded in the graph.Encode
+// text format or described by a registry generator spec — under a name, and
+// every later job or batch references it by that name instead of re-shipping
+// the adjacency list.
+//
+// Layer (DESIGN.md §2): store sits beside internal/service, above
+// internal/registry and internal/graph; it imports only those substrates and
+// is imported by the service's batch engine and the HTTP front-end.
+//
+// Concurrency and ownership: a Store is safe for concurrent use (one
+// internal mutex guards all state). Stored graphs are deduplicated by
+// registry.Fingerprint — two names whose contents hash identically share one
+// *graph.Graph payload — so every graph handed out by Acquire is shared and
+// MUST be treated as read-only (topology is immutable by construction;
+// callers must not touch weights either). Acquire pins a name against
+// Delete and capacity eviction until its release function is called; pins
+// are how a running batch keeps its input alive.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/registry"
+)
+
+// Store errors surfaced to clients.
+var (
+	ErrNotFound = errors.New("store: no such graph")
+	ErrPinned   = errors.New("store: graph is pinned by a running batch")
+	ErrExists   = errors.New("store: name already bound to a different graph")
+	ErrFull     = errors.New("store: at capacity and every graph is pinned")
+)
+
+// Config sizes the store. Zero values select defaults.
+type Config struct {
+	// MaxGraphs bounds how many names the store holds (default 256). At
+	// capacity, Put evicts the least-recently-used unpinned name; if every
+	// name is pinned, Put fails with ErrFull.
+	MaxGraphs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 256
+	}
+	return c
+}
+
+// Source describes the graph being registered: exactly one of Graph (an
+// already-decoded upload) or Gen (a registered generator name, with
+// GenParams) must be set.
+type Source struct {
+	Graph     *graph.Graph
+	Gen       string
+	GenParams registry.GenParams
+}
+
+// Info is an immutable snapshot of one named graph.
+type Info struct {
+	Name        string
+	Fingerprint string
+	Nodes       int
+	Edges       int
+	// Gen is the generator that produced the graph, "" for uploads.
+	Gen string
+	// Pins counts outstanding Acquires; a pinned name cannot be deleted
+	// or evicted.
+	Pins int
+	// Shared counts how many names (this one included) share the
+	// deduplicated payload.
+	Shared    int
+	CreatedAt time.Time
+}
+
+// payload is one deduplicated graph shared by refs names.
+type payload struct {
+	g    *graph.Graph
+	fp   string
+	refs int
+}
+
+type record struct {
+	name     string
+	pl       *payload
+	gen      string
+	pins     int
+	created  time.Time
+	lastUsed uint64 // store tick, for LRU eviction
+}
+
+// Store is the named graph registry. Create with New.
+type Store struct {
+	mu    sync.Mutex
+	cfg   Config
+	names map[string]*record
+	byFP  map[string]*payload
+	clock uint64
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:   cfg.withDefaults(),
+		names: make(map[string]*record),
+		byFP:  make(map[string]*payload),
+	}
+}
+
+// ValidName reports whether name is usable as a graph handle: 1–128
+// characters from [A-Za-z0-9._-], so names embed safely in URLs and logs.
+func ValidName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("store: name must be 1–128 characters, got %d", len(name))
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return fmt.Errorf("store: name %q may only contain [A-Za-z0-9._-]", name)
+		}
+	}
+	return nil
+}
+
+// Put registers src under name and returns its info plus whether the bytes
+// were already present (deduplicated against another name, or an idempotent
+// re-put of the same name with identical content). Re-putting a name with
+// different content fails with ErrExists: names are stable handles, not
+// mutable slots — delete first to rebind.
+func (s *Store) Put(name string, src Source) (Info, bool, error) {
+	if err := ValidName(name); err != nil {
+		return Info{}, false, err
+	}
+	g, gen, err := buildSource(src)
+	if err != nil {
+		return Info{}, false, err
+	}
+	fp := registry.Fingerprint(g)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	if rec, ok := s.names[name]; ok {
+		if rec.pl.fp != fp {
+			return Info{}, false, fmt.Errorf("%w: %s holds %s", ErrExists, name, rec.pl.fp)
+		}
+		rec.lastUsed = s.clock
+		return s.infoLocked(rec), true, nil
+	}
+	if err := s.makeRoomLocked(); err != nil {
+		return Info{}, false, err
+	}
+	pl, dedup := s.byFP[fp]
+	if !dedup {
+		pl = &payload{g: g, fp: fp}
+		s.byFP[fp] = pl
+	}
+	pl.refs++
+	rec := &record{name: name, pl: pl, gen: gen, created: time.Now(), lastUsed: s.clock}
+	s.names[name] = rec
+	return s.infoLocked(rec), dedup, nil
+}
+
+func buildSource(src Source) (*graph.Graph, string, error) {
+	switch {
+	case src.Graph != nil && src.Gen != "":
+		return nil, "", errors.New("store: set exactly one of Graph and Gen, not both")
+	case src.Graph != nil:
+		return src.Graph, "", nil
+	case src.Gen != "":
+		spec, ok := registry.GetGenerator(src.Gen)
+		if !ok {
+			return nil, "", fmt.Errorf("store: unknown generator %q (have: %s)",
+				src.Gen, strings.Join(registry.GeneratorNames(), ", "))
+		}
+		g, err := spec.Build(src.GenParams)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, src.Gen, nil
+	default:
+		return nil, "", errors.New("store: empty source: set Graph or Gen")
+	}
+}
+
+// makeRoomLocked evicts the least-recently-used unpinned name when the store
+// is at capacity. Must be called with s.mu held.
+func (s *Store) makeRoomLocked() error {
+	if len(s.names) < s.cfg.MaxGraphs {
+		return nil
+	}
+	var victim *record
+	for _, rec := range s.names {
+		if rec.pins > 0 {
+			continue
+		}
+		if victim == nil || rec.lastUsed < victim.lastUsed {
+			victim = rec
+		}
+	}
+	if victim == nil {
+		return ErrFull
+	}
+	s.removeLocked(victim)
+	return nil
+}
+
+func (s *Store) removeLocked(rec *record) {
+	delete(s.names, rec.name)
+	rec.pl.refs--
+	if rec.pl.refs == 0 {
+		delete(s.byFP, rec.pl.fp)
+	}
+}
+
+// Get returns the info of the named graph.
+func (s *Store) Get(name string) (Info, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.names[name]
+	if !ok {
+		return Info{}, false
+	}
+	return s.infoLocked(rec), true
+}
+
+// List returns every named graph, sorted by name.
+func (s *Store) List() []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Info, 0, len(s.names))
+	for _, rec := range s.names {
+		out = append(out, s.infoLocked(rec))
+	}
+	slices.SortFunc(out, func(a, b Info) int { return strings.Compare(a.Name, b.Name) })
+	return out
+}
+
+// Len returns the number of names held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.names)
+}
+
+// Acquire pins the named graph and returns it with a release function. The
+// graph is shared: callers must treat it as strictly read-only. The release
+// function is idempotent and must be called exactly when the caller is done,
+// or the name can never be deleted or evicted.
+func (s *Store) Acquire(name string) (*graph.Graph, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.names[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	s.clock++
+	rec.lastUsed = s.clock
+	rec.pins++
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.mu.Lock()
+			rec.pins--
+			s.mu.Unlock()
+		})
+	}
+	return rec.pl.g, release, nil
+}
+
+// Delete removes the named graph. Pinned names refuse with ErrPinned; the
+// deduplicated payload is freed when its last name goes.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.names[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if rec.pins > 0 {
+		return fmt.Errorf("%w: %q has %d pins", ErrPinned, name, rec.pins)
+	}
+	s.removeLocked(rec)
+	return nil
+}
+
+// infoLocked must be called with s.mu held.
+func (s *Store) infoLocked(rec *record) Info {
+	return Info{
+		Name:        rec.name,
+		Fingerprint: rec.pl.fp,
+		Nodes:       rec.pl.g.N(),
+		Edges:       rec.pl.g.M(),
+		Gen:         rec.gen,
+		Pins:        rec.pins,
+		Shared:      rec.pl.refs,
+		CreatedAt:   rec.created,
+	}
+}

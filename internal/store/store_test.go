@@ -1,0 +1,225 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/registry"
+	"repro/internal/rng"
+)
+
+func gnpSource(n int, seed uint64) Source {
+	return Source{Gen: "gnp", GenParams: registry.GenParams{N: n, P: 0.2, Seed: seed}}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := New(Config{})
+	info, dedup, err := s.Put("g1", gnpSource(16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dedup {
+		t.Fatal("first put reported dedup")
+	}
+	if info.Name != "g1" || info.Nodes != 16 || info.Gen != "gnp" || info.Shared != 1 {
+		t.Fatalf("bad info %+v", info)
+	}
+	got, ok := s.Get("g1")
+	if !ok || got.Fingerprint != info.Fingerprint {
+		t.Fatalf("Get mismatch: %+v vs %+v", got, info)
+	}
+	if err := s.Delete("g1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("g1"); ok {
+		t.Fatal("deleted name still present")
+	}
+	if err := s.Delete("g1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestUploadedGraphRoundTrip(t *testing.T) {
+	s := New(Config{})
+	g := graph.GNP(12, 0.3, rng.New(7))
+	if _, _, err := s.Put("up", Source{Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	got, release, err := s.Acquire("up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if got != g {
+		t.Fatal("Acquire returned a different graph object")
+	}
+}
+
+func TestFingerprintDedup(t *testing.T) {
+	s := New(Config{})
+	a, _, err := s.Put("a", gnpSource(16, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, dedup, err := s.Put("b", gnpSource(16, 1)) // identical content
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dedup {
+		t.Fatal("identical content not deduplicated")
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatal("same content, different fingerprints")
+	}
+	if b.Shared != 2 {
+		t.Fatalf("Shared = %d, want 2", b.Shared)
+	}
+	// The payload is literally shared.
+	ga, rela, _ := s.Acquire("a")
+	gb, relb, _ := s.Acquire("b")
+	defer rela()
+	defer relb()
+	if ga != gb {
+		t.Fatal("deduplicated names hold different graph objects")
+	}
+	// Deleting one name keeps the other alive.
+	rela()
+	relb()
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if info, ok := s.Get("b"); !ok || info.Shared != 1 {
+		t.Fatalf("surviving name: ok=%t info=%+v", ok, info)
+	}
+}
+
+func TestIdempotentRePutAndConflict(t *testing.T) {
+	s := New(Config{})
+	if _, _, err := s.Put("g", gnpSource(16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, dedup, err := s.Put("g", gnpSource(16, 1)); err != nil || !dedup {
+		t.Fatalf("idempotent re-put: dedup=%t err=%v", dedup, err)
+	}
+	if _, _, err := s.Put("g", gnpSource(16, 2)); !errors.Is(err, ErrExists) {
+		t.Fatalf("conflicting re-put: %v", err)
+	}
+}
+
+func TestPinnedDeleteRefusalAndRelease(t *testing.T) {
+	s := New(Config{})
+	if _, _, err := s.Put("g", gnpSource(16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, release, err := s.Acquire("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("g"); !errors.Is(err, ErrPinned) {
+		t.Fatalf("pinned delete: %v", err)
+	}
+	if info, _ := s.Get("g"); info.Pins != 1 {
+		t.Fatalf("Pins = %d, want 1", info.Pins)
+	}
+	release()
+	release() // idempotent
+	if err := s.Delete("g"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityEvictsLRUButNeverPinned(t *testing.T) {
+	s := New(Config{MaxGraphs: 2})
+	if _, _, err := s.Put("old", gnpSource(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("young", gnpSource(8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "old" so "young" becomes the LRU victim.
+	_, release, err := s.Acquire("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("new", gnpSource(8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("young"); ok {
+		t.Fatal("LRU name survived eviction")
+	}
+	if _, ok := s.Get("old"); !ok {
+		t.Fatal("recently used name was evicted")
+	}
+	// With both remaining names pinned, Put must refuse rather than evict.
+	_, release2, err := s.Acquire("new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Put("overflow", gnpSource(8, 4)); !errors.Is(err, ErrFull) {
+		t.Fatalf("all-pinned put: %v", err)
+	}
+	release()
+	release2()
+	if _, _, err := s.Put("overflow", gnpSource(8, 4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	s := New(Config{})
+	for _, bad := range []string{"", "has space", "sla/sh", "ünicode", string(make([]byte, 200))} {
+		if _, _, err := s.Put(bad, gnpSource(8, 1)); err == nil {
+			t.Errorf("name %q accepted", bad)
+		}
+	}
+	if _, _, err := s.Put("ok-Name_1.v2", gnpSource(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadSources(t *testing.T) {
+	s := New(Config{})
+	cases := map[string]Source{
+		"empty":             {},
+		"both":              {Graph: graph.Path(3), Gen: "gnp", GenParams: registry.GenParams{N: 4, P: 0.5}},
+		"unknown generator": {Gen: "hypercube", GenParams: registry.GenParams{N: 4}},
+		"bad gen params":    {Gen: "gnp", GenParams: registry.GenParams{N: -1}},
+	}
+	for name, src := range cases {
+		if _, _, err := s.Put("g", src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestConcurrentPutAcquireDelete(t *testing.T) {
+	s := New(Config{MaxGraphs: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				name := fmt.Sprintf("g%d", k%16)
+				_, _, _ = s.Put(name, gnpSource(8, uint64(k%16)))
+				if g, release, err := s.Acquire(name); err == nil {
+					_ = g.N()
+					release()
+				}
+				if k%7 == 0 {
+					_ = s.Delete(name)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Invariant: every surviving name resolves and payload refs are sane.
+	for _, info := range s.List() {
+		if info.Shared < 1 {
+			t.Fatalf("%s has Shared=%d", info.Name, info.Shared)
+		}
+	}
+}
