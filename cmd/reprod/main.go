@@ -28,8 +28,17 @@
 //	curl -s localhost:8080/v1/batches -d '{"graphs":["demo"],"algos":["mwm2"],"seeds":[1,2,3]}'
 //	curl -s 'localhost:8080/v1/batches/b000001?wait=10s'
 //
+// Cluster-coordinator mode: -workers http://host1:8080,http://host2:8080
+// serves the same /v1/graphs and /v1/batches wire format but shards batch
+// cells across the named reprod workers (internal/cluster): graphs are
+// consistent-hashed onto workers by fingerprint, cells retry on worker
+// failure, and GET /v1/cluster reports fleet health and placement.
+// Single-job endpoints are not served in coordinator mode.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// connections, drains in-flight requests, then drains the job queue.
+// connections and drains in-flight requests; single-node mode then drains
+// the job queue, while coordinator mode cancels its running batches (the
+// workers own the jobs and drain on their own shutdown).
 package main
 
 import (
@@ -41,9 +50,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/httpapi"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -53,25 +64,63 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reprod: ")
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	pool := flag.Int("pool", 0, "executor goroutines per node (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 256, "job queue capacity")
 	cache := flag.Int("cache", 128, "LRU result-cache entries")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job timeout")
 	maxGraphs := flag.Int("maxgraphs", 256, "named graph store capacity")
 	maxCells := flag.Int("maxcells", 4096, "cell cap per batch")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+	fleet := flag.String("workers", "", "comma-separated reprod worker base URLs; enables cluster-coordinator mode")
+	window := flag.Int("window", 4, "coordinator mode: in-flight cells per worker")
+	probe := flag.Duration("probe", 5*time.Second, "coordinator mode: worker health-probe interval (0 disables)")
+	poll := flag.Duration("poll", 20*time.Millisecond, "coordinator mode: job poll interval against workers")
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueSize:      *queue,
-		CacheSize:      *cache,
-		DefaultTimeout: *timeout,
-	})
-	st := store.New(store.Config{MaxGraphs: *maxGraphs})
-	batches := service.NewBatches(svc, st, service.BatchConfig{MaxCells: *maxCells})
+	// Surface flags that silently do nothing in the selected mode: a knob an
+	// operator set explicitly must either take effect or be called out.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	inert := map[bool][]string{
+		true:  {"pool", "queue", "cache", "timeout"}, // single-node engine knobs
+		false: {"window", "probe", "poll"},           // coordinator knobs
+	}
+	for _, name := range inert[*fleet != ""] {
+		if set[name] {
+			log.Printf("warning: -%s has no effect in %s mode", name,
+				map[bool]string{true: "coordinator", false: "single-node"}[*fleet != ""])
+		}
+	}
 
-	handler := httpapi.NewHandler(svc, st, batches)
+	var handler http.Handler
+	var shutdown func()
+	if *fleet != "" {
+		coord, err := cluster.New(cluster.Config{
+			Workers:       strings.Split(*fleet, ","),
+			Window:        *window,
+			ProbeInterval: *probe,
+			PollInterval:  *poll,
+			MaxGraphs:     *maxGraphs,
+			MaxCells:      *maxCells,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("coordinator mode over %d workers", len(strings.Split(*fleet, ",")))
+		handler = httpapi.NewClusterHandler(coord)
+		shutdown = coord.Close
+	} else {
+		svc := service.New(service.Config{
+			Workers:        *pool,
+			QueueSize:      *queue,
+			CacheSize:      *cache,
+			DefaultTimeout: *timeout,
+		})
+		st := store.New(store.Config{MaxGraphs: *maxGraphs})
+		batches := service.NewBatches(svc, st, service.BatchConfig{MaxCells: *maxCells})
+		handler = httpapi.NewHandler(svc, st, batches)
+		shutdown = svc.Close
+	}
 	if *pprofOn {
 		// Profiling stays off the default surface: the handlers expose stack
 		// traces and timings, so they are gated behind an explicit flag
@@ -120,6 +169,6 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
-	svc.Close()
+	shutdown()
 	log.Print("bye")
 }

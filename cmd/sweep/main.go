@@ -1,14 +1,16 @@
 // Command sweep emits CSV parameter sweeps for the experiments in
 // DESIGN.md §5: round complexity and approximation ratio as functions of n,
-// W, ∆ and ε. Since the batch-sweep subsystem landed, sweep is a thin client
+// W, ∆ and ε. The sweep engine lives in internal/sweep and is a thin client
 // of the served batch API (internal/httpapi): each experiment uploads its
 // graphs to the named graph store (fingerprint-deduplicated), submits one
 // batch of explicit cells, long-polls it, and renders the per-cell results —
-// so the CLI and the service share one sweep engine and identical results.
+// so the CLI, the service and the cluster coordinator share one sweep engine
+// and identical results.
 //
 // By default sweep spins the whole stack up in-process (httptest server over
 // internal/service + internal/store); point -server at a running reprod
-// instance to run the same sweep remotely.
+// instance — single-node or a cmd/reprod -workers coordinator — to run the
+// same sweep remotely.
 //
 // Usage:
 //
@@ -19,77 +21,38 @@
 package main
 
 import (
-	"bytes"
 	"flag"
-	"fmt"
 	"log"
 	"net/http/httptest"
 	"os"
-	"slices"
 	"strings"
-	"time"
 
-	"repro"
-	"repro/internal/exact"
 	"repro/internal/httpapi"
 	"repro/internal/service"
-	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/sweep"
 )
-
-// run is one sweep cell: a graph, an algorithm invocation, and the row the
-// result turns into.
-type run struct {
-	g      *repro.Graph
-	algo   string
-	params httpapi.ParamsRequest
-	// emit appends this run's row given the member job's result.
-	emit func(t *stats.Table, res *httpapi.JobResult)
-}
-
-// plan is one experiment: a table layout plus its runs in row order.
-type plan struct {
-	table *stats.Table
-	runs  []run
-}
-
-var experiments = map[string]func(trials int) (*plan, error){
-	"E1": sweepE1,
-	"E2": sweepE2,
-	"E3": sweepE3,
-	"E4": sweepE4,
-	"E6": sweepE6,
-	"E9": sweepE9,
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
-	names := make([]string, 0, len(experiments))
-	for name := range experiments {
-		names = append(names, name)
-	}
-	slices.Sort(names)
-	exp := flag.String("exp", "E1", "experiment id ("+strings.Join(names, ", ")+")")
+	names := strings.Join(sweep.Experiments(), ", ")
+	exp := flag.String("exp", "E1", "experiment id ("+names+")")
 	trials := flag.Int("trials", 3, "trials per configuration")
 	server := flag.String("server", "", "reprod base URL (default: run the service in-process)")
 	flag.Parse()
 
-	build, ok := experiments[*exp]
-	if !ok {
-		log.Fatalf("unknown experiment %q (have: %s)", *exp, strings.Join(names, ", "))
-	}
-	p, err := build(*trials)
+	p, err := sweep.Build(*exp, *trials)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	client, shutdown := newClient(*server)
 	defer shutdown()
-	if err := execute(client, *exp, p); err != nil {
+	if err := sweep.Execute(client, *exp, p); err != nil {
 		log.Fatal(err)
 	}
-	if err := p.table.CSV(os.Stdout); err != nil {
+	if err := p.CSV(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -108,177 +71,4 @@ func newClient(server string) (*httpapi.Client, func()) {
 		ts.Close()
 		svc.Close()
 	}
-}
-
-// execute drives a plan through the batch API: upload every run's graph to
-// the store (identical graphs deduplicate server-side), submit one batch of
-// explicit cells in row order, long-poll it, and emit the rows.
-func execute(c *httpapi.Client, exp string, p *plan) (err error) {
-	// The uploads are per-sweep scratch: delete them however this sweep
-	// ends, or a failed run would leak deterministic sweep-* names into a
-	// remote server's store and 409 every later run that maps the same
-	// name to a different graph.
-	var names []string
-	defer func() {
-		for _, name := range names {
-			if derr := c.DeleteGraph(name); derr != nil && err == nil {
-				err = fmt.Errorf("cleaning up %s: %w", name, derr)
-			}
-		}
-	}()
-
-	cells := make([]httpapi.BatchCell, len(p.runs))
-	for i, r := range p.runs {
-		var buf bytes.Buffer
-		if err := repro.WriteGraph(&buf, r.g); err != nil {
-			return err
-		}
-		name := fmt.Sprintf("sweep-%s-r%03d", exp, i)
-		if _, err := c.PutGraph(name, buf.String()); err != nil {
-			return fmt.Errorf("uploading graph for cell %d: %w", i, err)
-		}
-		names = append(names, name)
-		params := r.params
-		cells[i] = httpapi.BatchCell{Graph: name, Algo: r.algo, Params: &params}
-	}
-	b, err := c.SubmitBatch(httpapi.BatchRequest{Cells: cells})
-	if err != nil {
-		return fmt.Errorf("submitting batch: %w", err)
-	}
-	fin, err := c.WaitBatch(b.ID, 10*time.Minute)
-	if err != nil {
-		return err
-	}
-	if fin.Done != fin.Total {
-		for _, cell := range fin.Cells {
-			if cell.State != "done" {
-				return fmt.Errorf("cell %d (%s on %s): %s: %s",
-					cell.Index, cell.Algo, cell.Graph, cell.State, cell.Error)
-			}
-		}
-	}
-	for i, cell := range fin.Cells {
-		p.runs[i].emit(p.table, cell.Result)
-	}
-	return nil
-}
-
-func sweepE1(trials int) (*plan, error) {
-	p := &plan{table: stats.NewTable("n", "W", "trial", "rounds", "weight")}
-	for _, n := range []int{64, 128, 256, 512} {
-		for _, w := range []int64{1, 16, 256, 4096} {
-			for k := 0; k < trials; k++ {
-				g := repro.GNP(n, 8/float64(n), uint64(n)+uint64(w))
-				repro.AssignUniformNodeWeights(g, w, uint64(w)+uint64(k))
-				n, w, k := n, w, k
-				p.runs = append(p.runs, run{
-					g: g, algo: "maxis", params: httpapi.ParamsRequest{Seed: uint64(k)},
-					emit: func(t *stats.Table, res *httpapi.JobResult) {
-						t.AddRow(n, w, k, res.Cost.Rounds, res.Weight)
-					},
-				})
-			}
-		}
-	}
-	return p, nil
-}
-
-func sweepE2(trials int) (*plan, error) {
-	p := &plan{table: stats.NewTable("delta", "trial", "rounds", "coloring_rounds_included", "weight")}
-	for _, d := range []int{2, 4, 8, 16, 32} {
-		for k := 0; k < trials; k++ {
-			g, err := repro.RandomRegular(128, d, uint64(d)+uint64(k))
-			if err != nil {
-				return nil, err
-			}
-			repro.AssignUniformNodeWeights(g, 512, uint64(d)+7)
-			d, k := d, k
-			p.runs = append(p.runs, run{
-				g: g, algo: "maxis-det", params: httpapi.ParamsRequest{Seed: uint64(k)},
-				emit: func(t *stats.Table, res *httpapi.JobResult) {
-					t.AddRow(d, k, res.Cost.Rounds, true, res.Weight)
-				},
-			})
-		}
-	}
-	return p, nil
-}
-
-func sweepE3(trials int) (*plan, error) {
-	p := &plan{table: stats.NewTable("delta", "trial", "rounds", "weight", "greedy_lower_bound")}
-	for _, d := range []int{4, 8, 16, 32} {
-		for k := 0; k < trials; k++ {
-			g, err := repro.RandomRegular(128, d, uint64(d)*3+uint64(k))
-			if err != nil {
-				return nil, err
-			}
-			repro.AssignUniformEdgeWeights(g, 512, uint64(d)+11)
-			greedy := g.MatchingWeight(exact.GreedyMatching(g))
-			d, k := d, k
-			p.runs = append(p.runs, run{
-				g: g, algo: "fastmwm", params: httpapi.ParamsRequest{Eps: 0.5, Seed: uint64(k)},
-				emit: func(t *stats.Table, res *httpapi.JobResult) {
-					t.AddRow(d, k, res.Cost.Rounds, res.Weight, greedy)
-				},
-			})
-		}
-	}
-	return p, nil
-}
-
-func sweepE4(trials int) (*plan, error) {
-	p := &plan{table: stats.NewTable("eps", "trial", "rounds", "matched", "opt")}
-	g := repro.GNP(96, 0.06, 77)
-	opt := len(exact.MaxCardinalityMatching(g))
-	for _, eps := range []float64{1, 0.5, 0.34, 0.25} {
-		for k := 0; k < trials; k++ {
-			eps, k := eps, k
-			p.runs = append(p.runs, run{
-				g: g, algo: "oneeps", params: httpapi.ParamsRequest{Eps: eps, Seed: uint64(k)},
-				emit: func(t *stats.Table, res *httpapi.JobResult) {
-					t.AddRow(eps, k, res.Cost.Rounds, res.Size, opt)
-				},
-			})
-		}
-	}
-	return p, nil
-}
-
-func sweepE6(trials int) (*plan, error) {
-	p := &plan{table: stats.NewTable("delta_target", "trial", "rounds", "uncovered_fraction")}
-	g := repro.GNP(256, 0.03, 9)
-	n := g.N()
-	for _, delta := range []float64{0.5, 0.2, 0.1, 0.05} {
-		for k := 0; k < trials; k++ {
-			delta, k := delta, k
-			p.runs = append(p.runs, run{
-				g: g, algo: "nmis", params: httpapi.ParamsRequest{K: 2, Delta: delta, Seed: uint64(k)},
-				emit: func(t *stats.Table, res *httpapi.JobResult) {
-					t.AddRow(delta, k, res.Cost.Rounds, float64(res.Uncovered)/float64(n))
-				},
-			})
-		}
-	}
-	return p, nil
-}
-
-func sweepE9(trials int) (*plan, error) {
-	p := &plan{table: stats.NewTable("delta", "trial", "rounds", "matched", "opt")}
-	for _, d := range []int{4, 16, 64} {
-		for k := 0; k < trials; k++ {
-			g, err := repro.RandomRegular(256, d, uint64(d)+uint64(k)+17)
-			if err != nil {
-				return nil, err
-			}
-			opt := len(exact.MaxCardinalityMatching(g))
-			d, k := d, k
-			p.runs = append(p.runs, run{
-				g: g, algo: "proposal", params: httpapi.ParamsRequest{Eps: 0.5, Seed: uint64(k)},
-				emit: func(t *stats.Table, res *httpapi.JobResult) {
-					t.AddRow(d, k, res.Cost.Rounds, res.Size, opt)
-				},
-			})
-		}
-	}
-	return p, nil
 }

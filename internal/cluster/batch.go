@@ -1,0 +1,524 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/registry"
+	"repro/internal/service"
+)
+
+// cmember is the coordinator-side state of one batch cell.
+type cmember struct {
+	cell     service.BatchCell
+	jobRef   string // "w<id>:<jobID>" once dispatched
+	state    service.State
+	cacheHit bool
+	err      string
+	result   *registry.Result
+	// w and jobID name the in-flight dispatch target for cancel fan-out.
+	w     *worker
+	jobID string
+}
+
+// cbatch is one sharded batch.
+type cbatch struct {
+	id      string
+	timeout time.Duration
+	// ctx is canceled by CancelBatch and Close; every slot wait and poll
+	// select observes it.
+	ctx    context.Context
+	cancel context.CancelFunc
+	graphs map[string]*pinnedGraph
+
+	mu         sync.Mutex
+	cells      []cmember
+	state      service.BatchState
+	cancelReq  bool
+	dispatched int
+	terminal   int
+	done       int
+	failed     int
+	canceled   int
+	cacheHits  int
+	created    time.Time
+	finished   time.Time
+	releases   []func()
+	doneCh     chan struct{}
+	groups     []service.BatchGroup
+}
+
+// SubmitBatch validates and launches a sharded batch: the spec expands
+// through the same service.BatchSpec code path as a single-node batch, every
+// referenced graph is pinned in the coordinator's local store, and one
+// dispatch goroutine per cell runs it on the owning worker (gated by that
+// worker's in-flight window). Poll GetBatch or WaitBatch for progress.
+func (c *Coordinator) SubmitBatch(spec service.BatchSpec) (service.BatchView, error) {
+	// Expansion, validation and pinning are the literal single-node code
+	// path, so coordinator and worker accept exactly the same specs. The
+	// pins are what keep retried cells re-placeable after a worker dies.
+	cells, pinned, releases, err := service.PrepareBatch(c.st, spec, c.cfg.MaxCells)
+	if err != nil {
+		return service.BatchView{}, err
+	}
+	graphs := make(map[string]*pinnedGraph, len(pinned))
+	for name, g := range pinned {
+		info, _ := c.st.Get(name)
+		graphs[name] = &pinnedGraph{g: g, fp: info.Fingerprint}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	bt := &cbatch{
+		timeout:  spec.Timeout,
+		ctx:      ctx,
+		cancel:   cancel,
+		graphs:   graphs,
+		cells:    make([]cmember, len(cells)),
+		state:    service.BatchRunning,
+		created:  time.Now(),
+		releases: releases,
+		doneCh:   make(chan struct{}),
+	}
+	for i, cell := range cells {
+		bt.cells[i] = cmember{cell: cell, state: service.Queued}
+	}
+
+	c.mu.Lock()
+	c.nextID++
+	bt.id = fmt.Sprintf("b%06d", c.nextID)
+	c.batches[bt.id] = bt
+	c.mu.Unlock()
+	c.batchesSubmitted.Add(1)
+	c.batchCells.Add(uint64(len(cells)))
+
+	c.runWG.Add(1)
+	go c.run(bt)
+	return bt.view(), nil
+}
+
+// run dispatches every cell concurrently (each gated by its worker's window)
+// and finalizes the batch once all cells are terminal.
+func (c *Coordinator) run(bt *cbatch) {
+	defer c.runWG.Done()
+	var wg sync.WaitGroup
+	wg.Add(len(bt.cells))
+	for i := range bt.cells {
+		go func(i int) {
+			defer wg.Done()
+			c.runCell(bt, i)
+		}(i)
+	}
+	wg.Wait()
+
+	bt.mu.Lock()
+	if bt.cancelReq {
+		bt.state = service.BatchCanceled
+		c.batchesCanceled.Add(1)
+	} else {
+		bt.state = service.BatchDone
+		c.batchesDone.Add(1)
+	}
+	bt.finished = time.Now()
+	for _, release := range bt.releases {
+		release()
+	}
+	bt.releases = nil
+	close(bt.doneCh)
+	bt.mu.Unlock()
+	bt.cancel() // release the context's timer resources
+
+	c.mu.Lock()
+	c.terminal = append(c.terminal, bt.id)
+	for len(c.terminal) > c.cfg.MaxBatches {
+		delete(c.batches, c.terminal[0])
+		c.terminal = c.terminal[1:]
+	}
+	c.mu.Unlock()
+}
+
+// errWorkerDown reports that a dispatch target was marked down while the
+// cell waited on its window slot — re-place without recording a new failure.
+var errWorkerDown = errors.New("cluster: worker went down before dispatch")
+
+// cellOutcome is the application-level result of running a cell on a worker;
+// worker-level failures travel as errors beside it.
+type cellOutcome struct {
+	state    service.State
+	cacheHit bool
+	errMsg   string
+	result   *registry.Result
+}
+
+// runCell places one cell on the ring and runs it, re-placing onto the next
+// healthy worker each time a worker-level failure is observed (transport
+// error, 5xx, hung connection). Application-level failures (the algorithm
+// returned an error on the worker) are terminal: they are deterministic and
+// would fail anywhere.
+func (c *Coordinator) runCell(bt *cbatch, i int) {
+	cell := bt.cells[i].cell
+	pg := bt.graphs[cell.Graph]
+	// Every retry marks a worker down first, so the attempt budget only
+	// needs to cover the fleet plus a margin for races with revival.
+	maxAttempts := 2 * len(c.workers)
+	var lastErr error
+	for attempts := 0; ; {
+		if bt.ctx.Err() != nil {
+			bt.finishCell(i, cellOutcome{state: service.Canceled})
+			return
+		}
+		w := c.owner(pg.fp)
+		if w == nil {
+			msg := "cluster: no healthy workers"
+			if lastErr != nil {
+				msg = fmt.Sprintf("%s (last worker error: %v)", msg, lastErr)
+			}
+			bt.finishCell(i, cellOutcome{state: service.Failed, errMsg: msg})
+			return
+		}
+		out, err := c.runOnWorker(bt, i, w, pg)
+		if err == nil {
+			bt.finishCell(i, out)
+			return
+		}
+		if errors.Is(err, errWorkerDown) {
+			// The worker was downed (by another cell or a probe) between
+			// placement and dispatch: nothing new was learned about it, so
+			// just re-place — owner() will skip it now.
+			continue
+		}
+		c.markDown(w, err)
+		c.cellRetries.Add(1)
+		lastErr = err
+		if attempts++; attempts >= maxAttempts {
+			bt.finishCell(i, cellOutcome{
+				state:  service.Failed,
+				errMsg: fmt.Sprintf("cluster: giving up after %d attempts: %v", attempts, lastErr),
+			})
+			return
+		}
+	}
+}
+
+// runOnWorker executes one cell attempt on w: acquire a window slot, ensure
+// the graph is uploaded, submit the job, poll to terminal. A non-nil error
+// means the worker failed (caller re-places); application outcomes — done,
+// failed, canceled, cache hit — come back in the cellOutcome.
+func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph) (cellOutcome, error) {
+	select {
+	case w.slots <- struct{}{}:
+	case <-bt.ctx.Done():
+		return cellOutcome{state: service.Canceled}, nil
+	}
+	defer func() { <-w.slots }()
+	// The slot wait can outlive the placement decision: cells queued behind
+	// a worker's window must not pay a request timeout against a worker
+	// that was marked down while they waited.
+	if !w.isHealthy() {
+		return cellOutcome{}, errWorkerDown
+	}
+	w.mu.Lock()
+	w.inFlight++
+	w.dispatched++
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.inFlight--
+		w.mu.Unlock()
+	}()
+	c.cellsDispatched.Add(1)
+
+	cell := bt.cells[i].cell
+	if err := c.ensureGraph(w, cell.Graph, pg); err != nil {
+		// Same triage as the submit path: a deterministic 4xx (e.g. an
+		// unrepairable stale binding) fails the cell, it does not indict
+		// the worker; transport errors and 5xx do.
+		var apiErr *httpapi.APIError
+		if errors.As(err, &apiErr) && apiErr.Status < http.StatusInternalServerError {
+			return cellOutcome{
+				state:  service.Failed,
+				errMsg: fmt.Sprintf("cluster: uploading %s to %s: %v", cell.Graph, w.url, err),
+			}, nil
+		}
+		return cellOutcome{}, err
+	}
+
+	req := httpapi.SubmitRequest{
+		Algo:      cell.Algo,
+		GraphName: cell.Graph,
+		Params:    httpapi.ParamsWire(cell.Params),
+		TimeoutMs: bt.timeout.Milliseconds(),
+	}
+	var jr httpapi.JobResponse
+	backoff := c.cfg.PollInterval
+	for uploads := 0; ; {
+		var err error
+		jr, err = w.client.SubmitJob(req)
+		if err == nil {
+			break
+		}
+		var apiErr *httpapi.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status >= http.StatusInternalServerError {
+			// Not our wire format, or a 5xx: queue saturation backs off on
+			// the same worker (exponentially — a saturated queue must not be
+			// hammered at poll cadence), everything else is a worker failure.
+			if isQueueFull(err) {
+				select {
+				case <-time.After(backoff):
+					backoff = min(2*backoff, 250*time.Millisecond)
+					continue
+				case <-bt.ctx.Done():
+					return cellOutcome{state: service.Canceled}, nil
+				}
+			}
+			return cellOutcome{}, err
+		}
+		if apiErr.Status == http.StatusNotFound && uploads < 2 {
+			// The worker evicted our graph between upload and submit
+			// (capacity pressure on its store); re-upload and retry.
+			uploads++
+			w.mu.Lock()
+			delete(w.uploaded, cell.Graph)
+			w.mu.Unlock()
+			if err := c.ensureGraph(w, cell.Graph, pg); err != nil {
+				return cellOutcome{}, err
+			}
+			continue
+		}
+		// Remaining 4xx are deterministic rejections; the cell fails for good.
+		return cellOutcome{state: service.Failed, errMsg: apiErr.Message}, nil
+	}
+	bt.noteDispatched(i, w, jr.ID)
+
+	for {
+		if service.State(jr.State).Terminal() {
+			res, err := jr.Result.ToResult()
+			if err != nil {
+				// A result the coordinator cannot decode is deterministic
+				// (version skew, not a flaky worker): retrying it elsewhere
+				// would fail identically and down the whole ring, so the
+				// cell fails terminally like any application failure.
+				return cellOutcome{
+					state:  service.Failed,
+					errMsg: fmt.Sprintf("cluster: worker %s returned a bad result: %v", w.url, err),
+				}, nil
+			}
+			return cellOutcome{
+				state:    service.State(jr.State),
+				cacheHit: jr.CacheHit,
+				errMsg:   jr.Error,
+				result:   res,
+			}, nil
+		}
+		select {
+		case <-bt.ctx.Done():
+			_, _ = w.client.CancelJob(jr.ID)
+			return cellOutcome{state: service.Canceled}, nil
+		case <-time.After(c.cfg.PollInterval):
+		}
+		jv, err := w.client.GetJob(jr.ID)
+		if err != nil {
+			return cellOutcome{}, err
+		}
+		jr = jv
+	}
+}
+
+// isQueueFull matches the worker's 503 queue-saturation rejection, which is
+// retryable on the same worker (unlike every other 5xx). The machine-readable
+// code is authoritative; the message match keeps pre-code workers working.
+func isQueueFull(err error) bool {
+	var apiErr *httpapi.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		return false
+	}
+	return apiErr.Code == httpapi.CodeQueueFull || strings.Contains(apiErr.Message, "queue is full")
+}
+
+// noteDispatched records where a cell is running, for cancel fan-out and the
+// Submitted progress counter. Retries re-enter here; only a cell's first
+// dispatch counts toward Submitted, which therefore never exceeds Total —
+// same as the single-node view.
+func (bt *cbatch) noteDispatched(i int, w *worker, jobID string) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	m := &bt.cells[i]
+	if m.jobRef == "" {
+		bt.dispatched++
+	}
+	m.w = w
+	m.jobID = jobID
+	m.jobRef = fmt.Sprintf("w%d:%s", w.id, jobID)
+	m.state = service.Running
+}
+
+// finishCell records a cell's terminal outcome.
+func (bt *cbatch) finishCell(i int, out cellOutcome) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	m := &bt.cells[i]
+	m.state = out.state
+	m.cacheHit = out.cacheHit
+	m.err = out.errMsg
+	m.result = out.result
+	m.w = nil
+	bt.terminal++
+	switch out.state {
+	case service.Done:
+		bt.done++
+	case service.Failed:
+		bt.failed++
+	case service.Canceled:
+		bt.canceled++
+	}
+	if out.cacheHit {
+		bt.cacheHits++
+	}
+}
+
+// GetBatch returns a snapshot of the batch with the given ID.
+func (c *Coordinator) GetBatch(id string) (service.BatchView, bool) {
+	c.mu.Lock()
+	bt, ok := c.batches[id]
+	c.mu.Unlock()
+	if !ok {
+		return service.BatchView{}, false
+	}
+	return bt.view(), true
+}
+
+// WaitBatch blocks until the batch is terminal or d has elapsed (d <= 0
+// returns immediately), then returns the current snapshot.
+func (c *Coordinator) WaitBatch(id string, d time.Duration) (service.BatchView, bool) {
+	c.mu.Lock()
+	bt, ok := c.batches[id]
+	c.mu.Unlock()
+	if !ok {
+		return service.BatchView{}, false
+	}
+	if d > 0 {
+		select {
+		case <-bt.doneCh:
+		case <-time.After(d):
+		}
+	}
+	return bt.view(), true
+}
+
+// ListBatches returns a summary snapshot of every retained batch, oldest
+// first.
+func (c *Coordinator) ListBatches() []service.BatchView {
+	c.mu.Lock()
+	bts := make([]*cbatch, 0, len(c.batches))
+	for _, bt := range c.batches {
+		bts = append(bts, bt)
+	}
+	c.mu.Unlock()
+	slices.SortFunc(bts, func(x, y *cbatch) int { return strings.Compare(x.id, y.id) })
+	out := make([]service.BatchView, len(bts))
+	for i, bt := range bts {
+		out[i] = bt.summary()
+	}
+	return out
+}
+
+// CancelBatch stops a running batch: undispatched cells are dropped, cells
+// in flight on workers are canceled best-effort, finished cells keep their
+// results. Finished batches return service.ErrBatchFinished.
+func (c *Coordinator) CancelBatch(id string) (service.BatchView, error) {
+	c.mu.Lock()
+	bt, ok := c.batches[id]
+	c.mu.Unlock()
+	if !ok {
+		return service.BatchView{}, service.ErrBatchNotFound
+	}
+	bt.mu.Lock()
+	if bt.state.Terminal() {
+		bt.mu.Unlock()
+		return bt.view(), service.ErrBatchFinished
+	}
+	bt.cancelReq = true
+	type target struct {
+		w     *worker
+		jobID string
+	}
+	var targets []target
+	for i := range bt.cells {
+		if m := &bt.cells[i]; m.w != nil && !m.state.Terminal() {
+			targets = append(targets, target{m.w, m.jobID})
+		}
+	}
+	bt.mu.Unlock()
+	// Wake every slot wait and poll loop first, then chase down in-flight
+	// worker jobs with no batch lock held.
+	bt.cancel()
+	for _, t := range targets {
+		_, _ = t.w.client.CancelJob(t.jobID)
+	}
+	return bt.view(), nil
+}
+
+// summary is view without cell and group detail.
+func (bt *cbatch) summary() service.BatchView {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	return service.BatchView{
+		ID:         bt.id,
+		State:      bt.state,
+		Total:      len(bt.cells),
+		Submitted:  bt.dispatched,
+		Done:       bt.done,
+		Failed:     bt.failed,
+		Canceled:   bt.canceled,
+		CacheHits:  bt.cacheHits,
+		CreatedAt:  bt.created,
+		FinishedAt: bt.finished,
+	}
+}
+
+func (bt *cbatch) view() service.BatchView {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	v := service.BatchView{
+		ID:         bt.id,
+		State:      bt.state,
+		Total:      len(bt.cells),
+		Submitted:  bt.dispatched,
+		Done:       bt.done,
+		Failed:     bt.failed,
+		Canceled:   bt.canceled,
+		CacheHits:  bt.cacheHits,
+		CreatedAt:  bt.created,
+		FinishedAt: bt.finished,
+		Cells:      make([]service.BatchCellView, len(bt.cells)),
+	}
+	for i := range bt.cells {
+		m := &bt.cells[i]
+		v.Cells[i] = service.BatchCellView{
+			Index:    i,
+			Graph:    m.cell.Graph,
+			Algo:     m.cell.Algo,
+			Params:   m.cell.Params,
+			JobID:    m.jobRef,
+			State:    m.state,
+			CacheHit: m.cacheHit,
+			Error:    m.err,
+			Result:   m.result,
+		}
+	}
+	if bt.state.Terminal() {
+		// Cells are immutable once terminal; aggregate once with the same
+		// grouping code as the single-node engine and reuse across polls.
+		if bt.groups == nil {
+			bt.groups = service.GroupCells(v.Cells)
+		}
+		v.Groups = bt.groups
+	}
+	return v
+}

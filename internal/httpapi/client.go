@@ -30,8 +30,11 @@ func NewClient(base string, hc *http.Client) *Client {
 }
 
 // APIError is a non-2xx response decoded from the server's error envelope.
+// Code carries the machine-readable error code when the server set one
+// (e.g. CodeQueueFull on a saturation 503).
 type APIError struct {
 	Status  int
+	Code    string
 	Message string
 }
 
@@ -64,9 +67,10 @@ func (c *Client) do(method, path string, in, out any) error {
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var env struct {
 			Error string `json:"error"`
+			Code  string `json:"code"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&env)
-		return &APIError{Status: resp.StatusCode, Message: env.Error}
+		return &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Error}
 	}
 	if out == nil {
 		return nil
@@ -110,6 +114,34 @@ func (c *Client) DeleteGraph(name string) error {
 	return c.do(http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
 }
 
+// Health probes GET /healthz.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the merged service and batch counters.
+func (c *Client) Metrics() (MetricsResponse, error) {
+	var out MetricsResponse
+	err := c.do(http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
+// GetCluster fetches the coordinator's health/placement view. Only
+// coordinator-mode servers (cmd/reprod -workers) serve it.
+func (c *Client) GetCluster() (ClusterView, error) {
+	var out ClusterView
+	err := c.do(http.MethodGet, "/v1/cluster", nil, &out)
+	return out, err
+}
+
+// ClusterMetrics fetches the coordinator-mode /metrics document (coordinator
+// counters plus summed fleet counters).
+func (c *Client) ClusterMetrics() (ClusterMetrics, error) {
+	var out ClusterMetrics
+	err := c.do(http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
 // SubmitJob submits one job.
 func (c *Client) SubmitJob(req SubmitRequest) (JobResponse, error) {
 	var out JobResponse
@@ -121,6 +153,13 @@ func (c *Client) SubmitJob(req SubmitRequest) (JobResponse, error) {
 func (c *Client) GetJob(id string) (JobResponse, error) {
 	var out JobResponse
 	err := c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// CancelJob cancels a queued or running job.
+func (c *Client) CancelJob(id string) (JobResponse, error) {
+	var out JobResponse
+	err := c.do(http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out)
 	return out, err
 }
 

@@ -1,0 +1,197 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestParseWaitClampsAndRejects pins the ?wait= contract: empty is zero,
+// oversized values clamp to the 60s cap instead of holding connections open
+// arbitrarily, and negatives or garbage are rejected.
+func TestParseWaitClampsAndRejects(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    time.Duration
+		wantErr bool
+	}{
+		{in: "", want: 0},
+		{in: "5s", want: 5 * time.Second},
+		{in: "60s", want: maxWait},
+		{in: "61s", want: maxWait},
+		{in: "999h", want: maxWait},
+		{in: "0s", want: 0},
+		{in: "-1s", wantErr: true},
+		{in: "banana", wantErr: true},
+		{in: "5", wantErr: true}, // bare numbers are not durations
+	}
+	for _, tc := range cases {
+		got, err := parseWait(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseWait(%q): no error", tc.in)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("parseWait(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+}
+
+// TestErrorStatusSurface is the table-driven status-code contract of the
+// HTTP API: every documented 400/404/405/409 path answers with exactly the
+// documented status.
+func TestErrorStatusSurface(t *testing.T) {
+	ts, _, _ := newFullServer(t, service.Config{Workers: 1}, service.BatchConfig{})
+	c := NewClient(ts.URL, nil)
+	if _, err := c.PutGraphGen("err-g", GenRequest{Gen: "gnp", N: 12, P: 0.3, Seed: 1, MaxW: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"job by unknown stored graph", "POST", "/v1/jobs", `{"algo":"mwm2","graph_name":"missing"}`, 404},
+		{"job by known stored graph", "POST", "/v1/jobs", `{"algo":"mwm2","graph_name":"err-g"}`, 202},
+		{"unknown job", "GET", "/v1/jobs/j99999999", "", 404},
+		{"cancel unknown job", "DELETE", "/v1/jobs/j99999999", "", 404},
+		{"unknown graph", "GET", "/v1/graphs/missing", "", 404},
+		{"delete unknown graph", "DELETE", "/v1/graphs/missing", "", 404},
+		{"unknown batch", "GET", "/v1/batches/b999999", "", 404},
+		{"cancel unknown batch", "DELETE", "/v1/batches/b999999", "", 404},
+		{"unrouted path", "GET", "/v1/nonsense", "", 404},
+		{"wrong method on jobs collection", "DELETE", "/v1/jobs", "", 405},
+		{"wrong method on graph resource", "POST", "/v1/graphs/err-g", `{}`, 405},
+		{"wrong method on batches collection", "PUT", "/v1/batches", `{}`, 405},
+		{"wrong method on metrics", "POST", "/metrics", "", 405},
+		{"bad wait duration", "GET", "/v1/batches/b000001?wait=banana", "", 400},
+		{"negative wait duration", "GET", "/v1/batches/b000001?wait=-5s", "", 400},
+		{"bad batch body", "POST", "/v1/batches", `{{{`, 400},
+		{"batch without graphs", "POST", "/v1/batches", `{"algos":["mwm2"]}`, 400},
+		{"batch cells and grid mixed", "POST", "/v1/batches",
+			`{"graphs":["err-g"],"algos":["mwm2"],"cells":[{"graph":"err-g","algo":"mwm2"}]}`, 400},
+		{"batch with unknown stored graph", "POST", "/v1/batches", `{"graphs":["missing"],"algos":["mwm2"]}`, 404},
+		{"graph upload without source", "PUT", "/v1/graphs/empty", `{}`, 400},
+		{"graph name with bad characters", "PUT", "/v1/graphs/bad%2Fname", `{"gen":{"gen":"gnp","n":4,"p":0.5}}`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body *strings.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// TestQueueFullCarriesErrorCode saturates a 1-worker, 1-slot queue and
+// asserts the 503 envelope carries the machine-readable queue_full code the
+// cluster coordinator keys its retry-on-same-worker decision on.
+func TestQueueFullCarriesErrorCode(t *testing.T) {
+	ts, _, _ := newFullServer(t, service.Config{Workers: 1, QueueSize: 1}, service.BatchConfig{})
+	c := NewClient(ts.URL, nil)
+	if _, err := c.PutGraphGen("full-g", GenRequest{Gen: "gnp", N: 1500, P: 0.013, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var sawCode bool
+	for i := 0; i < 32 && !sawCode; i++ {
+		_, err := c.SubmitJob(SubmitRequest{Algo: "maxis", GraphName: "full-g", Params: &ParamsRequest{Seed: uint64(i)}})
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			if apiErr.Status != http.StatusServiceUnavailable {
+				t.Fatalf("unexpected error %v", err)
+			}
+			if apiErr.Code != CodeQueueFull {
+				t.Fatalf("503 with code %q, want %q", apiErr.Code, CodeQueueFull)
+			}
+			sawCode = true
+		}
+	}
+	if !sawCode {
+		t.Fatal("never saturated the queue")
+	}
+}
+
+// TestOversizedWaitClampedEndToEnd submits a real batch and long-polls it
+// with a wait far beyond the cap: the request must be accepted (clamped
+// server-side), not rejected, and must return once the batch is done.
+func TestOversizedWaitClampedEndToEnd(t *testing.T) {
+	ts, _, _ := newFullServer(t, service.Config{Workers: 2}, service.BatchConfig{})
+	c := NewClient(ts.URL, nil)
+	if _, err := c.PutGraphGen("wait-g", GenRequest{Gen: "gnp", N: 16, P: 0.25, Seed: 3, MaxW: 8}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.SubmitBatch(BatchRequest{Graphs: []string{"wait-g"}, Algos: []string{"mwm2"}, Seeds: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	fin, err := c.GetBatch(b.ID, 24*time.Hour) // clamped to 60s server-side
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin.Terminal() {
+		t.Fatalf("batch not terminal after clamped long-poll: %+v", fin)
+	}
+	if elapsed := time.Since(start); elapsed > maxWait {
+		t.Fatalf("long-poll held for %v, beyond the %v cap", elapsed, maxWait)
+	}
+}
+
+// TestDeleteRunningBatch covers DELETE of a batch that is genuinely
+// mid-flight: the cancel succeeds with 200, the batch drains to canceled,
+// and a repeat DELETE conflicts with 409.
+func TestDeleteRunningBatch(t *testing.T) {
+	ts, _, _ := newFullServer(t, service.Config{Workers: 1, QueueSize: 4}, service.BatchConfig{})
+	c := NewClient(ts.URL, nil)
+	if _, err := c.PutGraphGen("running-g", GenRequest{Gen: "gnp", N: 1200, P: 0.01, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]uint64, 8)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	b, err := c.SubmitBatch(BatchRequest{Graphs: []string{"running-g"}, Algos: []string{"maxis"}, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.CancelBatch(b.ID)
+	if err != nil {
+		t.Fatalf("cancel of running batch: %v", err)
+	}
+	if v.State != "running" && v.State != "canceled" {
+		t.Fatalf("post-cancel state %q", v.State)
+	}
+	fin, err := c.WaitBatch(b.ID, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "canceled" {
+		t.Fatalf("final state %q, want canceled", fin.State)
+	}
+	_, err = c.CancelBatch(b.ID)
+	wantStatus(t, err, http.StatusConflict)
+}

@@ -1,0 +1,95 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// fuzzGenCap bounds fuzzed generator sizes: resolveGraph builds generator
+// specs synchronously in the handler, so the fuzzer must probe the decoding
+// and validation paths, not the graph generators' throughput.
+const fuzzGenCap = 4096
+
+// fuzzBodyTooExpensive reports whether a body, if it decodes at all, asks
+// for work beyond what a fuzz iteration should pay for.
+func fuzzBodyTooExpensive(body string) bool {
+	if len(body) > 1<<16 {
+		return true
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		return false // the handler must reject it cheaply; let it through
+	}
+	if g := req.Gen; g != nil {
+		if g.N > fuzzGenCap || g.N2 > fuzzGenCap || g.Rows > 256 || g.Cols > 256 ||
+			g.Spine > fuzzGenCap || g.Legs > 256 || g.D > 256 {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzHandleJobSubmit fuzzes POST /v1/jobs with arbitrary (mostly malformed)
+// bodies: the handler must never panic and must answer every body with one
+// of its documented statuses. Accepted jobs are canceled immediately so the
+// fuzzer never waits on algorithm execution. The committed seed corpus lives
+// in testdata/fuzz/FuzzHandleJobSubmit.
+func FuzzHandleJobSubmit(f *testing.F) {
+	f.Add(`{"algo":"mwm2","gen":{"gen":"gnp","n":8,"p":0.5,"seed":1,"maxw":8}}`)
+	f.Add(`{"algo":"maxis","graph":"3 2\n1 2 3\n0 1 5\n1 2 7\n"}`)
+	f.Add(`{"algo":"maxis","graph_name":"missing"}`)
+	f.Add(`{"algo":"quantum"}`)
+	f.Add(`{{{`)
+	f.Add(`{"algo":"maxis","gne":{"gen":"gnp","n":4,"p":0.5}}`)
+	f.Add(`{"algo":"maxis","graph":"1000000000 0\n"}`)
+	f.Add(`{"algo":"fastmcm","gen":{"gen":"gnp","n":8,"p":0.5},"params":{"eps":-1}}`)
+	f.Add(`{"algo":"nmis","gen":{"gen":"grid","rows":3,"cols":3},"params":{"k":2,"delta":0.5}}`)
+	f.Add(`{"algo":"maxis","graph":"1 0\n1\n","gen":{"gen":"gnp","n":4,"p":0.5}}`)
+
+	svc := service.New(service.Config{Workers: 1, QueueSize: 16, DefaultTimeout: 50 * time.Millisecond})
+	f.Cleanup(svc.Close)
+	st := store.New(store.Config{})
+	handler := NewHandler(svc, st, service.NewBatches(svc, st, service.BatchConfig{}))
+
+	f.Fuzz(func(t *testing.T, body string) {
+		if fuzzBodyTooExpensive(body) {
+			t.Skip("body beyond the fuzz work cap")
+		}
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		handler.ServeHTTP(rr, req)
+
+		switch rr.Code {
+		case http.StatusAccepted:
+			// Valid submission: cancel it so the worker pool stays free.
+			var jr JobResponse
+			if err := json.Unmarshal(rr.Body.Bytes(), &jr); err != nil || jr.ID == "" {
+				t.Fatalf("202 with undecodable body %q: %v", rr.Body.String(), err)
+			}
+			cancel := httptest.NewRequest(http.MethodDelete, "/v1/jobs/"+jr.ID, nil)
+			crr := httptest.NewRecorder()
+			handler.ServeHTTP(crr, cancel)
+			if crr.Code != http.StatusOK && crr.Code != http.StatusConflict {
+				t.Fatalf("cancel of fuzz job %s: status %d", jr.ID, crr.Code)
+			}
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusServiceUnavailable:
+			// Documented rejections; the error envelope must be JSON.
+			var env struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil || env.Error == "" {
+				t.Fatalf("status %d with bad error envelope %q", rr.Code, rr.Body.String())
+			}
+		default:
+			t.Fatalf("undocumented status %d for body %q", rr.Code, body)
+		}
+	})
+}

@@ -115,7 +115,10 @@ func (p *ParamsRequest) params() (registry.Params, error) {
 	}, nil
 }
 
-func paramsWire(p registry.Params) *ParamsRequest {
+// ParamsWire renders registry params in their wire form; it is the inverse
+// of ParamsRequest.params and is shared with the cluster coordinator, which
+// re-submits expanded cells to workers over the same wire format.
+func ParamsWire(p registry.Params) *ParamsRequest {
 	model := ""
 	if p.Model != 0 {
 		model = p.Model.String()
@@ -243,11 +246,57 @@ type BatchGroup struct {
 	Size   stats.Summary  `json:"size"`
 }
 
-// metricsResponse merges the job-service and batch-engine counters into one
-// /metrics document.
-type metricsResponse struct {
+// MetricsResponse merges the job-service and batch-engine counters into one
+// /metrics document. The cluster coordinator decodes it from each worker's
+// /metrics and sums the counters into its fleet view.
+type MetricsResponse struct {
 	service.Metrics
 	service.BatchMetrics
+}
+
+// Backend is the graph-store + batch surface a handler serves. Two
+// implementations exist: the single-node engine (engineBackend over a Store
+// and a Batches) and the cluster coordinator (internal/cluster.Coordinator).
+// Both are routed by registerBackendRoutes, so the two server modes cannot
+// drift apart on the shared wire format.
+type Backend interface {
+	// PutGraph registers a graph under name; see store.Store.Put.
+	PutGraph(name string, src store.Source) (store.Info, bool, error)
+	// GetGraph, ListGraphs and DeleteGraph mirror store.Get/List/Delete.
+	GetGraph(name string) (store.Info, bool)
+	ListGraphs() []store.Info
+	DeleteGraph(name string) error
+	// SubmitBatch, GetBatch, WaitBatch, ListBatches and CancelBatch mirror
+	// the service.Batches surface.
+	SubmitBatch(spec service.BatchSpec) (service.BatchView, error)
+	GetBatch(id string) (service.BatchView, bool)
+	WaitBatch(id string, d time.Duration) (service.BatchView, bool)
+	ListBatches() []service.BatchView
+	CancelBatch(id string) (service.BatchView, error)
+}
+
+// engineBackend adapts the single-node store + batch engine to Backend.
+type engineBackend struct {
+	st      *store.Store
+	batches *service.Batches
+}
+
+func (e engineBackend) PutGraph(name string, src store.Source) (store.Info, bool, error) {
+	return e.st.Put(name, src)
+}
+func (e engineBackend) GetGraph(name string) (store.Info, bool) { return e.st.Get(name) }
+func (e engineBackend) ListGraphs() []store.Info                { return e.st.List() }
+func (e engineBackend) DeleteGraph(name string) error           { return e.st.Delete(name) }
+func (e engineBackend) SubmitBatch(spec service.BatchSpec) (service.BatchView, error) {
+	return e.batches.Submit(spec)
+}
+func (e engineBackend) GetBatch(id string) (service.BatchView, bool) { return e.batches.Get(id) }
+func (e engineBackend) WaitBatch(id string, d time.Duration) (service.BatchView, bool) {
+	return e.batches.Wait(id, d)
+}
+func (e engineBackend) ListBatches() []service.BatchView { return e.batches.List() }
+func (e engineBackend) CancelBatch(id string) (service.BatchView, error) {
+	return e.batches.Cancel(id)
 }
 
 // NewHandler wires the HTTP API around the job service, the graph store and
@@ -259,7 +308,7 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, metricsResponse{svc.Metrics(), batches.Metrics()})
+		writeJSON(w, http.StatusOK, MetricsResponse{svc.Metrics(), batches.Metrics()})
 	})
 	mux.HandleFunc("GET /v1/algorithms", handleAlgorithms)
 
@@ -288,11 +337,19 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 		}
 	})
 
+	registerBackendRoutes(mux, engineBackend{st: st, batches: batches})
+	return mux
+}
+
+// registerBackendRoutes mounts the graph-store and batch routes over a
+// Backend — the one wire surface shared verbatim by the single-node handler
+// and the cluster coordinator handler.
+func registerBackendRoutes(mux *http.ServeMux, b Backend) {
 	mux.HandleFunc("PUT /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
-		handlePutGraph(st, w, r)
+		handlePutGraph(b, w, r)
 	})
 	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
-		infos := st.List()
+		infos := b.ListGraphs()
 		out := struct {
 			Graphs []GraphInfo `json:"graphs"`
 		}{Graphs: make([]GraphInfo, len(infos))}
@@ -302,7 +359,7 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
-		info, ok := st.Get(r.PathValue("name"))
+		info, ok := b.GetGraph(r.PathValue("name"))
 		if !ok {
 			writeErr(w, http.StatusNotFound, "no such graph")
 			return
@@ -310,7 +367,7 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 		writeJSON(w, http.StatusOK, toGraphInfo(info, false))
 	})
 	mux.HandleFunc("DELETE /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
-		err := st.Delete(r.PathValue("name"))
+		err := b.DeleteGraph(r.PathValue("name"))
 		switch {
 		case errors.Is(err, store.ErrNotFound):
 			writeErr(w, http.StatusNotFound, "no such graph")
@@ -324,10 +381,10 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 	})
 
 	mux.HandleFunc("POST /v1/batches", func(w http.ResponseWriter, r *http.Request) {
-		handleSubmitBatch(batches, w, r)
+		handleSubmitBatch(b, w, r)
 	})
 	mux.HandleFunc("GET /v1/batches", func(w http.ResponseWriter, r *http.Request) {
-		views := batches.List()
+		views := b.ListBatches()
 		out := struct {
 			Batches []BatchResponse `json:"batches"`
 		}{Batches: make([]BatchResponse, len(views))}
@@ -342,7 +399,7 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		v, ok := batches.Wait(r.PathValue("id"), wait)
+		v, ok := b.WaitBatch(r.PathValue("id"), wait)
 		if !ok {
 			writeErr(w, http.StatusNotFound, "no such batch")
 			return
@@ -350,7 +407,7 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 		writeJSON(w, http.StatusOK, toBatchResponse(v, true))
 	})
 	mux.HandleFunc("DELETE /v1/batches/{id}", func(w http.ResponseWriter, r *http.Request) {
-		v, err := batches.Cancel(r.PathValue("id"))
+		v, err := b.CancelBatch(r.PathValue("id"))
 		switch {
 		case errors.Is(err, service.ErrBatchNotFound):
 			writeErr(w, http.StatusNotFound, "no such batch")
@@ -362,7 +419,6 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 			writeJSON(w, http.StatusOK, toBatchResponse(v, true))
 		}
 	})
-	return mux
 }
 
 // parseWait parses the ?wait= long-poll duration, capped at maxWait.
@@ -444,7 +500,10 @@ func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, 
 	})
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		// The code lets clients (the cluster coordinator) distinguish queue
+		// saturation — retryable on this server — from other 5xx without
+		// parsing the message text.
+		writeErrCode(w, http.StatusServiceUnavailable, CodeQueueFull, err.Error())
 	case errors.Is(err, service.ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
@@ -454,7 +513,7 @@ func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, 
 	}
 }
 
-func handlePutGraph(st *store.Store, w http.ResponseWriter, r *http.Request) {
+func handlePutGraph(b Backend, w http.ResponseWriter, r *http.Request) {
 	var req GraphRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -464,7 +523,7 @@ func handlePutGraph(st *store.Store, w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	info, dedup, err := st.Put(r.PathValue("name"), src)
+	info, dedup, err := b.PutGraph(r.PathValue("name"), src)
 	switch {
 	case errors.Is(err, store.ErrExists):
 		writeErr(w, http.StatusConflict, err.Error())
@@ -481,7 +540,7 @@ func handlePutGraph(st *store.Store, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func handleSubmitBatch(batches *service.Batches, w http.ResponseWriter, r *http.Request) {
+func handleSubmitBatch(b Backend, w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -504,7 +563,7 @@ func handleSubmitBatch(batches *service.Batches, w http.ResponseWriter, r *http.
 		}
 		spec.Cells = append(spec.Cells, service.BatchCell{Graph: c.Graph, Algo: c.Algo, Params: params})
 	}
-	v, err := batches.Submit(spec)
+	v, err := b.SubmitBatch(spec)
 	switch {
 	case errors.Is(err, store.ErrNotFound):
 		writeErr(w, http.StatusNotFound, err.Error())
@@ -698,7 +757,7 @@ func toBatchResponse(v service.BatchView, detail bool) BatchResponse {
 			Index:    c.Index,
 			Graph:    c.Graph,
 			Algo:     c.Algo,
-			Params:   paramsWire(c.Params),
+			Params:   ParamsWire(c.Params),
 			JobID:    c.JobID,
 			State:    string(c.State),
 			CacheHit: c.CacheHit,
@@ -710,7 +769,7 @@ func toBatchResponse(v service.BatchView, detail bool) BatchResponse {
 		out.Groups = append(out.Groups, BatchGroup{
 			Graph:  g.Graph,
 			Algo:   g.Algo,
-			Params: paramsWire(g.Params),
+			Params: ParamsWire(g.Params),
 			Runs:   g.Runs,
 			Done:   g.Done,
 			Failed: g.Failed,
@@ -730,6 +789,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
+// CodeQueueFull marks a 503 caused by job-queue saturation: the one 5xx a
+// client should retry against the same server instead of failing it over.
+const CodeQueueFull = "queue_full"
+
 func writeErr(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeErrCode writes an error envelope with a machine-readable code beside
+// the human-readable message.
+func writeErrCode(w http.ResponseWriter, status int, errCode, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg, "code": errCode})
 }

@@ -185,6 +185,22 @@ func (p Params) simConfig() simul.Config {
 	}
 }
 
+// ParseKind maps a Kind.String() value back to the Kind — the inverse used
+// when results round-trip through a wire format (the cluster coordinator
+// rebuilds registry.Results from worker responses).
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "is":
+		return IS, nil
+	case "matching":
+		return Matching, nil
+	case "nmis":
+		return NMIS, nil
+	default:
+		return 0, fmt.Errorf("registry: unknown result kind %q (want is, matching or nmis)", s)
+	}
+}
+
 // ParseModel maps a case-insensitive model name to a simul.Model.
 func ParseModel(s string) (simul.Model, error) {
 	switch strings.ToLower(s) {

@@ -270,49 +270,61 @@ func (b *Batches) Metrics() BatchMetrics {
 	}
 }
 
-// Submit validates and launches a batch: the spec is expanded, every
-// referenced graph is pinned in the store for the batch's lifetime, and the
-// member jobs are fed to the job engine in the background (a full queue
-// slows feeding down instead of failing the batch). The returned view
-// reflects the batch at expansion time; poll Get or Wait for progress.
-func (b *Batches) Submit(spec BatchSpec) (BatchView, error) {
+// PrepareBatch is the shared submission prologue of the single-node engine
+// and the cluster coordinator: expand the spec, bound it by maxCells,
+// validate every cell's algorithm and params up front (so a bad grid fails
+// fast rather than as a pile of failed member jobs), and pin every distinct
+// graph once in st. On success the caller owns the releases — one per
+// distinct graph — and must run them all when the batch ends; on error
+// nothing stays pinned.
+func PrepareBatch(st *store.Store, spec BatchSpec, maxCells int) ([]BatchCell, map[string]*graph.Graph, []func(), error) {
 	cells, err := spec.Expand()
 	if err != nil {
-		return BatchView{}, err
+		return nil, nil, nil, err
 	}
 	if len(cells) == 0 {
-		return BatchView{}, ErrBatchEmpty
+		return nil, nil, nil, ErrBatchEmpty
 	}
-	if len(cells) > b.cfg.MaxCells {
-		return BatchView{}, fmt.Errorf("%w: %d cells, cap %d", ErrBatchTooLarge, len(cells), b.cfg.MaxCells)
+	if len(cells) > maxCells {
+		return nil, nil, nil, fmt.Errorf("%w: %d cells, cap %d", ErrBatchTooLarge, len(cells), maxCells)
 	}
-	// Validate algorithms and params up front so a bad grid fails fast
-	// rather than as a pile of failed member jobs.
 	for i, c := range cells {
 		spec, ok := registry.Get(c.Algo)
 		if !ok {
-			return BatchView{}, fmt.Errorf("service: cell %d: unknown algorithm %q", i, c.Algo)
+			return nil, nil, nil, fmt.Errorf("service: cell %d: unknown algorithm %q", i, c.Algo)
 		}
 		if err := spec.Validate(c.Params); err != nil {
-			return BatchView{}, fmt.Errorf("service: cell %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("service: cell %d: %w", i, err)
 		}
 	}
-	// Pin every distinct graph once for the batch's lifetime.
 	graphs := make(map[string]*graph.Graph)
 	var releases []func()
 	for _, c := range cells {
 		if _, ok := graphs[c.Graph]; ok {
 			continue
 		}
-		g, release, err := b.st.Acquire(c.Graph)
+		g, release, err := st.Acquire(c.Graph)
 		if err != nil {
 			for _, r := range releases {
 				r()
 			}
-			return BatchView{}, err
+			return nil, nil, nil, err
 		}
 		graphs[c.Graph] = g
 		releases = append(releases, release)
+	}
+	return cells, graphs, releases, nil
+}
+
+// Submit validates and launches a batch: the spec is expanded, every
+// referenced graph is pinned in the store for the batch's lifetime, and the
+// member jobs are fed to the job engine in the background (a full queue
+// slows feeding down instead of failing the batch). The returned view
+// reflects the batch at expansion time; poll Get or Wait for progress.
+func (b *Batches) Submit(spec BatchSpec) (BatchView, error) {
+	cells, graphs, releases, err := PrepareBatch(b.st, spec, b.cfg.MaxCells)
+	if err != nil {
+		return BatchView{}, err
 	}
 
 	bt := &batch{
@@ -623,17 +635,18 @@ func (bt *batch) view() BatchView {
 		// and reuse across polls (computed lazily here, not in
 		// finalizeLocked, which can run under the Service mutex).
 		if bt.groups == nil {
-			bt.groups = groupCells(v.Cells)
+			bt.groups = GroupCells(v.Cells)
 		}
 		v.Groups = bt.groups
 	}
 	return v
 }
 
-// groupCells aggregates terminal cells by (graph, algo, params modulo seed),
+// GroupCells aggregates terminal cells by (graph, algo, params modulo seed),
 // in first-seen order, summarizing rounds, weight and solution size over the
-// done members of each group.
-func groupCells(cells []BatchCellView) []BatchGroup {
+// done members of each group. The cluster coordinator reuses it so merged
+// multi-worker batches aggregate exactly like single-node ones.
+func GroupCells(cells []BatchCellView) []BatchGroup {
 	type acc struct {
 		group                *BatchGroup
 		rounds, weight, size []float64

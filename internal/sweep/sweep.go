@@ -1,0 +1,254 @@
+// Package sweep builds and executes the CSV parameter sweeps of DESIGN.md
+// §5 against the batch API. Each experiment is a Plan: a table layout plus
+// an ordered list of runs, executed by uploading every run's graph to the
+// server's named store (fingerprint-deduplicated), submitting one batch of
+// explicit cells, long-polling it, and emitting one row per cell.
+//
+// The package is shared by cmd/sweep (which renders the CSV to stdout) and
+// the internal/cluster tests (which assert that a multi-worker coordinator
+// produces byte-identical CSVs to a single-node server), so the CLI and the
+// cluster acceptance harness exercise one engine.
+//
+// Layer (DESIGN.md §2): sweep sits above internal/httpapi (it is a pure
+// client of the wire format) and the repro facade (graph construction);
+// below cmd/sweep.
+//
+// Concurrency and ownership: a Plan is single-use and not safe for
+// concurrent use; Execute mutates it by filling the table. The httpapi
+// client it drives may be shared.
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/exact"
+	"repro/internal/httpapi"
+	"repro/internal/stats"
+)
+
+// run is one sweep cell: a graph, an algorithm invocation, and the row the
+// result turns into.
+type run struct {
+	g      *repro.Graph
+	algo   string
+	params httpapi.ParamsRequest
+	// emit appends this run's row given the member job's result.
+	emit func(t *stats.Table, res *httpapi.JobResult)
+}
+
+// Plan is one experiment: a table layout plus its runs in row order.
+type Plan struct {
+	table *stats.Table
+	runs  []run
+}
+
+// CSV renders the executed plan's table.
+func (p *Plan) CSV(w io.Writer) error { return p.table.CSV(w) }
+
+var experiments = map[string]func(trials int) (*Plan, error){
+	"E1": sweepE1,
+	"E2": sweepE2,
+	"E3": sweepE3,
+	"E4": sweepE4,
+	"E6": sweepE6,
+	"E9": sweepE9,
+}
+
+// Experiments returns the experiment IDs, sorted.
+func Experiments() []string {
+	names := make([]string, 0, len(experiments))
+	for name := range experiments {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	return names
+}
+
+// Build constructs the named experiment's plan with the given trial count.
+func Build(exp string, trials int) (*Plan, error) {
+	build, ok := experiments[exp]
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown experiment %q (have: %s)",
+			exp, strings.Join(Experiments(), ", "))
+	}
+	return build(trials)
+}
+
+// Execute drives a plan through the batch API: upload every run's graph to
+// the store (identical graphs deduplicate server-side), submit one batch of
+// explicit cells in row order, long-poll it, and emit the rows.
+func Execute(c *httpapi.Client, exp string, p *Plan) (err error) {
+	// The uploads are per-sweep scratch: delete them however this sweep
+	// ends, or a failed run would leak deterministic sweep-* names into a
+	// remote server's store and 409 every later run that maps the same
+	// name to a different graph.
+	var names []string
+	defer func() {
+		for _, name := range names {
+			if derr := c.DeleteGraph(name); derr != nil && err == nil {
+				err = fmt.Errorf("cleaning up %s: %w", name, derr)
+			}
+		}
+	}()
+
+	cells := make([]httpapi.BatchCell, len(p.runs))
+	for i, r := range p.runs {
+		var buf bytes.Buffer
+		if err := repro.WriteGraph(&buf, r.g); err != nil {
+			return err
+		}
+		name := fmt.Sprintf("sweep-%s-r%03d", exp, i)
+		if _, err := c.PutGraph(name, buf.String()); err != nil {
+			return fmt.Errorf("uploading graph for cell %d: %w", i, err)
+		}
+		names = append(names, name)
+		params := r.params
+		cells[i] = httpapi.BatchCell{Graph: name, Algo: r.algo, Params: &params}
+	}
+	b, err := c.SubmitBatch(httpapi.BatchRequest{Cells: cells})
+	if err != nil {
+		return fmt.Errorf("submitting batch: %w", err)
+	}
+	fin, err := c.WaitBatch(b.ID, 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	if fin.Done != fin.Total {
+		for _, cell := range fin.Cells {
+			if cell.State != "done" {
+				return fmt.Errorf("cell %d (%s on %s): %s: %s",
+					cell.Index, cell.Algo, cell.Graph, cell.State, cell.Error)
+			}
+		}
+	}
+	for i, cell := range fin.Cells {
+		p.runs[i].emit(p.table, cell.Result)
+	}
+	return nil
+}
+
+func sweepE1(trials int) (*Plan, error) {
+	p := &Plan{table: stats.NewTable("n", "W", "trial", "rounds", "weight")}
+	for _, n := range []int{64, 128, 256, 512} {
+		for _, w := range []int64{1, 16, 256, 4096} {
+			for k := 0; k < trials; k++ {
+				g := repro.GNP(n, 8/float64(n), uint64(n)+uint64(w))
+				repro.AssignUniformNodeWeights(g, w, uint64(w)+uint64(k))
+				n, w, k := n, w, k
+				p.runs = append(p.runs, run{
+					g: g, algo: "maxis", params: httpapi.ParamsRequest{Seed: uint64(k)},
+					emit: func(t *stats.Table, res *httpapi.JobResult) {
+						t.AddRow(n, w, k, res.Cost.Rounds, res.Weight)
+					},
+				})
+			}
+		}
+	}
+	return p, nil
+}
+
+func sweepE2(trials int) (*Plan, error) {
+	p := &Plan{table: stats.NewTable("delta", "trial", "rounds", "coloring_rounds_included", "weight")}
+	for _, d := range []int{2, 4, 8, 16, 32} {
+		for k := 0; k < trials; k++ {
+			g, err := repro.RandomRegular(128, d, uint64(d)+uint64(k))
+			if err != nil {
+				return nil, err
+			}
+			repro.AssignUniformNodeWeights(g, 512, uint64(d)+7)
+			d, k := d, k
+			p.runs = append(p.runs, run{
+				g: g, algo: "maxis-det", params: httpapi.ParamsRequest{Seed: uint64(k)},
+				emit: func(t *stats.Table, res *httpapi.JobResult) {
+					t.AddRow(d, k, res.Cost.Rounds, true, res.Weight)
+				},
+			})
+		}
+	}
+	return p, nil
+}
+
+func sweepE3(trials int) (*Plan, error) {
+	p := &Plan{table: stats.NewTable("delta", "trial", "rounds", "weight", "greedy_lower_bound")}
+	for _, d := range []int{4, 8, 16, 32} {
+		for k := 0; k < trials; k++ {
+			g, err := repro.RandomRegular(128, d, uint64(d)*3+uint64(k))
+			if err != nil {
+				return nil, err
+			}
+			repro.AssignUniformEdgeWeights(g, 512, uint64(d)+11)
+			greedy := g.MatchingWeight(exact.GreedyMatching(g))
+			d, k := d, k
+			p.runs = append(p.runs, run{
+				g: g, algo: "fastmwm", params: httpapi.ParamsRequest{Eps: 0.5, Seed: uint64(k)},
+				emit: func(t *stats.Table, res *httpapi.JobResult) {
+					t.AddRow(d, k, res.Cost.Rounds, res.Weight, greedy)
+				},
+			})
+		}
+	}
+	return p, nil
+}
+
+func sweepE4(trials int) (*Plan, error) {
+	p := &Plan{table: stats.NewTable("eps", "trial", "rounds", "matched", "opt")}
+	g := repro.GNP(96, 0.06, 77)
+	opt := len(exact.MaxCardinalityMatching(g))
+	for _, eps := range []float64{1, 0.5, 0.34, 0.25} {
+		for k := 0; k < trials; k++ {
+			eps, k := eps, k
+			p.runs = append(p.runs, run{
+				g: g, algo: "oneeps", params: httpapi.ParamsRequest{Eps: eps, Seed: uint64(k)},
+				emit: func(t *stats.Table, res *httpapi.JobResult) {
+					t.AddRow(eps, k, res.Cost.Rounds, res.Size, opt)
+				},
+			})
+		}
+	}
+	return p, nil
+}
+
+func sweepE6(trials int) (*Plan, error) {
+	p := &Plan{table: stats.NewTable("delta_target", "trial", "rounds", "uncovered_fraction")}
+	g := repro.GNP(256, 0.03, 9)
+	n := g.N()
+	for _, delta := range []float64{0.5, 0.2, 0.1, 0.05} {
+		for k := 0; k < trials; k++ {
+			delta, k := delta, k
+			p.runs = append(p.runs, run{
+				g: g, algo: "nmis", params: httpapi.ParamsRequest{K: 2, Delta: delta, Seed: uint64(k)},
+				emit: func(t *stats.Table, res *httpapi.JobResult) {
+					t.AddRow(delta, k, res.Cost.Rounds, float64(res.Uncovered)/float64(n))
+				},
+			})
+		}
+	}
+	return p, nil
+}
+
+func sweepE9(trials int) (*Plan, error) {
+	p := &Plan{table: stats.NewTable("delta", "trial", "rounds", "matched", "opt")}
+	for _, d := range []int{4, 16, 64} {
+		for k := 0; k < trials; k++ {
+			g, err := repro.RandomRegular(256, d, uint64(d)+uint64(k)+17)
+			if err != nil {
+				return nil, err
+			}
+			opt := len(exact.MaxCardinalityMatching(g))
+			d, k := d, k
+			p.runs = append(p.runs, run{
+				g: g, algo: "proposal", params: httpapi.ParamsRequest{Eps: 0.5, Seed: uint64(k)},
+				emit: func(t *stats.Table, res *httpapi.JobResult) {
+					t.AddRow(d, k, res.Cost.Rounds, res.Size, opt)
+				},
+			})
+		}
+	}
+	return p, nil
+}
