@@ -59,9 +59,12 @@ type benchRow struct {
 	MeanM      float64 `json:"mean_m"`
 	Trials     int     `json:"trials"`
 	MeanRounds float64 `json:"mean_rounds"`
-	WorstRatio float64 `json:"worst_ratio"`
-	WallMS     float64 `json:"wall_ms"`
-	AllocsPer  uint64  `json:"allocs_per_run"`
+	// MeanMessages averages Cost.Messages per trial — the engine-telemetry
+	// companion to MeanRounds, so BENCH records track message complexity too.
+	MeanMessages float64 `json:"mean_messages"`
+	WorstRatio   float64 `json:"worst_ratio"`
+	WallMS       float64 `json:"wall_ms"`
+	AllocsPer    uint64  `json:"allocs_per_run"`
 }
 
 // benchRecord is the top-level -json document.
@@ -100,6 +103,7 @@ func main() {
 
 	ratios := make([][]float64, len(rows))
 	rounds := make([][]float64, len(rows))
+	messages := make([][]float64, len(rows))
 	wall := make([]time.Duration, len(rows))
 	allocs := make([]uint64, len(rows))
 	var mSum float64
@@ -129,10 +133,11 @@ func main() {
 				ratios[i] = append(ratios[i], r)
 			}
 			rounds[i] = append(rounds[i], float64(res.Cost.Rounds))
+			messages[i] = append(messages[i], float64(res.Cost.Messages))
 		}
 	}
 
-	table := stats.NewTable("row", "algorithm", "guarantee", "worst ratio", "mean rounds", "model")
+	table := stats.NewTable("row", "algorithm", "guarantee", "worst ratio", "mean rounds", "mean msgs", "model")
 	record := benchRecord{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -144,21 +149,24 @@ func main() {
 	for i, rs := range rows {
 		r := stats.Summarize(ratios[i])
 		d := stats.Summarize(rounds[i])
+		m := stats.Summarize(messages[i])
 		table.AddRow(rs.row, rs.label, rs.guarantee,
-			fmt.Sprintf("%.3f", r.Max), fmt.Sprintf("%.1f", d.Mean), rs.model)
+			fmt.Sprintf("%.3f", r.Max), fmt.Sprintf("%.1f", d.Mean),
+			fmt.Sprintf("%.0f", m.Mean), rs.model)
 		record.Rows = append(record.Rows, benchRow{
-			Row:        rs.row,
-			Algo:       rs.algo,
-			Label:      rs.label,
-			Guarantee:  rs.guarantee,
-			Model:      rs.model,
-			N:          *n,
-			MeanM:      mSum / float64(*trials),
-			Trials:     *trials,
-			MeanRounds: d.Mean,
-			WorstRatio: r.Max,
-			WallMS:     float64(wall[i].Microseconds()) / 1000 / float64(*trials),
-			AllocsPer:  allocs[i] / uint64(*trials),
+			Row:          rs.row,
+			Algo:         rs.algo,
+			Label:        rs.label,
+			Guarantee:    rs.guarantee,
+			Model:        rs.model,
+			N:            *n,
+			MeanM:        mSum / float64(*trials),
+			Trials:       *trials,
+			MeanRounds:   d.Mean,
+			MeanMessages: m.Mean,
+			WorstRatio:   r.Max,
+			WallMS:       float64(wall[i].Microseconds()) / 1000 / float64(*trials),
+			AllocsPer:    allocs[i] / uint64(*trials),
 		})
 	}
 	if err := table.Render(os.Stdout); err != nil {

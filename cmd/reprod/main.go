@@ -20,6 +20,14 @@
 //	GET    /v1/algorithms      list registered algorithms and generators
 //	GET    /healthz            liveness
 //	GET    /metrics            service + batch counters and latency percentiles
+//	                           (JSON by default; Prometheus text exposition with
+//	                           Accept: text/plain)
+//
+// Logs are structured (log/slog); -log selects text or json output. In
+// coordinator mode the dispatch path emits span events (cell_dispatch,
+// cell_retry, cell_replace, cell_straggler, worker_down, worker_revived)
+// tagged with batch and cell trace IDs. -pprof mounts net/http/pprof under
+// /debug/pprof/ in both modes.
 //
 // Example:
 //
@@ -45,7 +53,9 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -59,6 +69,37 @@ import (
 	"repro/internal/service"
 	"repro/internal/store"
 )
+
+// newLogger builds the structured logger behind -log: "text" and "json"
+// select the slog handler; anything else is a flag error.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("bad -log %q: want text or json", format)
+	}
+}
+
+// mountPprof wraps the mode handler (single-node or coordinator — the wrap
+// happens after the mode branch, so both get it) with net/http/pprof under
+// /debug/pprof/. Profiling stays off the default surface: the handlers expose
+// stack traces and timings, so they are gated behind an explicit flag rather
+// than mounted unconditionally (run `go tool pprof
+// http://host/debug/pprof/profile` against a -pprof server to profile the
+// service in situ).
+func mountPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	log.SetFlags(0)
@@ -75,15 +116,23 @@ func main() {
 	window := flag.Int("window", 4, "coordinator mode: in-flight cells per worker")
 	probe := flag.Duration("probe", 5*time.Second, "coordinator mode: worker health-probe interval (0 disables)")
 	poll := flag.Duration("poll", 20*time.Millisecond, "coordinator mode: job poll interval against workers")
+	logFormat := flag.String("log", "text", "structured log format: text or json")
+	straggler := flag.Duration("straggler", 0, "coordinator mode: log a straggler span event once a cell runs this long (0 disables)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	// Surface flags that silently do nothing in the selected mode: a knob an
 	// operator set explicitly must either take effect or be called out.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	inert := map[bool][]string{
-		true:  {"pool", "queue", "cache", "timeout"}, // single-node engine knobs
-		false: {"window", "probe", "poll"},           // coordinator knobs
+		true:  {"pool", "queue", "cache", "timeout"},    // single-node engine knobs
+		false: {"window", "probe", "poll", "straggler"}, // coordinator knobs
 	}
 	for _, name := range inert[*fleet != ""] {
 		if set[name] {
@@ -96,12 +145,14 @@ func main() {
 	var shutdown func()
 	if *fleet != "" {
 		coord, err := cluster.New(cluster.Config{
-			Workers:       strings.Split(*fleet, ","),
-			Window:        *window,
-			ProbeInterval: *probe,
-			PollInterval:  *poll,
-			MaxGraphs:     *maxGraphs,
-			MaxCells:      *maxCells,
+			Workers:        strings.Split(*fleet, ","),
+			Window:         *window,
+			ProbeInterval:  *probe,
+			PollInterval:   *poll,
+			MaxGraphs:      *maxGraphs,
+			MaxCells:       *maxCells,
+			Logger:         logger,
+			StragglerAfter: *straggler,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -122,19 +173,7 @@ func main() {
 		shutdown = svc.Close
 	}
 	if *pprofOn {
-		// Profiling stays off the default surface: the handlers expose stack
-		// traces and timings, so they are gated behind an explicit flag
-		// rather than mounted unconditionally (run `go tool pprof
-		// http://host/debug/pprof/profile` against a -pprof server to
-		// profile the service in situ).
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
+		handler = mountPprof(handler)
 		log.Print("pprof handlers enabled at /debug/pprof/")
 	}
 

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/httpapi"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// TestPprofMountsInBothModes is a regression test for a claim that keeps
+// resurfacing: that -pprof is dead in coordinator mode. It is not — main()
+// wraps the handler with mountPprof *after* the mode branch, so both the
+// single-node and the coordinator surface serve /debug/pprof/. This test
+// builds each mode's handler exactly as main() does and pins that the pprof
+// index answers 200 while the mode's own routes keep working.
+func TestPprofMountsInBothModes(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueSize: 8})
+	t.Cleanup(svc.Close)
+	st := store.New(store.Config{})
+	single := httpapi.NewHandler(svc, st, service.NewBatches(svc, st, service.BatchConfig{}))
+
+	// Workers start healthy and ProbeInterval 0 means the coordinator never
+	// dials them, so placeholder URLs suffice for a routing test.
+	coord, err := cluster.New(cluster.Config{Workers: []string{"http://w1.invalid:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+
+	modes := map[string]http.Handler{
+		"single-node": single,
+		"coordinator": httpapi.NewClusterHandler(coord),
+	}
+	for name, h := range modes {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(mountPprof(h))
+			defer ts.Close()
+
+			resp, err := http.Get(ts.URL + "/debug/pprof/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/debug/pprof/ in %s mode: status %d", name, resp.StatusCode)
+			}
+
+			resp, err = http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/metrics in %s mode behind pprof mux: status %d", name, resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestNewLogger pins the -log flag contract: text and json select handlers,
+// anything else is a flag error.
+func TestNewLogger(t *testing.T) {
+	for _, format := range []string{"text", "json"} {
+		if _, err := newLogger(format); err != nil {
+			t.Fatalf("newLogger(%q): %v", format, err)
+		}
+	}
+	if _, err := newLogger("yaml"); err == nil {
+		t.Fatal("newLogger accepted an unknown format")
+	}
+}

@@ -246,6 +246,21 @@ type Machine interface {
 	Update(info *NodeInfo, t int, data Data, results []int64) (halt bool, output any)
 }
 
+// MemoStats totals the exchange-folding memo's lookups over a run: a hit is
+// a partial answered in O(1) from an existing prefix/suffix entry, a miss is
+// an entry build or a direct fold. Zero for runtimes without a memo
+// (RunDirect, RunLineNaive).
+type MemoStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Add folds o into s.
+func (s *MemoStats) Add(o MemoStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+}
+
 // Result is the outcome of running a Machine under one of the runtimes.
 type Result struct {
 	// Outputs[i] is virtual node i's Halt output.
@@ -254,6 +269,9 @@ type Result struct {
 	// round complexity); Metrics.Rounds counts real network rounds.
 	VirtualRounds int
 	Metrics       simul.Metrics
+	// Memo totals the exchange-folding memo's hit/miss counts (RunLine
+	// only).
+	Memo MemoStats
 }
 
 // validateFields rejects machines whose Fields() cannot size an arena slot.

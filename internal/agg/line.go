@@ -301,14 +301,18 @@ func RunLine(g *graph.Graph, cfg simul.Config, build func(edgeID int) Machine) (
 	if err != nil {
 		return nil, err
 	}
+	var memo MemoStats
 	for v := range nodes {
 		if nodes[v].err != nil {
 			return nil, nodes[v].err
 		}
+		memo.Hits += nodes[v].memo.hits
+		memo.Misses += nodes[v].memo.misses
 	}
 	return &Result{
 		Outputs:       outputs,
 		VirtualRounds: res.Metrics.Rounds / 2,
 		Metrics:       res.Metrics,
+		Memo:          memo,
 	}, nil
 }

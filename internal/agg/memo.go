@@ -57,11 +57,17 @@ type partialPlan struct {
 	suf []int64
 }
 
-// foldMemo is one node's per-round exchange-folding state.
+// foldMemo is one node's per-round exchange-folding state. hits/misses are
+// run-lifetime telemetry counters (a hit answers from an existing
+// prefix/suffix entry in O(1); a miss builds an entry or folds directly);
+// they live here — in the per-node state that is already arena-allocated —
+// so counting costs one increment and no allocation or sharing.
 type foldMemo struct {
-	plans []partialPlan
-	nplan int
-	seen  []planKey
+	plans  []partialPlan
+	nplan  int
+	seen   []planKey
+	hits   uint64
+	misses uint64
 }
 
 // reset invalidates the memo for a new virtual round (the live-data list or
@@ -196,9 +202,11 @@ func (m *foldMemo) partial(q *Query, data []Data, skip int) int64 {
 	for k := 0; k < m.nplan; k++ {
 		p := &m.plans[k]
 		if p.key.matches(key) {
+			m.hits++
 			return opJoin(p.op, key.agg, p.pre[skip], p.suf[skip+1])
 		}
 	}
+	m.misses++
 	for k := range m.seen {
 		if !m.seen[k].matches(key) {
 			continue

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/service"
 )
@@ -30,7 +31,11 @@ type cmember struct {
 
 // cbatch is one sharded batch.
 type cbatch struct {
-	id      string
+	id string
+	// traceID is the batch's trace root; cell i runs (and is submitted to its
+	// worker) under the child trace "<traceID>.<i>", so one grep over
+	// coordinator and worker logs follows a cell across retries and hosts.
+	traceID string
 	timeout time.Duration
 	// ctx is canceled by CancelBatch and Close; every slot wait and poll
 	// select observes it.
@@ -74,8 +79,13 @@ func (c *Coordinator) SubmitBatch(spec service.BatchSpec) (service.BatchView, er
 		graphs[name] = &pinnedGraph{g: g, fp: info.Fingerprint}
 	}
 
+	trace := spec.TraceID
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	bt := &cbatch{
+		traceID:  trace,
 		timeout:  spec.Timeout,
 		ctx:      ctx,
 		cancel:   cancel,
@@ -97,6 +107,8 @@ func (c *Coordinator) SubmitBatch(spec service.BatchSpec) (service.BatchView, er
 	c.mu.Unlock()
 	c.batchesSubmitted.Add(1)
 	c.batchCells.Add(uint64(len(cells)))
+	c.log.Info("batch submitted", "event", "batch_submit",
+		"batch", bt.id, "trace", bt.traceID, "cells", len(cells))
 
 	c.runWG.Add(1)
 	go c.run(bt)
@@ -141,6 +153,13 @@ func (c *Coordinator) run(bt *cbatch) {
 		c.terminal = c.terminal[1:]
 	}
 	c.mu.Unlock()
+
+	bt.mu.Lock()
+	c.log.Info("batch finished", "event", "batch_done",
+		"batch", bt.id, "trace", bt.traceID, "state", string(bt.state),
+		"done", bt.done, "failed", bt.failed, "canceled", bt.canceled,
+		"duration", bt.finished.Sub(bt.created))
+	bt.mu.Unlock()
 }
 
 // errWorkerDown reports that a dispatch target was marked down while the
@@ -164,6 +183,7 @@ type cellOutcome struct {
 func (c *Coordinator) runCell(bt *cbatch, i int) {
 	cell := bt.cells[i].cell
 	pg := bt.graphs[cell.Graph]
+	ctrace := obs.ChildTraceID(bt.traceID, i)
 	// Every retry marks a worker down first, so the attempt budget only
 	// needs to cover the fleet plus a margin for races with revival.
 	maxAttempts := 2 * len(c.workers)
@@ -182,7 +202,8 @@ func (c *Coordinator) runCell(bt *cbatch, i int) {
 			bt.finishCell(i, cellOutcome{state: service.Failed, errMsg: msg})
 			return
 		}
-		out, err := c.runOnWorker(bt, i, w, pg)
+		attemptStart := time.Now()
+		out, err := c.runOnWorker(bt, i, w, pg, ctrace)
 		if err == nil {
 			bt.finishCell(i, out)
 			return
@@ -191,11 +212,17 @@ func (c *Coordinator) runCell(bt *cbatch, i int) {
 			// The worker was downed (by another cell or a probe) between
 			// placement and dispatch: nothing new was learned about it, so
 			// just re-place — owner() will skip it now.
+			c.log.Info("cell re-placed", "event", "cell_replace",
+				"batch", bt.id, "trace", ctrace, "worker", w.url)
 			continue
 		}
 		c.markDown(w, err)
 		c.cellRetries.Add(1)
 		lastErr = err
+		c.log.Warn("cell retry", "event", "cell_retry",
+			"batch", bt.id, "trace", ctrace, "worker", w.url,
+			"attempt", attempts+1, "duration", time.Since(attemptStart),
+			"error", err.Error())
 		if attempts++; attempts >= maxAttempts {
 			bt.finishCell(i, cellOutcome{
 				state:  service.Failed,
@@ -210,7 +237,7 @@ func (c *Coordinator) runCell(bt *cbatch, i int) {
 // the graph is uploaded, submit the job, poll to terminal. A non-nil error
 // means the worker failed (caller re-places); application outcomes — done,
 // failed, canceled, cache hit — come back in the cellOutcome.
-func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph) (cellOutcome, error) {
+func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph, ctrace string) (cellOutcome, error) {
 	select {
 	case w.slots <- struct{}{}:
 	case <-bt.ctx.Done():
@@ -254,6 +281,7 @@ func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph)
 		GraphName: cell.Graph,
 		Params:    httpapi.ParamsWire(cell.Params),
 		TimeoutMs: bt.timeout.Milliseconds(),
+		TraceID:   ctrace,
 	}
 	var jr httpapi.JobResponse
 	backoff := c.cfg.PollInterval
@@ -295,7 +323,11 @@ func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph)
 		return cellOutcome{state: service.Failed, errMsg: apiErr.Message}, nil
 	}
 	bt.noteDispatched(i, w, jr.ID)
+	dispatchedAt := time.Now()
+	c.log.Info("cell dispatched", "event", "cell_dispatch",
+		"batch", bt.id, "trace", ctrace, "worker", w.url, "job", jr.ID)
 
+	straggler := false
 	for {
 		if service.State(jr.State).Terminal() {
 			res, err := jr.Result.ToResult()
@@ -315,6 +347,14 @@ func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph)
 				errMsg:   jr.Error,
 				result:   res,
 			}, nil
+		}
+		if d := c.cfg.StragglerAfter; d > 0 && !straggler && time.Since(dispatchedAt) > d {
+			// Surfaced once per dispatch so an operator (or a future hedging
+			// policy) can find cells holding a batch's tail latency.
+			straggler = true
+			c.log.Warn("cell straggling", "event", "cell_straggler",
+				"batch", bt.id, "trace", ctrace, "worker", w.url, "job", jr.ID,
+				"running_for", time.Since(dispatchedAt))
 		}
 		select {
 		case <-bt.ctx.Done():
@@ -470,6 +510,7 @@ func (bt *cbatch) summary() service.BatchView {
 	defer bt.mu.Unlock()
 	return service.BatchView{
 		ID:         bt.id,
+		TraceID:    bt.traceID,
 		State:      bt.state,
 		Total:      len(bt.cells),
 		Submitted:  bt.dispatched,
@@ -487,6 +528,7 @@ func (bt *cbatch) view() service.BatchView {
 	defer bt.mu.Unlock()
 	v := service.BatchView{
 		ID:         bt.id,
+		TraceID:    bt.traceID,
 		State:      bt.state,
 		Total:      len(bt.cells),
 		Submitted:  bt.dispatched,
@@ -506,6 +548,7 @@ func (bt *cbatch) view() service.BatchView {
 			Algo:     m.cell.Algo,
 			Params:   m.cell.Params,
 			JobID:    m.jobRef,
+			TraceID:  obs.ChildTraceID(bt.traceID, i),
 			State:    m.state,
 			CacheHit: m.cacheHit,
 			Error:    m.err,

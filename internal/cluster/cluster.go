@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -74,6 +75,14 @@ type Config struct {
 	// HTTPClient overrides the worker HTTP client (tests); nil selects a
 	// client with RequestTimeout.
 	HTTPClient *http.Client
+	// Logger receives the coordinator's structured span events (dispatch,
+	// retry, re-placement, worker down/revived, straggler), each tagged with
+	// the batch and cell trace IDs. Nil discards them.
+	Logger *slog.Logger
+	// StragglerAfter, when positive, logs a hedge-eligible-straggler span
+	// event the first time a dispatched cell's poll loop exceeds it. Log-only:
+	// the coordinator does not hedge yet, it just surfaces the candidates.
+	StragglerAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +149,7 @@ type ringPoint struct {
 // Coordinator fronts the worker fleet. Create with New, release with Close.
 type Coordinator struct {
 	cfg     Config
+	log     *slog.Logger
 	st      *store.Store
 	workers []*worker
 	ring    []ringPoint // sorted by hash
@@ -173,8 +183,13 @@ func New(cfg Config) (*Coordinator, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: cfg.RequestTimeout}
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	c := &Coordinator{
 		cfg:     cfg,
+		log:     logger,
 		st:      store.New(store.Config{MaxGraphs: cfg.MaxGraphs}),
 		batches: make(map[string]*cbatch),
 	}
@@ -255,6 +270,7 @@ func (c *Coordinator) markDown(w *worker, err error) {
 	w.healthy = false
 	w.lastErr = err.Error()
 	w.mu.Unlock()
+	c.log.Warn("worker down", "event", "worker_down", "worker", w.url, "error", err.Error())
 }
 
 // Probe checks /healthz on every worker concurrently (one hung worker must
@@ -276,19 +292,28 @@ func (c *Coordinator) Probe() int {
 	healthy := 0
 	for i, w := range c.workers {
 		w.mu.Lock()
+		revived, downed := false, false
 		switch {
 		case errs[i] == nil && !w.healthy:
 			w.healthy = true
 			w.uploaded = make(map[string]string)
+			revived = true
 		case errs[i] != nil && w.healthy:
 			w.healthy = false
 			w.failures++
 			w.lastErr = errs[i].Error()
+			downed = true
 		}
 		if w.healthy {
 			healthy++
 		}
 		w.mu.Unlock()
+		if revived {
+			c.log.Info("worker revived", "event", "worker_revived", "worker", w.url)
+		}
+		if downed {
+			c.log.Warn("worker down", "event", "worker_down", "worker", w.url, "error", errs[i].Error())
+		}
 	}
 	return healthy
 }

@@ -43,6 +43,9 @@ type Result struct {
 	// real network rounds (they differ by 2× for the line runtime).
 	VirtualRounds int
 	Metrics       simul.Metrics
+	// Memo carries the line runtime's exchange-folding hit/miss counts
+	// (zero for the node-level colorings).
+	Memo agg.MemoStats
 }
 
 // Verify returns an error unless colors is a proper coloring of g.
@@ -211,6 +214,7 @@ func paletteResult(res *agg.Result, n, palette int) (*Result, error) {
 		NumColors:     palette,
 		VirtualRounds: res.VirtualRounds,
 		Metrics:       res.Metrics,
+		Memo:          res.Memo,
 	}
 	for i, o := range res.Outputs {
 		c, ok := o.(int)

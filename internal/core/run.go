@@ -22,6 +22,9 @@ type MaxISResult struct {
 	// (Algorithm 3 only), reported separately per DESIGN.md §3.
 	ColoringRounds int
 	Metrics        simul.Metrics
+	// Memo totals the line runtime's exchange-folding hit/miss counts over
+	// every phase (zero for the direct runtime).
+	Memo agg.MemoStats
 }
 
 // MatchingResult is the outcome of a distributed matching approximation.
@@ -33,6 +36,9 @@ type MatchingResult struct {
 	VirtualRounds  int
 	ColoringRounds int
 	Metrics        simul.Metrics
+	// Memo totals the exchange-folding memo's hit/miss counts over every
+	// phase of the line simulation.
+	Memo agg.MemoStats
 }
 
 // DistributedMaxIS runs Algorithm 2 on g with the named MIS black box
@@ -83,9 +89,8 @@ func ColoringMaxIS(g *graph.Graph, deterministic bool, cfg simul.Config) (*MaxIS
 		return nil, err
 	}
 	out.ColoringRounds = col.VirtualRounds
-	out.Metrics.Rounds += col.Metrics.Rounds
-	out.Metrics.Messages += col.Metrics.Messages
-	out.Metrics.TotalBits += col.Metrics.TotalBits
+	out.Metrics.Merge(col.Metrics)
+	out.Memo.Add(col.Memo)
 	return out, nil
 }
 
@@ -108,6 +113,7 @@ func buildMaxISResult(g *graph.Graph, res *agg.Result, window int) (*MaxISResult
 		VirtualRounds: res.VirtualRounds,
 		Windows:       (res.VirtualRounds + window - 1) / max(window, 1),
 		Metrics:       res.Metrics,
+		Memo:          res.Memo,
 	}
 	for v, o := range res.Outputs {
 		b, ok := o.(bool)
@@ -169,14 +175,13 @@ func ColoringMWM2(g *graph.Graph, cfg simul.Config) (*MatchingResult, error) {
 		return nil, err
 	}
 	out.ColoringRounds = col.VirtualRounds
-	out.Metrics.Rounds += col.Metrics.Rounds
-	out.Metrics.Messages += col.Metrics.Messages
-	out.Metrics.TotalBits += col.Metrics.TotalBits
+	out.Metrics.Merge(col.Metrics)
+	out.Memo.Add(col.Memo)
 	return out, nil
 }
 
 func buildMatchingResult(g *graph.Graph, res *agg.Result) (*MatchingResult, error) {
-	out := &MatchingResult{VirtualRounds: res.VirtualRounds, Metrics: res.Metrics}
+	out := &MatchingResult{VirtualRounds: res.VirtualRounds, Metrics: res.Metrics, Memo: res.Memo}
 	for e, o := range res.Outputs {
 		b, ok := o.(bool)
 		if !ok {

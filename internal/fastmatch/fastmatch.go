@@ -29,6 +29,7 @@ import (
 	"math"
 	"slices"
 
+	"repro/internal/agg"
 	"repro/internal/graph"
 	"repro/internal/nmis"
 	"repro/internal/simul"
@@ -41,7 +42,11 @@ type Result struct {
 	// VirtualRounds is the algorithm's round complexity (virtual rounds on
 	// the line graph where applicable).
 	VirtualRounds int
-	Metrics       simul.Metrics
+	// Metrics totals the engine costs over every sub-run the algorithm
+	// performed (all buckets and refinement iterations for MWM2Eps); Memo
+	// totals the line runtime's exchange-folding hit/miss counts.
+	Metrics simul.Metrics
+	Memo    agg.MemoStats
 }
 
 // MCM2Eps computes a (2+ε)-approximate maximum cardinality matching by
@@ -56,7 +61,7 @@ func MCM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{VirtualRounds: res.VirtualRounds, Metrics: res.Metrics}
+	out := &Result{VirtualRounds: res.VirtualRounds, Metrics: res.Metrics, Memo: res.Memo}
 	for e, o := range res.Outcomes {
 		if o == nmis.InSet {
 			out.Edges = append(out.Edges, e)
@@ -109,6 +114,8 @@ func MWM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 		mate[v] = -1
 	}
 	totalRounds := 0
+	var metrics simul.Metrics
+	var memo agg.MemoStats
 	seed := cfg.Seed
 	for iter := 0; iter <= refinements; iter++ {
 		// Auxiliary gains relative to the current matching M: adding e and
@@ -152,11 +159,13 @@ func MWM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 		if err != nil {
 			return nil, err
 		}
-		chosen, rounds, err := bucketedConstApprox(sub, eps, k, cfg, seed+uint64(iter)*7919)
+		chosen, rounds, m, err := bucketedConstApprox(sub, eps, k, cfg, seed+uint64(iter)*7919)
 		if err != nil {
 			return nil, err
 		}
 		totalRounds += rounds + 2 // +2: computing gains and applying flips
+		metrics.Merge(m.Metrics)
+		memo.Add(m.Memo)
 		// Augment: add each chosen edge, dropping conflicting matched edges.
 		for _, subID := range chosen {
 			id := back[subID]
@@ -170,7 +179,7 @@ func MWM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 			mate[e.U], mate[e.V] = e.V, e.U
 		}
 	}
-	out := &Result{VirtualRounds: totalRounds}
+	out := &Result{VirtualRounds: totalRounds, Metrics: metrics, Memo: memo}
 	for v, u := range mate {
 		if u > v {
 			id, ok := g.EdgeID(v, u)
@@ -187,14 +196,23 @@ func MWM2Eps(g *graph.Graph, eps float64, k int, cfg simul.Config) (*Result, err
 	return out, nil
 }
 
+// telem accumulates engine metrics and memo counts over sub-runs.
+type telem struct {
+	Metrics simul.Metrics
+	Memo    agg.MemoStats
+}
+
 // bucketedConstApprox is step 1+2 of MWM2Eps: the bucketed O(1)-approximate
-// maximum weight matching of Lotker et al. It returns chosen edge IDs of g
-// and the simulated round cost (max over big buckets of the sum over their
-// small buckets).
-func bucketedConstApprox(g *graph.Graph, eps float64, k int, cfg simul.Config, seed uint64) ([]int, int, error) {
+// maximum weight matching of Lotker et al. It returns chosen edge IDs of g,
+// the simulated round cost (max over big buckets of the sum over their
+// small buckets), and the telemetry totals over every per-bucket sub-run
+// (message/bit counts sum even though rounds are a max: the messages are
+// all really sent, just in parallel).
+func bucketedConstApprox(g *graph.Graph, eps float64, k int, cfg simul.Config, seed uint64) ([]int, int, telem, error) {
 	const betaBucket = 8.0
+	var tel telem
 	if g.M() == 0 {
-		return nil, 0, nil
+		return nil, 0, tel, nil
 	}
 	// big bucket index i: weight ∈ [β^i, β^{i+1}).
 	big := make(map[int][]int)
@@ -246,9 +264,11 @@ func bucketedConstApprox(g *graph.Graph, eps float64, k int, cfg simul.Config, s
 			subCfg.Seed = seed ^ (uint64(i)<<32 + uint64(ki)*104729)
 			m, err := MCM2Eps(sub, eps, k, subCfg)
 			if err != nil {
-				return nil, 0, err
+				return nil, 0, tel, err
 			}
 			bucketRounds += m.VirtualRounds
+			tel.Metrics.Merge(m.Metrics)
+			tel.Memo.Add(m.Memo)
 			for _, subID := range m.Edges {
 				id := back[subID]
 				e := g.EdgeByID(id)
@@ -303,5 +323,5 @@ func bucketedConstApprox(g *graph.Graph, eps float64, k int, cfg simul.Config, s
 		used[e.U], used[e.V] = true, true
 		final = append(final, id)
 	}
-	return final, maxRounds + 1, nil
+	return final, maxRounds + 1, tel, nil
 }

@@ -59,6 +59,14 @@ func (c *Client) do(method, path string, in, out any) error {
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Requests that carry a trace ID (job and batch submissions) also send it
+	// as the TraceHeader header, so access logs and proxies see the trace
+	// without parsing bodies.
+	if t, ok := in.(interface{ TraceHeaderValue() string }); ok {
+		if id := t.TraceHeaderValue(); id != "" {
+			req.Header.Set(TraceHeader, id)
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -124,6 +132,29 @@ func (c *Client) Metrics() (MetricsResponse, error) {
 	var out MetricsResponse
 	err := c.do(http.MethodGet, "/metrics", nil, &out)
 	return out, err
+}
+
+// PromMetrics fetches /metrics in the Prometheus text exposition format by
+// negotiating text/plain. It works against both server modes.
+func (c *Client) PromMetrics() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: string(body)}
+	}
+	return string(body), nil
 }
 
 // GetCluster fetches the coordinator's health/placement view. Only

@@ -94,6 +94,7 @@ func (r *JobResult) ToResult() (*registry.Result, error) {
 		Weight:    r.Weight,
 		Uncovered: r.Uncovered,
 		Cost:      r.Cost,
+		Trace:     r.Trace,
 	}, nil
 }
 
@@ -107,6 +108,10 @@ func NewClusterHandler(b ClusterBackend) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsProm(r) {
+			writePromCluster(w, b.Metrics(), b.View())
+			return
+		}
 		writeJSON(w, http.StatusOK, b.Metrics())
 	})
 	mux.HandleFunc("GET /v1/algorithms", handleAlgorithms)

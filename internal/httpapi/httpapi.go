@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/service"
 	"repro/internal/stats"
@@ -53,6 +54,12 @@ const maxBodyBytes = 64 << 20
 // maxWait caps the ?wait= long-poll duration.
 const maxWait = 60 * time.Second
 
+// TraceHeader is the HTTP header carrying a request's trace ID. Clients may
+// set it instead of (or in addition to) the body's trace_id field — the body
+// wins when both are present — and every job/batch response echoes the
+// effective trace ID back in the same header.
+const TraceHeader = "X-Repro-Trace"
+
 // SubmitRequest is the POST /v1/jobs body. Exactly one of Graph (the
 // graph.Encode text format), GraphName (a stored graph) and Gen (a
 // generator spec) must be set.
@@ -63,7 +70,14 @@ type SubmitRequest struct {
 	Gen       *GenRequest    `json:"gen,omitempty"`
 	Params    *ParamsRequest `json:"params,omitempty"`
 	TimeoutMs int64          `json:"timeout_ms,omitempty"`
+	// TraceID propagates an existing trace (e.g. a coordinator-assigned cell
+	// trace) into the job; empty means the service mints one.
+	TraceID string `json:"trace_id,omitempty"`
 }
+
+// TraceHeaderValue reports the trace ID Client.do should send as the
+// TraceHeader header.
+func (r SubmitRequest) TraceHeaderValue() string { return r.TraceID }
 
 // GenRequest mirrors registry.GenParams with the generator name inline:
 // {"gen":"gnp","n":64,"p":0.1,"seed":1}.
@@ -134,6 +148,7 @@ type JobResponse struct {
 	ID          string     `json:"id"`
 	Algo        string     `json:"algo"`
 	State       string     `json:"state"`
+	TraceID     string     `json:"trace_id,omitempty"`
 	CacheHit    bool       `json:"cache_hit"`
 	Error       string     `json:"error,omitempty"`
 	Result      *JobResult `json:"result,omitempty"`
@@ -144,13 +159,14 @@ type JobResponse struct {
 
 // JobResult is the wire form of a registry.Result.
 type JobResult struct {
-	Kind      string        `json:"kind"`
-	Size      int           `json:"size"`
-	Weight    int64         `json:"weight"`
-	Uncovered int           `json:"uncovered,omitempty"`
-	InSet     []bool        `json:"in_set,omitempty"`
-	Edges     []int         `json:"edges,omitempty"`
-	Cost      registry.Cost `json:"cost"`
+	Kind      string          `json:"kind"`
+	Size      int             `json:"size"`
+	Weight    int64           `json:"weight"`
+	Uncovered int             `json:"uncovered,omitempty"`
+	InSet     []bool          `json:"in_set,omitempty"`
+	Edges     []int           `json:"edges,omitempty"`
+	Cost      registry.Cost   `json:"cost"`
+	Trace     *obs.RoundTrace `json:"trace,omitempty"`
 }
 
 // GraphRequest is the PUT /v1/graphs/{name} body: exactly one of Graph (the
@@ -187,7 +203,14 @@ type BatchRequest struct {
 	Seeds     []uint64    `json:"seeds,omitempty"`
 	Cells     []BatchCell `json:"cells,omitempty"`
 	TimeoutMs int64       `json:"timeout_ms,omitempty"`
+	// TraceID propagates an existing trace into the batch; cell i runs under
+	// its child trace "<trace>.<i>". Empty means the engine mints one.
+	TraceID string `json:"trace_id,omitempty"`
 }
+
+// TraceHeaderValue reports the trace ID Client.do should send as the
+// TraceHeader header.
+func (r BatchRequest) TraceHeaderValue() string { return r.TraceID }
 
 // BatchCell is one explicit (stored graph, algorithm, params) cell.
 type BatchCell struct {
@@ -202,6 +225,7 @@ type BatchCell struct {
 type BatchResponse struct {
 	ID         string          `json:"id"`
 	State      string          `json:"state"`
+	TraceID    string          `json:"trace_id,omitempty"`
 	Total      int             `json:"total"`
 	Submitted  int             `json:"submitted"`
 	Done       int             `json:"done"`
@@ -226,6 +250,7 @@ type BatchCellView struct {
 	Algo     string         `json:"algo"`
 	Params   *ParamsRequest `json:"params,omitempty"`
 	JobID    string         `json:"job_id,omitempty"`
+	TraceID  string         `json:"trace_id,omitempty"`
 	State    string         `json:"state"`
 	CacheHit bool           `json:"cache_hit,omitempty"`
 	Error    string         `json:"error,omitempty"`
@@ -235,15 +260,19 @@ type BatchCellView struct {
 // BatchGroup is the wire form of one aggregated grid cell: the done members
 // sharing (graph, algo, params modulo seed), summarized.
 type BatchGroup struct {
-	Graph  string         `json:"graph"`
-	Algo   string         `json:"algo"`
-	Params *ParamsRequest `json:"params,omitempty"`
-	Runs   int            `json:"runs"`
-	Done   int            `json:"done"`
-	Failed int            `json:"failed"`
-	Rounds stats.Summary  `json:"rounds"`
-	Weight stats.Summary  `json:"weight"`
-	Size   stats.Summary  `json:"size"`
+	Graph    string         `json:"graph"`
+	Algo     string         `json:"algo"`
+	Params   *ParamsRequest `json:"params,omitempty"`
+	Runs     int            `json:"runs"`
+	Done     int            `json:"done"`
+	Failed   int            `json:"failed"`
+	Rounds   stats.Summary  `json:"rounds"`
+	Weight   stats.Summary  `json:"weight"`
+	Size     stats.Summary  `json:"size"`
+	Messages stats.Summary  `json:"messages"`
+	// Trace sums the round traces of the group's done members; nil when no
+	// member carried one (telemetry disabled).
+	Trace *obs.RoundTrace `json:"trace,omitempty"`
 }
 
 // MetricsResponse merges the job-service and batch-engine counters into one
@@ -308,6 +337,10 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsProm(r) {
+			writePromEngine(w, svc.Metrics(), batches.Metrics(), svc.Telemetry())
+			return
+		}
 		writeJSON(w, http.StatusOK, MetricsResponse{svc.Metrics(), batches.Metrics()})
 	})
 	mux.HandleFunc("GET /v1/algorithms", handleAlgorithms)
@@ -492,11 +525,16 @@ func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, 
 		return
 	}
 
+	trace := req.TraceID
+	if trace == "" {
+		trace = r.Header.Get(TraceHeader)
+	}
 	v, err := svc.Submit(service.Request{
 		Algo:    req.Algo,
 		Graph:   g,
 		Params:  params,
 		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		TraceID: trace,
 	})
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
@@ -509,6 +547,7 @@ func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, 
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, err.Error())
 	default:
+		w.Header().Set(TraceHeader, v.TraceID)
 		writeJSON(w, http.StatusAccepted, toJobResponse(v))
 	}
 }
@@ -545,6 +584,10 @@ func handleSubmitBatch(b Backend, w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	trace := req.TraceID
+	if trace == "" {
+		trace = r.Header.Get(TraceHeader)
+	}
 	spec := service.BatchSpec{
 		Graphs:  req.Graphs,
 		Algos:   req.Algos,
@@ -554,6 +597,7 @@ func handleSubmitBatch(b Backend, w http.ResponseWriter, r *http.Request) {
 		MIS:     req.MIS,
 		Seeds:   req.Seeds,
 		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		TraceID: trace,
 	}
 	for i, c := range req.Cells {
 		params, err := c.Params.params()
@@ -570,6 +614,7 @@ func handleSubmitBatch(b Backend, w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, err.Error())
 	default:
+		w.Header().Set(TraceHeader, v.TraceID)
 		writeJSON(w, http.StatusAccepted, toBatchResponse(v, true))
 	}
 }
@@ -688,6 +733,7 @@ func toJobResponse(v service.JobView) JobResponse {
 		ID:          v.ID,
 		Algo:        v.Algo,
 		State:       string(v.State),
+		TraceID:     v.TraceID,
 		CacheHit:    v.CacheHit,
 		Error:       v.Error,
 		SubmittedAt: v.SubmittedAt,
@@ -716,6 +762,7 @@ func toJobResult(res *registry.Result) *JobResult {
 		InSet:     res.InSet,
 		Edges:     res.Edges,
 		Cost:      res.Cost,
+		Trace:     res.Trace,
 	}
 }
 
@@ -737,6 +784,7 @@ func toBatchResponse(v service.BatchView, detail bool) BatchResponse {
 	out := BatchResponse{
 		ID:        v.ID,
 		State:     string(v.State),
+		TraceID:   v.TraceID,
 		Total:     v.Total,
 		Submitted: v.Submitted,
 		Done:      v.Done,
@@ -759,6 +807,7 @@ func toBatchResponse(v service.BatchView, detail bool) BatchResponse {
 			Algo:     c.Algo,
 			Params:   ParamsWire(c.Params),
 			JobID:    c.JobID,
+			TraceID:  c.TraceID,
 			State:    string(c.State),
 			CacheHit: c.CacheHit,
 			Error:    c.Error,
@@ -767,15 +816,17 @@ func toBatchResponse(v service.BatchView, detail bool) BatchResponse {
 	}
 	for _, g := range v.Groups {
 		out.Groups = append(out.Groups, BatchGroup{
-			Graph:  g.Graph,
-			Algo:   g.Algo,
-			Params: ParamsWire(g.Params),
-			Runs:   g.Runs,
-			Done:   g.Done,
-			Failed: g.Failed,
-			Rounds: g.Rounds,
-			Weight: g.Weight,
-			Size:   g.Size,
+			Graph:    g.Graph,
+			Algo:     g.Algo,
+			Params:   ParamsWire(g.Params),
+			Runs:     g.Runs,
+			Done:     g.Done,
+			Failed:   g.Failed,
+			Rounds:   g.Rounds,
+			Weight:   g.Weight,
+			Size:     g.Size,
+			Messages: g.Messages,
+			Trace:    g.Trace,
 		})
 	}
 	return out

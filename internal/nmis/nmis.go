@@ -226,6 +226,9 @@ type Result struct {
 	Outcomes      []Outcome
 	VirtualRounds int
 	Metrics       simul.Metrics
+	// Memo carries the line runtime's exchange-folding hit/miss counts
+	// (zero under Run, which uses the direct runtime).
+	Memo agg.MemoStats
 }
 
 // InSetVector returns the indicator of set membership.
@@ -293,6 +296,7 @@ func toResult(res *agg.Result, n int) (*Result, error) {
 		Outcomes:      make([]Outcome, n),
 		VirtualRounds: res.VirtualRounds,
 		Metrics:       res.Metrics,
+		Memo:          res.Memo,
 	}
 	for i, o := range res.Outputs {
 		oc, ok := o.(Outcome)

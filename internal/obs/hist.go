@@ -1,0 +1,57 @@
+package obs
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus style:
+// bucket i counts observations ≤ Bounds[i], with an implicit +Inf bucket at
+// the end. It is deliberately not internally locked — the owner (the service
+// layer) already serializes observations under its own mutex, and a second
+// lock on the hot completion path would be pure overhead. Do not share an
+// unguarded Histogram across goroutines.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// HistSnapshot is an immutable copy of a histogram's state. Counts are
+// per-bucket (not yet cumulative); the Prometheus writer accumulates them.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}

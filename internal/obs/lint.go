@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintProm validates a Prometheus text exposition (format 0.0.4) document the
+// way promtool's check would, without the dependency: every line must be a
+// HELP/TYPE comment or a well-formed sample, each family must be typed before
+// its first sample, and each histogram series must have cumulative
+// non-decreasing buckets ending in le="+Inf" whose total matches its _count.
+// Tests use it as the promtool-free parse sanity gate for /metrics output.
+func LintProm(text string) error {
+	if text == "" {
+		return fmt.Errorf("empty exposition")
+	}
+	if !strings.HasSuffix(text, "\n") {
+		return fmt.Errorf("exposition must end with a newline")
+	}
+	types := make(map[string]string)
+	// histogram bookkeeping per series (family + non-le labels): the last
+	// cumulative bucket value seen, whether +Inf closed the series, and the
+	// _count value to reconcile against.
+	lastBucket := make(map[string]float64)
+	sawInf := make(map[string]float64)
+	counts := make(map[string]float64)
+	for ln, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		lineNo := ln + 1
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+			}
+			name, typ := fields[2], fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			types[name] = typ
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			if len(strings.Fields(line)) < 3 {
+				return fmt.Errorf("line %d: malformed HELP comment %q", lineNo, line)
+			}
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue // free-form comment
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family, suffix := histogramFamily(name, types)
+		if _, typed := types[family]; !typed {
+			return fmt.Errorf("line %d: sample %s before its TYPE comment", lineNo, name)
+		}
+		series := family + "{" + labelSignature(labels, "le") + "}"
+		switch suffix {
+		case "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %s without le label", lineNo, name)
+			}
+			if value < lastBucket[series] {
+				return fmt.Errorf("line %d: bucket le=%q of %s decreases (%v after %v)",
+					lineNo, le, series, value, lastBucket[series])
+			}
+			lastBucket[series] = value
+			if le == "+Inf" {
+				sawInf[series] = value
+			}
+		case "_count":
+			counts[series] = value
+		}
+	}
+	for series, total := range counts {
+		inf, ok := sawInf[series]
+		if !ok {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", series)
+		}
+		if inf != total {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", series, inf, total)
+		}
+	}
+	return nil
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// parseSample splits one sample line into name, labels and value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	labels := map[string]string{}
+	name := rest
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		if labels, err = parseLabels(rest[i+1 : end]); err != nil {
+			return "", nil, 0, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		name, rest = rest[:sp], rest[sp:]
+	} else {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	if !promNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name %q", name)
+	}
+	valueText := strings.TrimSpace(rest)
+	// A timestamp may follow the value; the repo never emits one, so a second
+	// field is an error here.
+	if strings.ContainsAny(valueText, " \t") {
+		return "", nil, 0, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parsePromValue(valueText)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return name, labels, v, nil
+}
+
+// parsePromValue parses a sample value; strconv.ParseFloat accepts the
+// format's +Inf/-Inf/NaN spellings directly.
+func parsePromValue(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return v, nil
+}
+
+// parseLabels parses `k="v",k2="v2"`, honoring the format's escapes.
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without =")
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !promNameRe.MatchString(key) {
+			return nil, fmt.Errorf("bad label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return nil, fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(s) == 0 {
+					return nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch s[0] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[0])
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[0], key)
+				}
+				s = s[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels[key] = val.String()
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected , after label %q", key)
+			}
+			s = s[1:]
+		}
+	}
+	return labels, nil
+}
+
+// histogramFamily strips a histogram sample suffix when (and only when) the
+// stripped name is a typed histogram family, returning the family and the
+// suffix ("" for plain samples).
+func histogramFamily(name string, types map[string]string) (family, suffix string) {
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, sfx); ok && types[base] == "histogram" {
+			return base, sfx
+		}
+	}
+	return name, ""
+}
+
+// labelSignature renders labels (minus the excluded key) sorted, for keying
+// one histogram series.
+func labelSignature(labels map[string]string, exclude string) string {
+	parts := make([]string, 0, len(labels))
+	for _, k := range SortedKeys(labels) {
+		if k == exclude {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	return strings.Join(parts, ",")
+}

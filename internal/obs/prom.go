@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition format 0.0.4 content
+// type, returned by /metrics when text exposition is negotiated.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromWriter renders metric families in the Prometheus text exposition
+// format 0.0.4. Families are rendered in the order first written; label sets
+// within a family are rendered in the order written (callers emit them
+// sorted, keeping output deterministic for golden tests). A PromWriter is a
+// single-goroutine value: build and flush it inside one handler call.
+type PromWriter struct {
+	b     strings.Builder
+	typed map[string]bool
+	err   error
+}
+
+// NewPromWriter returns an empty writer.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{typed: make(map[string]bool)}
+}
+
+// header emits the HELP/TYPE preamble once per family.
+func (w *PromWriter) header(name, help, typ string) {
+	if w.typed[name] {
+		return
+	}
+	w.typed[name] = true
+	fmt.Fprintf(&w.b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&w.b, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter emits one sample of a counter family. Labels alternate key, value
+// ("worker", "http://w1:8080"); values are escaped per the format.
+func (w *PromWriter) Counter(name, help string, v float64, labels ...string) {
+	w.header(name, help, "counter")
+	w.sample(name, "", labels, v)
+}
+
+// Gauge emits one sample of a gauge family.
+func (w *PromWriter) Gauge(name, help string, v float64, labels ...string) {
+	w.header(name, help, "gauge")
+	w.sample(name, "", labels, v)
+}
+
+// Histogram emits a full histogram family from a snapshot: cumulative `le`
+// buckets ending in +Inf, then _sum and _count.
+func (w *PromWriter) Histogram(name, help string, s HistSnapshot, labels ...string) {
+	w.header(name, help, "histogram")
+	var cum uint64
+	for i, bound := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		w.sample(name+"_bucket", formatBound(bound), labels, float64(cum))
+	}
+	if n := len(s.Bounds); n < len(s.Counts) {
+		cum += s.Counts[n]
+	}
+	w.sample(name+"_bucket", "+Inf", labels, float64(cum))
+	w.sample(name+"_sum", "", labels, s.Sum)
+	w.sample(name+"_count", "", labels, float64(s.Count))
+}
+
+// sample writes one line: name{labels,le} value.
+func (w *PromWriter) sample(name, le string, labels []string, v float64) {
+	if len(labels)%2 != 0 {
+		w.err = fmt.Errorf("obs: odd label list for %s", name)
+		return
+	}
+	w.b.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		w.b.WriteByte('{')
+		for i := 0; i < len(labels); i += 2 {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			// %q escapes backslash, double quote and newline exactly as the
+			// exposition format requires for label values.
+			fmt.Fprintf(&w.b, "%s=%q", labels[i], labels[i+1])
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				w.b.WriteByte(',')
+			}
+			fmt.Fprintf(&w.b, "le=%q", le)
+		}
+		w.b.WriteByte('}')
+	}
+	w.b.WriteByte(' ')
+	w.b.WriteString(formatValue(v))
+	w.b.WriteByte('\n')
+}
+
+// WriteTo flushes the rendered exposition to out.
+func (w *PromWriter) WriteTo(out io.Writer) (int64, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	n, err := io.WriteString(out, w.b.String())
+	return int64(n), err
+}
+
+// String returns the rendered exposition.
+func (w *PromWriter) String() string { return w.b.String() }
+
+// formatValue renders a sample value: integers exactly, floats in the
+// shortest round-trip form, and the special values per the format.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// formatBound renders an `le` bound (always finite here; +Inf is emitted
+// explicitly by Histogram).
+func formatBound(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 1, 64) // "10.0" style, matches promtool output
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// SortedKeys returns the keys of m sorted, for deterministic per-key
+// emission (e.g. per-worker gauges keyed by URL).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildExposition renders one document exercising every PromWriter feature:
+// counters, gauges, labels needing escapes, repeated families, and histograms
+// (populated and empty).
+func buildExposition() string {
+	w := NewPromWriter()
+	w.Counter("repro_test_events_total", "Events observed.", 42)
+	w.Gauge("repro_test_depth", "Current depth.", 3.5)
+	w.Gauge("repro_test_worker_up", "Per-worker health.", 1, "worker", "http://w1:8080")
+	w.Gauge("repro_test_worker_up", "", 0, "worker", `quo"te\back`+"\nnewline")
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	w.Histogram("repro_test_rounds", "Rounds per run.", h.Snapshot())
+	w.Histogram("repro_test_empty", "Never observed.", HistSnapshot{})
+	return w.String()
+}
+
+func TestPromWriterGolden(t *testing.T) {
+	got := buildExposition()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromWriterOutputLints(t *testing.T) {
+	if err := LintProm(buildExposition()); err != nil {
+		t.Fatalf("exposition fails its own lint: %v", err)
+	}
+}
+
+func TestLintPromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no trailing newline": "# TYPE a counter\na 1",
+		"untyped sample":      "a 1\n",
+		"bad value":           "# TYPE a counter\na one\n",
+		"bad name":            "# TYPE 9a counter\n9a 1\n",
+		"decreasing buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1.0\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1.0\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+		"unterminated label": "# TYPE a counter\na{x=\"y 1\n",
+	}
+	for name, doc := range cases {
+		if err := LintProm(doc); err == nil {
+			t.Errorf("%s: lint accepted malformed document %q", name, doc)
+		}
+	}
+}

@@ -29,11 +29,13 @@ import (
 	"slices"
 	"strings"
 
+	"repro/internal/agg"
 	"repro/internal/augment"
 	"repro/internal/core"
 	"repro/internal/fastmatch"
 	"repro/internal/graph"
 	"repro/internal/nmis"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/simul"
 )
@@ -244,6 +246,38 @@ type Result struct {
 	Weight    int64
 	Uncovered int
 	Cost      Cost
+	// Trace is the run's telemetry summary, attached to every live run
+	// while obs.Enabled() (nil otherwise, and nil on results deserialized
+	// from peers that ran with telemetry off). The engines count
+	// unconditionally; this field only gates what is *reported*, so
+	// toggling it cannot perturb an execution.
+	Trace *obs.RoundTrace
+}
+
+// traceOf assembles the RoundTrace for an engine-backed result, nil when
+// telemetry attachment is disabled. Rounds is floored at 1: a completed run
+// executed at least one (possibly communication-free) round in LOCAL-model
+// terms, so downstream consumers can rely on rounds > 0.
+func traceOf(virtual int, m simul.Metrics, memo agg.MemoStats) *obs.RoundTrace {
+	if !obs.Enabled() {
+		return nil
+	}
+	rounds := m.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	return &obs.RoundTrace{
+		Rounds:            rounds,
+		VirtualRounds:     virtual,
+		Messages:          int64(m.Messages),
+		Bits:              int64(m.TotalBits),
+		PeakRoundMessages: int64(m.PeakRoundMessages),
+		PeakRoundBits:     int64(m.PeakRoundBits),
+		PeakActive:        m.PeakActive,
+		CompactMoves:      int64(m.CompactMoves),
+		MemoHits:          memo.Hits,
+		MemoMisses:        memo.Misses,
+	}
 }
 
 // Size returns the independent-set cardinality or the matching size.
@@ -274,13 +308,32 @@ type Spec struct {
 // Validate normalizes p and reports whether the spec can run with it.
 func (s *Spec) Validate(p Params) error { return p.Normalized().validate() }
 
-// Run executes the algorithm on g with normalized params.
+// Run executes the algorithm on g with normalized params. Every successful
+// live run carries a Trace while telemetry is enabled: engine-backed specs
+// attach rich traces themselves; this wrapper backfills the rest (sequential
+// and non-simulated algorithms) from the Cost summary.
 func (s *Spec) Run(g *graph.Graph, p Params) (*Result, error) {
 	p = p.Normalized()
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	return s.run(g, p)
+	res, err := s.run(g, p)
+	if err != nil {
+		return nil, err
+	}
+	if res.Trace == nil && obs.Enabled() {
+		rounds := res.Cost.RealRounds
+		if rounds < 1 {
+			rounds = 1 // a completed sequential run counts as one LOCAL round
+		}
+		res.Trace = &obs.RoundTrace{
+			Rounds:        rounds,
+			VirtualRounds: res.Cost.Rounds,
+			Messages:      int64(res.Cost.Messages),
+			Bits:          int64(res.Cost.Bits),
+		}
+	}
+	return res, nil
 }
 
 var specs = []*Spec{
@@ -305,7 +358,8 @@ var specs = []*Spec{
 				return nil, err
 			}
 			return &Result{Kind: IS, InSet: res.InSet, Weight: res.Weight,
-				Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+				Cost:  costOf(res.VirtualRounds, res.Metrics),
+				Trace: traceOf(res.VirtualRounds, res.Metrics, res.Memo)}, nil
 		},
 	},
 	{
@@ -319,7 +373,8 @@ var specs = []*Spec{
 				return nil, err
 			}
 			return &Result{Kind: IS, InSet: res.InSet, Weight: res.Weight,
-				Cost: costOf(res.VirtualRounds+res.ColoringRounds, res.Metrics)}, nil
+				Cost:  costOf(res.VirtualRounds+res.ColoringRounds, res.Metrics),
+				Trace: traceOf(res.VirtualRounds+res.ColoringRounds, res.Metrics, res.Memo)}, nil
 		},
 	},
 	{
@@ -333,7 +388,8 @@ var specs = []*Spec{
 				return nil, err
 			}
 			return &Result{Kind: Matching, Edges: res.Edges, Weight: res.Weight,
-				Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+				Cost:  costOf(res.VirtualRounds, res.Metrics),
+				Trace: traceOf(res.VirtualRounds, res.Metrics, res.Memo)}, nil
 		},
 	},
 	{
@@ -347,7 +403,8 @@ var specs = []*Spec{
 				return nil, err
 			}
 			return &Result{Kind: Matching, Edges: res.Edges, Weight: res.Weight,
-				Cost: costOf(res.VirtualRounds+res.ColoringRounds, res.Metrics)}, nil
+				Cost:  costOf(res.VirtualRounds+res.ColoringRounds, res.Metrics),
+				Trace: traceOf(res.VirtualRounds+res.ColoringRounds, res.Metrics, res.Memo)}, nil
 		},
 	},
 	{
@@ -361,7 +418,8 @@ var specs = []*Spec{
 				return nil, err
 			}
 			return &Result{Kind: Matching, Edges: res.Edges, Weight: res.Weight,
-				Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+				Cost:  costOf(res.VirtualRounds, res.Metrics),
+				Trace: traceOf(res.VirtualRounds, res.Metrics, res.Memo)}, nil
 		},
 	},
 	{
@@ -375,7 +433,8 @@ var specs = []*Spec{
 				return nil, err
 			}
 			return &Result{Kind: Matching, Edges: res.Edges, Weight: res.Weight,
-				Cost: costOf(res.VirtualRounds, res.Metrics)}, nil
+				Cost:  costOf(res.VirtualRounds, res.Metrics),
+				Trace: traceOf(res.VirtualRounds, res.Metrics, res.Memo)}, nil
 		},
 	},
 	{
@@ -431,7 +490,8 @@ var specs = []*Spec{
 			in := res.InSetVector()
 			return &Result{Kind: NMIS, InSet: in, Weight: g.SetWeight(in),
 				Uncovered: res.UncoveredCount(),
-				Cost:      costOf(res.VirtualRounds, res.Metrics)}, nil
+				Cost:      costOf(res.VirtualRounds, res.Metrics),
+				Trace:     traceOf(res.VirtualRounds, res.Metrics, res.Memo)}, nil
 		},
 	},
 }

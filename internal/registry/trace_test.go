@@ -1,0 +1,61 @@
+package registry
+
+// Telemetry must be observationally free: the obs.Enabled switch gates only
+// Trace *attachment*, never the computation, so disabling it cannot change a
+// single output bit. This test enforces that for every registered algorithm,
+// and pins the attachment contract itself — every live run with telemetry on
+// carries a trace with at least one round and the run's message totals.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+func TestTelemetryOnOffBitIdenticalForAllAlgorithms(t *testing.T) {
+	g := graph.GNP(40, 0.15, rng.New(21))
+	graph.AssignUniformNodeWeights(g, 64, rng.New(22))
+	graph.AssignUniformEdgeWeights(g, 64, rng.New(23))
+
+	for _, spec := range All() {
+		t.Run(spec.Name, func(t *testing.T) {
+			run := func(enabled bool) *Result {
+				prev := obs.SetEnabled(enabled)
+				defer obs.SetEnabled(prev)
+				res, err := spec.Run(g, Params{Seed: 5})
+				if err != nil {
+					t.Fatalf("telemetry=%v: %v", enabled, err)
+				}
+				return res
+			}
+			on := run(true)
+			off := run(false)
+
+			if on.Trace == nil {
+				t.Fatal("telemetry-on run carries no trace")
+			}
+			if on.Trace.Rounds <= 0 {
+				t.Fatalf("trace rounds = %d, want > 0", on.Trace.Rounds)
+			}
+			if int(on.Trace.Messages) != on.Cost.Messages {
+				t.Fatalf("trace messages %d != cost messages %d", on.Trace.Messages, on.Cost.Messages)
+			}
+			if int(on.Trace.Bits) != on.Cost.Bits {
+				t.Fatalf("trace bits %d != cost bits %d", on.Trace.Bits, on.Cost.Bits)
+			}
+			if off.Trace != nil {
+				t.Fatal("telemetry-off run still attached a trace")
+			}
+
+			// Everything except the trace pointer must be bit-identical.
+			onStripped := *on
+			onStripped.Trace = nil
+			if !reflect.DeepEqual(&onStripped, off) {
+				t.Fatalf("telemetry changed the result:\non:  %+v\noff: %+v", &onStripped, off)
+			}
+		})
+	}
+}

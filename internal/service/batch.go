@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -88,6 +89,10 @@ type BatchSpec struct {
 	Cells []BatchCell
 	// Timeout bounds each member job (0 = the service default).
 	Timeout time.Duration
+	// TraceID identifies the batch across tiers; cell i runs under the
+	// derived child ID obs.ChildTraceID(TraceID, i). Empty means the engine
+	// generates one at submit.
+	TraceID string
 }
 
 // Expand returns the deterministic cell expansion of the spec: explicit
@@ -144,7 +149,11 @@ func orZero[T any](xs []T) []T {
 
 // BatchCellView is the snapshot of one member run.
 type BatchCellView struct {
-	Index    int
+	Index int
+	// TraceID is the cell's derived trace ID
+	// (obs.ChildTraceID(batch TraceID, Index)); it prefixes every log line
+	// and worker-side job the cell produced, across retries.
+	TraceID  string
 	Graph    string
 	Algo     string
 	Params   registry.Params
@@ -165,15 +174,21 @@ type BatchGroup struct {
 	Runs   int
 	Done   int
 	Failed int
-	// Rounds, Weight and Size summarize the done members.
-	Rounds stats.Summary
-	Weight stats.Summary
-	Size   stats.Summary
+	// Rounds, Weight and Size summarize the done members; Messages
+	// summarizes their total delivered-message counts.
+	Rounds   stats.Summary
+	Weight   stats.Summary
+	Size     stats.Summary
+	Messages stats.Summary
+	// Trace folds the done members' RoundTraces into one group summary
+	// (counts sum, peaks max); nil when no member carried a trace.
+	Trace *obs.RoundTrace
 }
 
 // BatchView is an immutable snapshot of a batch.
 type BatchView struct {
 	ID         string
+	TraceID    string
 	State      BatchState
 	Total      int
 	Submitted  int // members handed to the job engine so far
@@ -198,6 +213,7 @@ type memberState struct {
 
 type batch struct {
 	id      string
+	traceID string
 	eng     *Batches
 	timeout time.Duration
 
@@ -327,8 +343,13 @@ func (b *Batches) Submit(spec BatchSpec) (BatchView, error) {
 		return BatchView{}, err
 	}
 
+	trace := spec.TraceID
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
 	bt := &batch{
 		eng:      b,
+		traceID:  trace,
 		timeout:  spec.Timeout,
 		cells:    make([]memberState, len(cells)),
 		state:    BatchRunning,
@@ -392,6 +413,7 @@ func (b *Batches) feed(bt *batch, graphs map[string]*graph.Graph) {
 			Graph:   graphs[cell.Graph],
 			Params:  cell.Params,
 			Timeout: bt.timeout,
+			TraceID: obs.ChildTraceID(bt.traceID, i),
 		}
 		i := i
 		var v JobView
@@ -588,6 +610,7 @@ func (bt *batch) summary() BatchView {
 	defer bt.mu.Unlock()
 	return BatchView{
 		ID:         bt.id,
+		TraceID:    bt.traceID,
 		State:      bt.state,
 		Total:      len(bt.cells),
 		Submitted:  bt.submitted,
@@ -605,6 +628,7 @@ func (bt *batch) view() BatchView {
 	defer bt.mu.Unlock()
 	v := BatchView{
 		ID:         bt.id,
+		TraceID:    bt.traceID,
 		State:      bt.state,
 		Total:      len(bt.cells),
 		Submitted:  bt.submitted,
@@ -620,6 +644,7 @@ func (bt *batch) view() BatchView {
 		ms := &bt.cells[i]
 		v.Cells[i] = BatchCellView{
 			Index:    i,
+			TraceID:  obs.ChildTraceID(bt.traceID, i),
 			Graph:    ms.cell.Graph,
 			Algo:     ms.cell.Algo,
 			Params:   ms.cell.Params,
@@ -648,8 +673,10 @@ func (bt *batch) view() BatchView {
 // multi-worker batches aggregate exactly like single-node ones.
 func GroupCells(cells []BatchCellView) []BatchGroup {
 	type acc struct {
-		group                *BatchGroup
-		rounds, weight, size []float64
+		group                          *BatchGroup
+		rounds, weight, size, messages []float64
+		trace                          obs.RoundTrace
+		traced                         bool
 	}
 	var order []string
 	accs := make(map[string]*acc)
@@ -670,6 +697,11 @@ func GroupCells(cells []BatchCellView) []BatchGroup {
 			a.rounds = append(a.rounds, float64(c.Result.Cost.Rounds))
 			a.weight = append(a.weight, float64(c.Result.Weight))
 			a.size = append(a.size, float64(c.Result.Size()))
+			a.messages = append(a.messages, float64(c.Result.Cost.Messages))
+			if t := c.Result.Trace; t != nil {
+				a.trace.Add(*t)
+				a.traced = true
+			}
 		case Failed:
 			a.group.Failed++
 		}
@@ -680,6 +712,11 @@ func GroupCells(cells []BatchCellView) []BatchGroup {
 		a.group.Rounds = stats.Summarize(a.rounds)
 		a.group.Weight = stats.Summarize(a.weight)
 		a.group.Size = stats.Summarize(a.size)
+		a.group.Messages = stats.Summarize(a.messages)
+		if a.traced {
+			t := a.trace
+			a.group.Trace = &t
+		}
 		out = append(out, *a.group)
 	}
 	return out

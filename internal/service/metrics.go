@@ -1,8 +1,12 @@
 package service
 
 import (
+	"math"
 	"slices"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/registry"
 )
 
 // latencyWindow bounds how many recent job durations feed the percentile
@@ -47,6 +51,78 @@ type counters struct {
 	latencies                                      []time.Duration // ring buffer
 	latNext                                        int
 	latFull                                        bool
+	// Engine-telemetry aggregates over live (non-cached) completions, fed
+	// from each result's RoundTrace. They back the Prometheus exposition
+	// only and are deliberately kept out of the JSON Metrics struct, which
+	// stays byte-stable for existing clients.
+	engineRounds   *obs.Histogram
+	engineMessages *obs.Histogram
+	engineObserved uint64
+	engineRoundsT  uint64 // Σ rounds
+	engineMsgsT    uint64 // Σ messages
+	engineBitsT    uint64 // Σ payload bits
+	memoHits       uint64
+	memoMisses     uint64
+}
+
+// recordEngine folds one live run's trace into the engine aggregates.
+func (c *counters) recordEngine(t *obs.RoundTrace) {
+	if t == nil {
+		return
+	}
+	if c.engineRounds == nil {
+		c.engineRounds = obs.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+		c.engineMessages = obs.NewHistogram(10, 100, 1e3, 1e4, 1e5, 1e6, 1e7)
+	}
+	c.engineRounds.Observe(float64(t.Rounds))
+	c.engineMessages.Observe(float64(t.Messages))
+	c.engineObserved++
+	c.engineRoundsT += uint64(t.Rounds)
+	c.engineMsgsT += uint64(t.Messages)
+	c.engineBitsT += uint64(t.Bits)
+	c.memoHits += t.MemoHits
+	c.memoMisses += t.MemoMisses
+}
+
+// EngineTelemetry is a snapshot of the engine-telemetry aggregates, consumed
+// by the Prometheus exposition.
+type EngineTelemetry struct {
+	// Rounds and Messages are per-run distribution snapshots (zero-valued
+	// until the first live completion).
+	Rounds   obs.HistSnapshot
+	Messages obs.HistSnapshot
+	// Observed counts the live completions folded in; the totals sum their
+	// traces.
+	Observed      uint64
+	RoundsTotal   uint64
+	MessagesTotal uint64
+	BitsTotal     uint64
+	MemoHits      uint64
+	MemoMisses    uint64
+}
+
+func (c *counters) engineTelemetry() EngineTelemetry {
+	t := EngineTelemetry{
+		Observed:      c.engineObserved,
+		RoundsTotal:   c.engineRoundsT,
+		MessagesTotal: c.engineMsgsT,
+		BitsTotal:     c.engineBitsT,
+		MemoHits:      c.memoHits,
+		MemoMisses:    c.memoMisses,
+	}
+	if c.engineRounds != nil {
+		t.Rounds = c.engineRounds.Snapshot()
+		t.Messages = c.engineMessages.Snapshot()
+	}
+	return t
+}
+
+// traceOf extracts the trace a result carries, nil-safe on both levels.
+func traceOf(res *registry.Result) *obs.RoundTrace {
+	if res == nil {
+		return nil
+	}
+	return res.Trace
 }
 
 func (c *counters) recordLatency(d time.Duration) {
@@ -74,7 +150,17 @@ func (c *counters) percentiles() (p50, p90, p99 float64) {
 	copy(xs, c.latencies[:n])
 	slices.Sort(xs)
 	at := func(q float64) float64 {
-		idx := int(q * float64(n-1))
+		// Nearest-rank: the q-th percentile is the smallest sample with at
+		// least ⌈q·n⌉ samples ≤ it. The previous int(q·(n-1)) truncation
+		// floor-biased the high percentiles on small windows (p99 of 10
+		// samples picked index 8, not the maximum).
+		idx := int(math.Ceil(q*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
 		return float64(xs[idx]) / float64(time.Millisecond)
 	}
 	return at(0.50), at(0.90), at(0.99)

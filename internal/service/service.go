@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -100,11 +101,16 @@ type Request struct {
 	Params registry.Params
 	// Timeout bounds the execution (0 = Config.DefaultTimeout).
 	Timeout time.Duration
+	// TraceID identifies the job across tiers (logs, HTTP headers, batch
+	// cells). Empty means the service generates one at submit, so every
+	// job is traceable whether or not the client participates.
+	TraceID string
 }
 
 // JobView is an immutable snapshot of a job.
 type JobView struct {
 	ID          string
+	TraceID     string
 	Algo        string
 	Params      registry.Params
 	State       State
@@ -118,6 +124,7 @@ type JobView struct {
 
 type job struct {
 	id       string
+	traceID  string
 	spec     *registry.Spec
 	g        *graph.Graph
 	params   registry.Params
@@ -235,8 +242,13 @@ func (s *Service) submit(req Request, fromBatch bool, notify func(JobView)) (Job
 		return JobView{}, ErrClosed
 	}
 	s.nextID++
+	trace := req.TraceID
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
 	jb := &job{
 		id:        fmt.Sprintf("j%08d", s.nextID),
+		traceID:   trace,
 		spec:      spec,
 		g:         req.Graph,
 		params:    params,
@@ -359,6 +371,15 @@ func (s *Service) Metrics() Metrics {
 	return m
 }
 
+// Telemetry returns a snapshot of the engine-telemetry aggregates (round
+// and message histograms over live completions). It backs the Prometheus
+// exposition and is kept out of the JSON Metrics struct on purpose.
+func (s *Service) Telemetry() EngineTelemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.met.engineTelemetry()
+}
+
 // Close stops accepting submissions, waits for queued and running jobs to
 // drain, and releases the worker pool.
 func (s *Service) Close() {
@@ -432,6 +453,10 @@ func (s *Service) runJob(jb *job) {
 			jb.result = out.res
 			s.cache.put(jb.cacheKey, out.res)
 			s.met.completed++
+			// Live completion: fold the run's trace into the engine
+			// aggregates (cache hits replay an old trace and are skipped —
+			// they did no engine work).
+			s.met.recordEngine(traceOf(out.res))
 		}
 		s.markTerminal(jb)
 		if out.err == nil {
@@ -473,6 +498,7 @@ func (s *Service) runJob(jb *job) {
 func (j *job) view() JobView {
 	return JobView{
 		ID:          j.id,
+		TraceID:     j.traceID,
 		Algo:        j.spec.Name,
 		Params:      j.params,
 		State:       j.state,

@@ -136,13 +136,44 @@ type Config struct {
 // ErrRoundLimit is returned (wrapped) when a run exceeds Config.MaxRounds.
 var ErrRoundLimit = errors.New("simul: round limit exceeded")
 
-// Metrics aggregates communication costs of a run.
+// Metrics aggregates communication costs of a run. The per-round peak
+// fields are the quantities ROADMAP's scaling items budget against: total
+// counts say how much work a run did, peaks say how wide its widest round
+// was. All counters are accumulated unconditionally — they live in the
+// per-shard arenas and cost O(1) per round, so there is no observation
+// switch that could perturb a run.
 type Metrics struct {
 	Rounds         int // synchronous rounds executed
 	Messages       int // total messages delivered
 	TotalBits      int // Σ message bits
 	MaxMessageBits int // largest single message
 	BitBudget      int // per-message budget enforced (0 in LOCAL)
+	// PeakRoundMessages/PeakRoundBits are the largest single-round message
+	// count and payload volume; PeakActive is the most nodes stepped in any
+	// round; CompactMoves counts inbox envelope slots the compactor
+	// relocated (an arena-churn proxy).
+	PeakRoundMessages int
+	PeakRoundBits     int
+	PeakActive        int
+	CompactMoves      int
+}
+
+// Merge folds o into m for algorithms assembled from several engine runs
+// (e.g. a coloring phase followed by a selection phase): counts sum, peaks
+// and the message-size maximum take the max, and BitBudget keeps m's value
+// when set (the budget is a per-run constant, not a cost).
+func (m *Metrics) Merge(o Metrics) {
+	m.Rounds += o.Rounds
+	m.Messages += o.Messages
+	m.TotalBits += o.TotalBits
+	m.MaxMessageBits = max(m.MaxMessageBits, o.MaxMessageBits)
+	if m.BitBudget == 0 {
+		m.BitBudget = o.BitBudget
+	}
+	m.PeakRoundMessages = max(m.PeakRoundMessages, o.PeakRoundMessages)
+	m.PeakRoundBits = max(m.PeakRoundBits, o.PeakRoundBits)
+	m.PeakActive = max(m.PeakActive, o.PeakActive)
+	m.CompactMoves += o.CompactMoves
 }
 
 // RoundStats is one entry of the optional per-round log.
@@ -298,12 +329,15 @@ func (c *Context) Halt(output any) {
 }
 
 // shard is one worker's contiguous node range plus its per-round counters.
+// The counters are the engine's telemetry arena: sized once, written only by
+// the owning worker, folded into Metrics at the round barrier.
 type shard struct {
 	lo, hi   int // node range [lo, hi)
 	active   int
 	messages int
 	bits     int
 	maxBits  int
+	moves    int      // inbox slots relocated by compact
 	_        [16]byte // pad to a cache line so counters don't false-share
 }
 
@@ -464,11 +498,15 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 			if s.maxBits > res.Metrics.MaxMessageBits {
 				res.Metrics.MaxMessageBits = s.maxBits
 			}
-			s.active, s.messages, s.bits, s.maxBits = 0, 0, 0, 0
+			res.Metrics.CompactMoves += s.moves
+			s.active, s.messages, s.bits, s.maxBits, s.moves = 0, 0, 0, 0, 0
 		}
 		res.Metrics.Rounds++
 		res.Metrics.Messages += roundMsgs
 		res.Metrics.TotalBits += roundBits
+		res.Metrics.PeakRoundMessages = max(res.Metrics.PeakRoundMessages, roundMsgs)
+		res.Metrics.PeakRoundBits = max(res.Metrics.PeakRoundBits, roundBits)
+		res.Metrics.PeakActive = max(res.Metrics.PeakActive, active)
 		if cfg.RecordRoundLog {
 			res.RoundLog = append(res.RoundLog, RoundStats{
 				Round: e.round, Active: active, Messages: roundMsgs, Bits: roundBits,
@@ -541,6 +579,7 @@ func (e *engine) compact(s *shard) {
 				if j != w {
 					seg[w] = seg[j]
 					seg[j] = Envelope{}
+					s.moves++
 				}
 				w++
 			}

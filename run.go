@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -19,6 +20,9 @@ type RunResult struct {
 	Size      int
 	Uncovered int
 	Cost      CostStats
+	// Trace is the run's round-telemetry summary (rounds, messages, peaks,
+	// memo traffic); nil when telemetry attachment is disabled.
+	Trace *obs.RoundTrace
 }
 
 // Run executes the named algorithm on g. It is the string-keyed twin of the
@@ -49,6 +53,7 @@ func Run(algo string, g *Graph, opts ...Option) (*RunResult, error) {
 		Size:      res.Size(),
 		Uncovered: res.Uncovered,
 		Cost:      costFromRegistry(res.Cost),
+		Trace:     res.Trace,
 	}, nil
 }
 
