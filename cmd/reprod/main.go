@@ -24,10 +24,11 @@
 //	                           Accept: text/plain)
 //
 // Logs are structured (log/slog); -log selects text or json output. In
-// coordinator mode the dispatch path emits span events (cell_dispatch,
-// cell_retry, cell_replace, cell_straggler, worker_down, worker_revived)
-// tagged with batch and cell trace IDs. -pprof mounts net/http/pprof under
-// /debug/pprof/ in both modes.
+// coordinator mode the dispatch path emits span events (group_dispatch,
+// group_retry, group_replace, group_straggler, group_hedge, worker_down,
+// worker_revived — plus the cell_* equivalents under -percell) tagged with
+// batch and cell trace IDs. -pprof mounts net/http/pprof under /debug/pprof/
+// in both modes.
 //
 // Example:
 //
@@ -39,9 +40,14 @@
 // Cluster-coordinator mode: -workers http://host1:8080,http://host2:8080
 // serves the same /v1/graphs and /v1/batches wire format but shards batch
 // cells across the named reprod workers (internal/cluster): graphs are
-// consistent-hashed onto workers by fingerprint, cells retry on worker
-// failure, and GET /v1/cluster reports fleet health and placement.
-// Single-job endpoints are not served in coordinator mode.
+// consistent-hashed onto workers by fingerprint and uploaded once each in
+// the compact binary codec, same-parameter cells ride together as job
+// groups of -groupsize seeds (one lookup, one submit, one poll stream per
+// group — see -percell for the legacy one-job-per-cell path), groups retry
+// on worker failure, -hedge speculatively re-dispatches groups that run past
+// -straggler (first result wins, duplicates discarded), and GET /v1/cluster
+// reports fleet health and placement. Single-job endpoints are not served in
+// coordinator mode.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections and drains in-flight requests; single-node mode then drains
@@ -117,7 +123,10 @@ func main() {
 	probe := flag.Duration("probe", 5*time.Second, "coordinator mode: worker health-probe interval (0 disables)")
 	poll := flag.Duration("poll", 20*time.Millisecond, "coordinator mode: job poll interval against workers")
 	logFormat := flag.String("log", "text", "structured log format: text or json")
-	straggler := flag.Duration("straggler", 0, "coordinator mode: log a straggler span event once a cell runs this long (0 disables)")
+	straggler := flag.Duration("straggler", 0, "coordinator mode: straggler threshold — log a span event once a dispatched group runs this long, and hedge it under -hedge (0 = adaptive 3×p99)")
+	hedge := flag.Bool("hedge", false, "coordinator mode: speculatively re-dispatch straggling groups to a second worker; first result wins")
+	groupSize := flag.Int("groupsize", 16, "coordinator mode: max seeds per dispatched job group")
+	perCell := flag.Bool("percell", false, "coordinator mode: dispatch one job per cell instead of grouped job groups (benchmark baseline)")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -131,8 +140,8 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	inert := map[bool][]string{
-		true:  {"pool", "queue", "cache", "timeout"},    // single-node engine knobs
-		false: {"window", "probe", "poll", "straggler"}, // coordinator knobs
+		true:  {"pool", "queue", "cache", "timeout"},                                     // single-node engine knobs
+		false: {"window", "probe", "poll", "straggler", "hedge", "groupsize", "percell"}, // coordinator knobs
 	}
 	for _, name := range inert[*fleet != ""] {
 		if set[name] {
@@ -153,6 +162,9 @@ func main() {
 			MaxCells:       *maxCells,
 			Logger:         logger,
 			StragglerAfter: *straggler,
+			Hedge:          *hedge,
+			GroupSize:      *groupSize,
+			PerCell:        *perCell,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http/httptest"
@@ -49,7 +50,7 @@ func main() {
 
 	client, shutdown := newClient(*server)
 	defer shutdown()
-	if err := sweep.Execute(client, *exp, p); err != nil {
+	if err := sweep.Execute(context.Background(), client, *exp, p); err != nil {
 		log.Fatal(err)
 	}
 	if err := p.CSV(os.Stdout); err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -31,17 +32,18 @@ func main() {
 	ts := httptest.NewServer(httpapi.NewHandler(svc, st, batches))
 	defer ts.Close()
 	c := httpapi.NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
 
 	// Register one graph by generator spec. Re-registering identical
 	// content — under this or any other name — is deduplicated.
-	info, err := c.PutGraphGen("demo", httpapi.GenRequest{
+	info, err := c.PutGraphGen(ctx, "demo", httpapi.GenRequest{
 		Gen: "gnp", N: 96, P: 0.06, Seed: 42, MaxW: 64,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stored %q: n=%d m=%d fingerprint=%s\n", info.Name, info.Nodes, info.Edges, info.Fingerprint)
-	alias, err := c.PutGraphGen("demo-alias", httpapi.GenRequest{
+	alias, err := c.PutGraphGen(ctx, "demo-alias", httpapi.GenRequest{
 		Gen: "gnp", N: 96, P: 0.06, Seed: 42, MaxW: 64,
 	})
 	if err != nil {
@@ -51,7 +53,7 @@ func main() {
 
 	// One batch: 2 matching algorithms × 2 ε values × 3 seeds = 12 jobs,
 	// expanded server-side and executed on the shared worker pool.
-	b, err := c.SubmitBatch(httpapi.BatchRequest{
+	b, err := c.SubmitBatch(ctx, httpapi.BatchRequest{
 		Graphs: []string{"demo"},
 		Algos:  []string{"fastmcm", "proposal"},
 		Eps:    []float64{0.5, 1},
@@ -63,7 +65,7 @@ func main() {
 	fmt.Printf("batch %s: %d cells\n", b.ID, b.Total)
 
 	// Long-poll until terminal; the server holds the request open.
-	fin, err := c.WaitBatch(b.ID, 5*time.Minute)
+	fin, err := c.WaitBatch(ctx, b.ID, 5*time.Minute)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func main() {
 	// A graph pinned by a running batch refuses deletion with 409; after
 	// the batch it deletes cleanly.
 	for _, name := range []string{"demo", "demo-alias"} {
-		if err := c.DeleteGraph(name); err != nil {
+		if err := c.DeleteGraph(ctx, name); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -19,14 +19,16 @@ import (
 // cmember is the coordinator-side state of one batch cell.
 type cmember struct {
 	cell     service.BatchCell
-	jobRef   string // "w<id>:<jobID>" once dispatched
+	jobRef   string // "w<id>:<jobID or groupID>" once dispatched
 	state    service.State
 	cacheHit bool
 	err      string
 	result   *registry.Result
-	// w and jobID name the in-flight dispatch target for cancel fan-out.
+	// w and jobID name the in-flight dispatch target for cancel fan-out;
+	// group distinguishes a job-group target from a single job.
 	w     *worker
 	jobID string
+	group bool
 }
 
 // cbatch is one sharded batch.
@@ -115,17 +117,30 @@ func (c *Coordinator) SubmitBatch(spec service.BatchSpec) (service.BatchView, er
 	return bt.view(), nil
 }
 
-// run dispatches every cell concurrently (each gated by its worker's window)
-// and finalizes the batch once all cells are terminal.
+// run dispatches the batch — grouped by default, one job per cell under
+// Config.PerCell — and finalizes it once all cells are terminal. Either way
+// each dispatch unit runs its own goroutine gated by the target worker's
+// window.
 func (c *Coordinator) run(bt *cbatch) {
 	defer c.runWG.Done()
 	var wg sync.WaitGroup
-	wg.Add(len(bt.cells))
-	for i := range bt.cells {
-		go func(i int) {
-			defer wg.Done()
-			c.runCell(bt, i)
-		}(i)
+	if c.cfg.PerCell {
+		wg.Add(len(bt.cells))
+		for i := range bt.cells {
+			go func(i int) {
+				defer wg.Done()
+				c.runCell(bt, i)
+			}(i)
+		}
+	} else {
+		groups := c.groupBatch(bt)
+		wg.Add(len(groups))
+		for _, dg := range groups {
+			go func(dg *dgroup) {
+				defer wg.Done()
+				c.runGroup(bt, dg)
+			}(dg)
+		}
 	}
 	wg.Wait()
 
@@ -262,7 +277,10 @@ func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph,
 	c.cellsDispatched.Add(1)
 
 	cell := bt.cells[i].cell
-	if err := c.ensureGraph(w, cell.Graph, pg); err != nil {
+	if err := c.ensureGraph(bt.ctx, w, cell.Graph, pg); err != nil {
+		if bt.ctx.Err() != nil {
+			return cellOutcome{state: service.Canceled}, nil
+		}
 		// Same triage as the submit path: a deterministic 4xx (e.g. an
 		// unrepairable stale binding) fails the cell, it does not indict
 		// the worker; transport errors and 5xx do.
@@ -287,9 +305,12 @@ func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph,
 	backoff := c.cfg.PollInterval
 	for uploads := 0; ; {
 		var err error
-		jr, err = w.client.SubmitJob(req)
+		jr, err = w.client.SubmitJob(bt.ctx, req)
 		if err == nil {
 			break
+		}
+		if bt.ctx.Err() != nil {
+			return cellOutcome{state: service.Canceled}, nil
 		}
 		var apiErr *httpapi.APIError
 		if !errors.As(err, &apiErr) || apiErr.Status >= http.StatusInternalServerError {
@@ -314,7 +335,10 @@ func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph,
 			w.mu.Lock()
 			delete(w.uploaded, cell.Graph)
 			w.mu.Unlock()
-			if err := c.ensureGraph(w, cell.Graph, pg); err != nil {
+			if err := c.ensureGraph(bt.ctx, w, cell.Graph, pg); err != nil {
+				if bt.ctx.Err() != nil {
+					return cellOutcome{state: service.Canceled}, nil
+				}
 				return cellOutcome{}, err
 			}
 			continue
@@ -358,12 +382,16 @@ func (c *Coordinator) runOnWorker(bt *cbatch, i int, w *worker, pg *pinnedGraph,
 		}
 		select {
 		case <-bt.ctx.Done():
-			_, _ = w.client.CancelJob(jr.ID)
+			_, _ = w.client.CancelJob(context.Background(), jr.ID)
 			return cellOutcome{state: service.Canceled}, nil
 		case <-time.After(c.cfg.PollInterval):
 		}
-		jv, err := w.client.GetJob(jr.ID)
+		jv, err := w.client.GetJob(bt.ctx, jr.ID)
 		if err != nil {
+			if bt.ctx.Err() != nil {
+				_, _ = w.client.CancelJob(context.Background(), jr.ID)
+				return cellOutcome{state: service.Canceled}, nil
+			}
 			return cellOutcome{}, err
 		}
 		jr = jv
@@ -379,6 +407,432 @@ func isQueueFull(err error) bool {
 		return false
 	}
 	return apiErr.Code == httpapi.CodeQueueFull || strings.Contains(apiErr.Message, "queue is full")
+}
+
+// dgroup is one grouped dispatch unit: up to Config.GroupSize cells sharing
+// a graph and a seed-independent parameter point, shipped to a worker as a
+// single job group (one graph lookup, one submit, one poll stream).
+type dgroup struct {
+	idxs      []int    // batch cell indices, in expansion order
+	seeds     []uint64 // aligned with idxs
+	graphName string
+	algo      string
+	base      registry.Params
+}
+
+// groupBatch partitions a batch's cells into dispatch groups: cells agreeing
+// on graph and on every seed-independent parameter (the same key as
+// service.GroupCells and the worker's result grouping) ride together,
+// chunked at Config.GroupSize so one straggling group cannot serialize an
+// entire seed axis.
+func (c *Coordinator) groupBatch(bt *cbatch) []*dgroup {
+	var out []*dgroup
+	open := make(map[string]*dgroup)
+	for i := range bt.cells {
+		cell := bt.cells[i].cell
+		p := cell.Params
+		p.Seed = 0
+		key := cell.Graph + "|" + cell.Algo
+		if spec, ok := registry.Get(cell.Algo); ok {
+			key = cell.Graph + "|" + spec.CacheKey(p)
+		}
+		g := open[key]
+		if g == nil || len(g.idxs) >= c.cfg.GroupSize {
+			g = &dgroup{graphName: cell.Graph, algo: cell.Algo, base: cell.Params}
+			open[key] = g
+			out = append(out, g)
+		}
+		g.idxs = append(g.idxs, i)
+		g.seeds = append(g.seeds, cell.Params.Seed)
+	}
+	return out
+}
+
+func canceledOutcomes(dg *dgroup) []cellOutcome {
+	outs := make([]cellOutcome, len(dg.idxs))
+	for i := range outs {
+		outs[i] = cellOutcome{state: service.Canceled}
+	}
+	return outs
+}
+
+func failedOutcomes(dg *dgroup, msg string) []cellOutcome {
+	outs := make([]cellOutcome, len(dg.idxs))
+	for i := range outs {
+		outs[i] = cellOutcome{state: service.Failed, errMsg: msg}
+	}
+	return outs
+}
+
+// gAttempt is the outcome of one worker attempt at a group: either a full
+// per-cell outcome slice, or a worker-level error (caller re-places).
+type gAttempt struct {
+	outs   []cellOutcome
+	err    error
+	w      *worker
+	hedged bool
+}
+
+// runGroup places one dispatch group on the ring and runs it to terminal,
+// re-placing on worker failure exactly like runCell. With Config.Hedge set,
+// a group still running past the straggler threshold is speculatively
+// dispatched a second time to the next distinct healthy worker: the first
+// attempt to come back with outcomes wins, the loser is canceled via the
+// shared attempt context and its (eventual) result discarded. Dispatch is
+// therefore at-least-once; finishCells keeps the merge at-most-once.
+func (c *Coordinator) runGroup(bt *cbatch, dg *dgroup) {
+	pg := bt.graphs[dg.graphName]
+	// The group's trace is its first cell's child trace; every cell still
+	// carries its own child ID in the group submission, so per-cell greps
+	// keep working across hosts.
+	gtrace := obs.ChildTraceID(bt.traceID, dg.idxs[0])
+	maxAttempts := 2 * len(c.workers)
+
+	attemptCtx, cancelAttempts := context.WithCancel(bt.ctx)
+	var lwg sync.WaitGroup
+	defer func() {
+		// First result won (or the group gave up): cut any losing attempt
+		// loose and wait for it to observe the cancel, so no goroutine and no
+		// window slot outlives the group.
+		cancelAttempts()
+		lwg.Wait()
+	}()
+
+	results := make(chan gAttempt, 2)
+	var primary *worker
+	launch := func(w *worker, hedged bool) {
+		lwg.Add(1)
+		go func() {
+			defer lwg.Done()
+			start := time.Now()
+			outs, err := c.runGroupOnWorker(attemptCtx, bt, dg, w, pg, gtrace, hedged)
+			if err == nil && attemptCtx.Err() == nil {
+				c.recordGroupDur(time.Since(start))
+			}
+			results <- gAttempt{outs: outs, err: err, w: w, hedged: hedged}
+		}()
+	}
+
+	var lastErr error
+	attempts, inflight := 0, 0
+	hedged := false
+	var hedgeTimer <-chan time.Time
+	place := func() bool {
+		w := c.owner(pg.fp)
+		if w == nil {
+			return false
+		}
+		primary = w
+		launch(w, false)
+		inflight++
+		if c.cfg.Hedge && !hedged {
+			if d := c.stragglerThreshold(); d > 0 {
+				hedgeTimer = time.After(d)
+			}
+		}
+		return true
+	}
+
+	failAll := func() {
+		msg := "cluster: no healthy workers"
+		if attempts >= maxAttempts {
+			msg = fmt.Sprintf("cluster: giving up after %d attempts: %v", attempts, lastErr)
+		} else if lastErr != nil {
+			msg = fmt.Sprintf("%s (last worker error: %v)", msg, lastErr)
+		}
+		bt.finishCells(dg, failedOutcomes(dg, msg))
+	}
+
+	if bt.ctx.Err() != nil {
+		bt.finishCells(dg, canceledOutcomes(dg))
+		return
+	}
+	if !place() {
+		failAll()
+		return
+	}
+	for {
+		select {
+		case at := <-results:
+			inflight--
+			switch {
+			case at.err == nil:
+				// First terminal outcome set wins. A hedge winning over a
+				// live primary counts as won; a primary winning after a hedge
+				// fired means the hedge was wasted work.
+				if at.hedged {
+					c.hedgesWon.Add(1)
+				} else if hedged {
+					c.hedgesWasted.Add(1)
+				}
+				bt.finishCells(dg, at.outs)
+				return
+			case errors.Is(at.err, errWorkerDown):
+				// Downed (by another dispatch or a probe) between placement
+				// and dispatch: nothing new learned, just re-place.
+				c.log.Info("group re-placed", "event", "group_replace",
+					"batch", bt.id, "trace", gtrace, "worker", at.w.url)
+			default:
+				c.markDown(at.w, at.err)
+				c.cellRetries.Add(uint64(len(dg.idxs)))
+				lastErr = at.err
+				attempts++
+				c.log.Warn("group retry", "event", "group_retry",
+					"batch", bt.id, "trace", gtrace, "worker", at.w.url,
+					"cells", len(dg.idxs), "attempt", attempts, "error", at.err.Error())
+			}
+			if inflight > 0 {
+				continue // the surviving attempt (primary or hedge) may still win
+			}
+			if bt.ctx.Err() != nil {
+				bt.finishCells(dg, canceledOutcomes(dg))
+				return
+			}
+			if attempts >= maxAttempts || !place() {
+				failAll()
+				return
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			if inflight != 1 {
+				continue
+			}
+			w2 := c.hedgeTarget(pg.fp, primary)
+			if w2 == nil {
+				continue
+			}
+			hedged = true
+			c.hedgesFired.Add(1)
+			c.log.Info("group hedged", "event", "group_hedge",
+				"batch", bt.id, "trace", gtrace, "primary", primary.url,
+				"hedge", w2.url, "cells", len(dg.idxs))
+			launch(w2, true)
+			inflight++
+		}
+	}
+}
+
+// runGroupOnWorker executes one group attempt on w: acquire one window slot
+// for the whole group, ensure the graph is uploaded (binary codec), submit
+// the job group, poll to terminal over the negotiated binary rendering. A
+// non-nil error means the worker failed; application outcomes — including
+// per-cell failures and cache hits — come back one per seed. Cancellation of
+// ctx (batch cancel, or losing a hedge race) returns canceled outcomes with
+// a nil error after best-effort canceling the worker-side group.
+func (c *Coordinator) runGroupOnWorker(ctx context.Context, bt *cbatch, dg *dgroup, w *worker, pg *pinnedGraph, gtrace string, hedged bool) ([]cellOutcome, error) {
+	w.mu.Lock()
+	w.queueDepth++
+	w.mu.Unlock()
+	select {
+	case w.slots <- struct{}{}:
+	case <-ctx.Done():
+		w.mu.Lock()
+		w.queueDepth--
+		w.mu.Unlock()
+		return canceledOutcomes(dg), nil
+	}
+	w.mu.Lock()
+	w.queueDepth--
+	w.mu.Unlock()
+	defer func() { <-w.slots }()
+	if !w.isHealthy() {
+		return nil, errWorkerDown
+	}
+	w.mu.Lock()
+	w.inFlight += len(dg.idxs)
+	w.dispatched += uint64(len(dg.idxs))
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.inFlight -= len(dg.idxs)
+		w.mu.Unlock()
+	}()
+	c.groupsDispatched.Add(1)
+	c.cellsDispatched.Add(uint64(len(dg.idxs)))
+
+	if err := c.ensureGraph(ctx, w, dg.graphName, pg); err != nil {
+		if ctx.Err() != nil {
+			return canceledOutcomes(dg), nil
+		}
+		var apiErr *httpapi.APIError
+		if errors.As(err, &apiErr) && apiErr.Status < http.StatusInternalServerError {
+			return failedOutcomes(dg, fmt.Sprintf("cluster: uploading %s to %s: %v", dg.graphName, w.url, err)), nil
+		}
+		return nil, err
+	}
+
+	traces := make([]string, len(dg.idxs))
+	for k, i := range dg.idxs {
+		traces[k] = obs.ChildTraceID(bt.traceID, i)
+	}
+	req := httpapi.JobGroupRequest{
+		Algo:      dg.algo,
+		GraphName: dg.graphName,
+		Params:    httpapi.ParamsWire(dg.base),
+		Seeds:     dg.seeds,
+		Traces:    traces,
+		TimeoutMs: bt.timeout.Milliseconds(),
+		TraceID:   gtrace,
+	}
+	var gr httpapi.JobGroupResponse
+	backoff := c.cfg.PollInterval
+	for uploads := 0; ; {
+		var err error
+		gr, err = w.client.SubmitJobGroup(ctx, req)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return canceledOutcomes(dg), nil
+		}
+		var apiErr *httpapi.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status >= http.StatusInternalServerError {
+			// Queue saturation backs off on the same worker; every other
+			// transport error or 5xx is a worker failure.
+			if isQueueFull(err) {
+				select {
+				case <-time.After(backoff):
+					backoff = min(2*backoff, 250*time.Millisecond)
+					continue
+				case <-ctx.Done():
+					return canceledOutcomes(dg), nil
+				}
+			}
+			return nil, err
+		}
+		if apiErr.Status == http.StatusNotFound && uploads < 2 {
+			// The worker evicted our graph between upload and submit;
+			// re-upload and retry.
+			uploads++
+			w.mu.Lock()
+			delete(w.uploaded, dg.graphName)
+			w.mu.Unlock()
+			if err := c.ensureGraph(ctx, w, dg.graphName, pg); err != nil {
+				if ctx.Err() != nil {
+					return canceledOutcomes(dg), nil
+				}
+				return nil, err
+			}
+			continue
+		}
+		// Remaining 4xx are deterministic rejections: the whole group would
+		// be rejected identically anywhere.
+		return failedOutcomes(dg, apiErr.Message), nil
+	}
+	bt.noteGroupDispatched(dg, w, gr.ID)
+	dispatchedAt := time.Now()
+	c.log.Info("group dispatched", "event", "group_dispatch",
+		"batch", bt.id, "trace", gtrace, "worker", w.url, "group", gr.ID,
+		"cells", len(dg.idxs), "hedged", hedged)
+
+	straggler := false
+	for !gr.Terminal() {
+		if d := c.stragglerThreshold(); d > 0 && !straggler && time.Since(dispatchedAt) > d {
+			// Surfaced once per dispatch; with Hedge set the parent runGroup
+			// loop acts on the same threshold.
+			straggler = true
+			c.log.Warn("group straggling", "event", "group_straggler",
+				"batch", bt.id, "trace", gtrace, "worker", w.url, "group", gr.ID,
+				"running_for", time.Since(dispatchedAt))
+		}
+		select {
+		case <-ctx.Done():
+			// Best-effort worker-side cancel on a fresh context — the attempt
+			// context is already dead; the HTTP client timeout still bounds it.
+			_, _ = w.client.CancelJobGroup(context.Background(), gr.ID)
+			return canceledOutcomes(dg), nil
+		case <-time.After(c.cfg.PollInterval):
+		}
+		gv, err := w.client.GetJobGroup(ctx, gr.ID)
+		if err != nil {
+			if ctx.Err() != nil {
+				_, _ = w.client.CancelJobGroup(context.Background(), gr.ID)
+				return canceledOutcomes(dg), nil
+			}
+			return nil, err
+		}
+		c.wireBytes.Add(uint64(gv.WireBytes))
+		gr = gv
+	}
+	if len(gr.Cells) != len(dg.idxs) {
+		// A shape mismatch is version skew, deterministic on any worker.
+		return failedOutcomes(dg, fmt.Sprintf(
+			"cluster: worker %s returned %d cells for a %d-seed group", w.url, len(gr.Cells), len(dg.idxs))), nil
+	}
+	outs := make([]cellOutcome, len(gr.Cells))
+	for k, cw := range gr.Cells {
+		res, err := cw.Result.ToResult()
+		if err != nil {
+			outs[k] = cellOutcome{state: service.Failed,
+				errMsg: fmt.Sprintf("cluster: worker %s returned a bad result: %v", w.url, err)}
+			continue
+		}
+		outs[k] = cellOutcome{
+			state:    service.State(cw.State),
+			cacheHit: cw.CacheHit,
+			errMsg:   cw.Error,
+			result:   res,
+		}
+	}
+	return outs, nil
+}
+
+// noteGroupDispatched records where a group's cells are running, for cancel
+// fan-out and the Submitted progress counter. Hedged and retried dispatches
+// re-enter here: only a cell's first dispatch counts toward Submitted (so it
+// never exceeds Total), the latest dispatch owns the cancel target, and
+// cells a racing winner already finished are left untouched.
+func (bt *cbatch) noteGroupDispatched(dg *dgroup, w *worker, groupID string) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	ref := fmt.Sprintf("w%d:%s", w.id, groupID)
+	for _, i := range dg.idxs {
+		m := &bt.cells[i]
+		if m.state.Terminal() {
+			continue
+		}
+		if m.jobRef == "" {
+			bt.dispatched++
+		}
+		m.w = w
+		m.jobID = groupID
+		m.group = true
+		m.jobRef = ref
+		m.state = service.Running
+	}
+}
+
+// finishCells records a winning attempt's outcomes, idempotently per cell:
+// a cell already terminal (finished by a hedge race's winner, or by an
+// earlier cancellation) is left untouched. This guard is what turns
+// at-least-once dispatch into an at-most-once merge (DESIGN.md §6a).
+func (bt *cbatch) finishCells(dg *dgroup, outs []cellOutcome) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	for k, i := range dg.idxs {
+		m := &bt.cells[i]
+		if m.state.Terminal() {
+			continue
+		}
+		out := outs[k]
+		m.state = out.state
+		m.cacheHit = out.cacheHit
+		m.err = out.errMsg
+		m.result = out.result
+		m.w = nil
+		bt.terminal++
+		switch out.state {
+		case service.Done:
+			bt.done++
+		case service.Failed:
+			bt.failed++
+		case service.Canceled:
+			bt.canceled++
+		}
+		if out.cacheHit {
+			bt.cacheHits++
+		}
+	}
 }
 
 // noteDispatched records where a cell is running, for cancel fan-out and the
@@ -487,19 +941,30 @@ func (c *Coordinator) CancelBatch(id string) (service.BatchView, error) {
 	type target struct {
 		w     *worker
 		jobID string
+		group bool
 	}
 	var targets []target
+	seen := make(map[string]bool)
 	for i := range bt.cells {
-		if m := &bt.cells[i]; m.w != nil && !m.state.Terminal() {
-			targets = append(targets, target{m.w, m.jobID})
+		m := &bt.cells[i]
+		if m.w == nil || m.state.Terminal() || seen[m.jobRef] {
+			continue
 		}
+		// Grouped cells share one jobRef per dispatched group; cancel each
+		// worker-side group once, not once per member.
+		seen[m.jobRef] = true
+		targets = append(targets, target{m.w, m.jobID, m.group})
 	}
 	bt.mu.Unlock()
 	// Wake every slot wait and poll loop first, then chase down in-flight
 	// worker jobs with no batch lock held.
 	bt.cancel()
 	for _, t := range targets {
-		_, _ = t.w.client.CancelJob(t.jobID)
+		if t.group {
+			_, _ = t.w.client.CancelJobGroup(context.Background(), t.jobID)
+		} else {
+			_, _ = t.w.client.CancelJob(context.Background(), t.jobID)
+		}
 	}
 	return bt.view(), nil
 }

@@ -2,12 +2,16 @@
 // single-node reprod workers into one scale-out batch engine. The
 // coordinator keeps the authoritative copy of every named graph in a local
 // internal/store, consistent-hashes graphs onto workers by their
-// registry.Fingerprint (one owner per graph, uploaded at most once per
-// worker per name), expands BatchSpecs with the same code path as the
-// single-node engine (service.BatchSpec.Expand), dispatches cells to the
-// owning worker over internal/httpapi.Client with a bounded in-flight window
-// per worker, retries cells on worker failure by re-placing the graph on the
-// next healthy worker along the ring, and merges per-cell results and
+// registry.Fingerprint (one owner per graph, uploaded once per worker per
+// name, in the compact binary codec), expands BatchSpecs with the same code
+// path as the single-node engine (service.BatchSpec.Expand), packs cells
+// that differ only in seed into job groups of up to Config.GroupSize
+// (amortizing graph lookup, submit, and poll round trips over the whole
+// group — the cluster fast path), dispatches each group to the owning worker
+// over internal/httpapi.Client with a bounded in-flight window per worker,
+// retries groups on worker failure by re-placing onto the next healthy
+// worker along the ring, optionally hedges straggling groups onto a second
+// worker (first result wins, Config.Hedge), and merges per-cell results and
 // per-group aggregates (service.GroupCells) into a single batch view that is
 // indistinguishable from a single-node run.
 //
@@ -26,12 +30,15 @@
 package cluster
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"log/slog"
 	"net/http"
 	"net/url"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -76,13 +83,26 @@ type Config struct {
 	// client with RequestTimeout.
 	HTTPClient *http.Client
 	// Logger receives the coordinator's structured span events (dispatch,
-	// retry, re-placement, worker down/revived, straggler), each tagged with
-	// the batch and cell trace IDs. Nil discards them.
+	// retry, re-placement, worker down/revived, straggler, hedge), each
+	// tagged with the batch and cell trace IDs. Nil discards them.
 	Logger *slog.Logger
-	// StragglerAfter, when positive, logs a hedge-eligible-straggler span
-	// event the first time a dispatched cell's poll loop exceeds it. Log-only:
-	// the coordinator does not hedge yet, it just surfaces the candidates.
+	// StragglerAfter, when positive, marks a dispatched group a straggler
+	// once its poll loop runs this long: a straggler span event is logged,
+	// and with Hedge set it is also the hedge trigger. Zero falls back to an
+	// adaptive threshold (3× the observed p99 group duration) once enough
+	// groups have completed.
 	StragglerAfter time.Duration
+	// Hedge enables speculative re-dispatch: a group past the straggler
+	// threshold is dispatched a second time to the next healthy worker,
+	// first result wins, the loser is canceled and its result discarded
+	// (DESIGN.md §6a).
+	Hedge bool
+	// GroupSize caps how many same-(graph, algo, params) cells ride in one
+	// dispatched job group (default 16).
+	GroupSize int
+	// PerCell disables grouped dispatch and runs the PR 5 one-job-per-cell
+	// path — the benchmark baseline and an escape hatch.
+	PerCell bool
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Replicas <= 0 {
 		c.Replicas = 64
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 16
 	}
 	return c
 }
@@ -125,8 +148,12 @@ type worker struct {
 	// uploading singleflights in-progress uploads per name: concurrent
 	// cells sharing a graph wait on the channel instead of re-shipping the
 	// same bytes.
-	uploading  map[string]chan struct{}
-	inFlight   int
+	uploading map[string]chan struct{}
+	inFlight  int
+	// queueDepth counts dispatch attempts waiting for a window slot on this
+	// worker — the backlog behind the in-flight window, exposed as a
+	// Prometheus gauge so hedging behavior is observable.
+	queueDepth int
 	dispatched uint64
 	failures   uint64
 	// lastErr is the most recent failure observed against this worker,
@@ -170,6 +197,59 @@ type Coordinator struct {
 	cellsDispatched  atomic.Uint64
 	cellRetries      atomic.Uint64
 	workerFailures   atomic.Uint64
+	groupsDispatched atomic.Uint64
+	hedgesFired      atomic.Uint64
+	hedgesWon        atomic.Uint64
+	hedgesWasted     atomic.Uint64
+	wireBytes        atomic.Uint64
+
+	// durMu guards the ring of recent group-attempt durations backing the
+	// adaptive straggler threshold.
+	durMu   sync.Mutex
+	durs    [64]time.Duration
+	durN    int
+	durNext int
+}
+
+// recordGroupDur folds one successful group-attempt duration into the
+// adaptive-threshold ring.
+func (c *Coordinator) recordGroupDur(d time.Duration) {
+	c.durMu.Lock()
+	c.durs[c.durNext] = d
+	c.durNext = (c.durNext + 1) % len(c.durs)
+	if c.durN < len(c.durs) {
+		c.durN++
+	}
+	c.durMu.Unlock()
+}
+
+// minHedgeSamples gates the adaptive threshold: below it there is no
+// credible p99 and hedging stays off (unless StragglerAfter pins the
+// threshold explicitly).
+const minHedgeSamples = 20
+
+// stragglerThreshold returns how long a dispatched group may run before it
+// counts as a straggler (and, with Hedge on, gets hedged). Zero disables:
+// StragglerAfter is authoritative when set, otherwise 3× the observed p99
+// once minHedgeSamples group attempts have completed.
+func (c *Coordinator) stragglerThreshold() time.Duration {
+	if c.cfg.StragglerAfter > 0 {
+		return c.cfg.StragglerAfter
+	}
+	c.durMu.Lock()
+	defer c.durMu.Unlock()
+	if c.durN < minHedgeSamples {
+		return 0
+	}
+	snap := make([]time.Duration, c.durN)
+	copy(snap, c.durs[:c.durN])
+	slices.Sort(snap)
+	// Nearest-rank p99, same convention as the service latency percentiles.
+	idx := (99*len(snap) + 99) / 100
+	if idx > len(snap) {
+		idx = len(snap)
+	}
+	return 3 * snap[idx-1]
 }
 
 // New builds a coordinator over the configured workers. Workers start out
@@ -260,6 +340,26 @@ func (c *Coordinator) owner(fp string) *worker {
 	return nil
 }
 
+// hedgeTarget returns the first healthy worker clockwise from fp's ring
+// position that is not avoid — where a hedged group re-dispatch goes. Nil
+// when no distinct healthy worker exists (hedging then stays a no-op).
+func (c *Coordinator) hedgeTarget(fp string, avoid *worker) *worker {
+	h := hash64(fp)
+	start := sort.Search(len(c.ring), func(i int) bool { return c.ring[i].hash >= h })
+	tried := make(map[int]bool, len(c.workers))
+	for i := 0; i < len(c.ring) && len(tried) < len(c.workers); i++ {
+		pt := c.ring[(start+i)%len(c.ring)]
+		if tried[pt.w.id] {
+			continue
+		}
+		tried[pt.w.id] = true
+		if pt.w != avoid && pt.w.isHealthy() {
+			return pt.w
+		}
+	}
+	return nil
+}
+
 // markDown records an observed worker failure — keeping the error for the
 // /v1/cluster view — and takes the worker off the ring until a probe
 // revives it.
@@ -285,7 +385,7 @@ func (c *Coordinator) Probe() int {
 	for i, w := range c.workers {
 		go func(i int, w *worker) {
 			defer wg.Done()
-			errs[i] = w.client.Health()
+			errs[i] = w.client.Health(context.Background())
 		}(i, w)
 	}
 	wg.Wait()
@@ -382,7 +482,7 @@ func (c *Coordinator) DeleteGraph(name string) error {
 		healthy := w.healthy
 		w.mu.Unlock()
 		if had && healthy {
-			_ = w.client.DeleteGraph(name)
+			_ = w.client.DeleteGraph(context.Background(), name)
 		}
 	}
 	return nil
@@ -399,6 +499,7 @@ func (c *Coordinator) View() httpapi.ClusterView {
 			Healthy:    w.healthy,
 			Graphs:     len(w.uploaded),
 			InFlight:   w.inFlight,
+			QueueDepth: w.queueDepth,
 			Dispatched: w.dispatched,
 			Failures:   w.failures,
 			LastError:  w.lastErr,
@@ -428,6 +529,11 @@ func (c *Coordinator) Metrics() httpapi.ClusterMetrics {
 		CellsDispatched:  c.cellsDispatched.Load(),
 		CellRetries:      c.cellRetries.Load(),
 		WorkerFailures:   c.workerFailures.Load(),
+		GroupsDispatched: c.groupsDispatched.Load(),
+		HedgesFired:      c.hedgesFired.Load(),
+		HedgesWon:        c.hedgesWon.Load(),
+		HedgesWasted:     c.hedgesWasted.Load(),
+		WireBytesTotal:   c.wireBytes.Load(),
 	}
 	// Fan the worker round trips out: one hung worker must cost one request
 	// timeout for the whole scrape, not one per worker. WorkersHealthy
@@ -442,7 +548,7 @@ func (c *Coordinator) Metrics() httpapi.ClusterMetrics {
 		wg.Add(1)
 		go func(i int, w *worker) {
 			defer wg.Done()
-			if wm, err := w.client.Metrics(); err == nil {
+			if wm, err := w.client.Metrics(context.Background()); err == nil {
 				fetched[i] = &wm
 			}
 		}(i, w)
@@ -485,30 +591,31 @@ func (c *Coordinator) Metrics() httpapi.ClusterMetrics {
 }
 
 // pinnedGraph is one distinct graph pinned for a batch's lifetime, with its
-// text encoding rendered at most once across all uploads.
+// compact binary encoding (graph.EncodeBinary) rendered at most once across
+// all uploads.
 type pinnedGraph struct {
 	g    *graph.Graph
 	fp   string
 	once sync.Once
-	text string
+	bin  []byte
 	err  error
 }
 
-func (p *pinnedGraph) encoded() (string, error) {
+func (p *pinnedGraph) encoded() ([]byte, error) {
 	p.once.Do(func() {
-		var sb strings.Builder
-		p.err = graph.Encode(&sb, p.g)
-		p.text = sb.String()
+		var buf bytes.Buffer
+		p.err = graph.EncodeBinary(&buf, p.g)
+		p.bin = buf.Bytes()
 	})
-	return p.text, p.err
+	return p.bin, p.err
 }
 
 // ensureGraph uploads the pinned graph to w under name unless this
-// coordinator already did. Concurrent cells sharing the graph singleflight:
-// one uploads, the rest wait and re-check — the graph crosses the network
-// once per worker. A stale name binding on the worker (left by a
+// coordinator already did. Concurrent dispatches sharing the graph
+// singleflight: one uploads, the rest wait and re-check — the graph crosses
+// the network once per worker. A stale name binding on the worker (left by a
 // deleted-and-rebound coordinator name) is deleted and re-put once.
-func (c *Coordinator) ensureGraph(w *worker, name string, pg *pinnedGraph) error {
+func (c *Coordinator) ensureGraph(ctx context.Context, w *worker, name string, pg *pinnedGraph) error {
 	for {
 		w.mu.Lock()
 		if fp, ok := w.uploaded[name]; ok && fp == pg.fp {
@@ -517,14 +624,18 @@ func (c *Coordinator) ensureGraph(w *worker, name string, pg *pinnedGraph) error
 		}
 		if ch, busy := w.uploading[name]; busy {
 			w.mu.Unlock()
-			<-ch // the uploader finished (either way); re-check
-			continue
+			select {
+			case <-ch: // the uploader finished (either way); re-check
+				continue
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 		ch := make(chan struct{})
 		w.uploading[name] = ch
 		w.mu.Unlock()
 
-		err := c.uploadGraph(w, name, pg)
+		err := c.uploadGraph(ctx, w, name, pg)
 		w.mu.Lock()
 		delete(w.uploading, name)
 		if err == nil {
@@ -536,17 +647,21 @@ func (c *Coordinator) ensureGraph(w *worker, name string, pg *pinnedGraph) error
 	}
 }
 
-// uploadGraph ships the graph text to w, repairing a stale 409 binding once.
-func (c *Coordinator) uploadGraph(w *worker, name string, pg *pinnedGraph) error {
-	text, err := pg.encoded()
+// uploadGraph ships the binary graph encoding to w, repairing a stale 409
+// binding once. Uploaded body bytes land in the wire-bytes counter.
+func (c *Coordinator) uploadGraph(ctx context.Context, w *worker, name string, pg *pinnedGraph) error {
+	bin, err := pg.encoded()
 	if err != nil {
 		return err
 	}
-	if _, err = w.client.PutGraph(name, text); err != nil {
+	_, n, err := w.client.PutGraphBinary(ctx, name, bin)
+	c.wireBytes.Add(uint64(n))
+	if err != nil {
 		var apiErr *httpapi.APIError
 		if errors.As(err, &apiErr) && apiErr.Status == http.StatusConflict {
-			_ = w.client.DeleteGraph(name)
-			_, err = w.client.PutGraph(name, text)
+			_ = w.client.DeleteGraph(ctx, name)
+			_, n, err = w.client.PutGraphBinary(ctx, name, bin)
+			c.wireBytes.Add(uint64(n))
 		}
 	}
 	return err

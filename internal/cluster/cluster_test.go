@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"reflect"
@@ -415,10 +416,10 @@ func TestClusterHandlerEndToEnd(t *testing.T) {
 	t.Cleanup(ts.Close)
 	c := httpapi.NewClient(ts.URL, nil)
 
-	if _, err := c.PutGraphGen("wire-g", httpapi.GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "wire-g", httpapi.GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32}); err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.SubmitBatch(httpapi.BatchRequest{
+	b, err := c.SubmitBatch(context.Background(), httpapi.BatchRequest{
 		Graphs: []string{"wire-g"},
 		Algos:  []string{"mwm2", "fastmcm"},
 		Seeds:  []uint64{1, 2, 3},
@@ -426,7 +427,7 @@ func TestClusterHandlerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fin, err := c.WaitBatch(b.ID, 60*time.Second)
+	fin, err := c.WaitBatch(context.Background(), b.ID, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +435,7 @@ func TestClusterHandlerEndToEnd(t *testing.T) {
 		t.Fatalf("batch over the wire: %+v", fin)
 	}
 
-	view, err := c.GetCluster()
+	view, err := c.GetCluster(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,7 +457,7 @@ func TestClusterHandlerEndToEnd(t *testing.T) {
 		t.Fatalf("placements %+v", view.Placements)
 	}
 
-	m, err := c.ClusterMetrics()
+	m, err := c.ClusterMetrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -468,10 +469,10 @@ func TestClusterHandlerEndToEnd(t *testing.T) {
 	}
 
 	// Single-job endpoints are explicitly not served in coordinator mode.
-	if _, err := c.SubmitJob(httpapi.SubmitRequest{Algo: "mwm2", GraphName: "wire-g"}); err == nil {
+	if _, err := c.SubmitJob(context.Background(), httpapi.SubmitRequest{Algo: "mwm2", GraphName: "wire-g"}); err == nil {
 		t.Fatal("coordinator accepted a single job")
 	}
-	if err := c.DeleteGraph("wire-g"); err != nil {
+	if err := c.DeleteGraph(context.Background(), "wire-g"); err != nil {
 		t.Fatal(err)
 	}
 }

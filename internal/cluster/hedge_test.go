@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// This file pins the hedged re-dispatch semantics (DESIGN.md §6a): a group
+// running past the straggler threshold is speculatively re-dispatched to the
+// next healthy worker, the first result wins, the loser's duplicates are
+// discarded by the at-most-once merge, and a merely slow worker is never
+// treated as failed.
+
+// TestHedgeBeatsSlowOwner: every graph is owned by a worker whose every
+// response is delayed well past the straggler threshold, so each group's
+// primary attempt straggles and its hedge — on the fast second worker — wins.
+// The batch must complete with results identical to a single-node run, zero
+// worker failures, and no leaked graph pins.
+func TestHedgeBeatsSlowOwner(t *testing.T) {
+	graphs := []namedSource{{"hedge-g", gnpSource(60, 0.1, 71, 32)}}
+	spec := service.BatchSpec{
+		Graphs: []string{"hedge-g"},
+		Algos:  []string{"mwm2", "maxis"},
+		Seeds:  []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	want := singleNodeRun(t, graphs, spec)
+	if want.State != service.BatchDone || want.Done != want.Total {
+		t.Fatalf("reference run %+v", want)
+	}
+
+	coord, workers := newFleet(t, 2, func(cfg *Config) {
+		cfg.Hedge = true
+		cfg.StragglerAfter = 50 * time.Millisecond
+		cfg.GroupSize = 4
+	})
+	putGen(t, coord, "hedge-g", graphs[0].src)
+
+	// Slow down the graph's owner only: with one graph the placement view
+	// names exactly one worker, and the other one stays fast, so every hedge
+	// has a clear winner.
+	view := coord.View()
+	if len(view.Placements) != 1 || view.Placements[0].Worker == "" {
+		t.Fatalf("placements %+v", view.Placements)
+	}
+	owner := findWorker(t, workers, view.Placements[0].Worker)
+	owner.proxy.delay = 300 * time.Millisecond
+	owner.proxy.set(faultSlow)
+
+	v, err := coord.SubmitBatch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitBatch(t, coord, v.ID)
+	if fin.State != service.BatchDone || fin.Done != fin.Total {
+		t.Fatalf("hedged batch: %+v", fin)
+	}
+
+	if n := coord.hedgesFired.Load(); n == 0 {
+		t.Fatal("no hedges fired against a straggling owner")
+	}
+	// At-least-once dispatch: the hedged groups' cells went out twice, and
+	// the at-most-once merge discarded the losers' copies.
+	if d, total := coord.cellsDispatched.Load(), uint64(fin.Total); d <= total {
+		t.Fatalf("cells dispatched %d, want > %d (hedges double-dispatch)", d, total)
+	}
+	if won, wasted, fired := coord.hedgesWon.Load(), coord.hedgesWasted.Load(), coord.hedgesFired.Load(); won+wasted != fired {
+		t.Fatalf("hedge accounting: %d won + %d wasted != %d fired", won, wasted, fired)
+	}
+	// Slow is not down: hedging must never mark the straggler failed.
+	if n := coord.workerFailures.Load(); n != 0 {
+		t.Fatalf("%d worker failures on a merely slow fleet", n)
+	}
+
+	assertSameOutcomes(t, want, fin)
+
+	// Zero leaked pins: with the batch terminal the graph must be deletable.
+	if err := coord.DeleteGraph("hedge-g"); err != nil {
+		t.Fatalf("delete after hedged batch: %v", err)
+	}
+}
+
+// TestHedgeOffNeverFires: the same slow-owner topology without Hedge still
+// completes (slow is below the request timeout) and dispatches each cell
+// exactly once — the straggler threshold only logs when hedging is off.
+func TestHedgeOffNeverFires(t *testing.T) {
+	coord, workers := newFleet(t, 2, func(cfg *Config) {
+		cfg.StragglerAfter = 50 * time.Millisecond
+		cfg.GroupSize = 4
+	})
+	putGen(t, coord, "nohedge-g", gnpSource(40, 0.12, 81, 32))
+
+	view := coord.View()
+	owner := findWorker(t, workers, view.Placements[0].Worker)
+	owner.proxy.delay = 150 * time.Millisecond
+	owner.proxy.set(faultSlow)
+
+	fin := clusterRun(t, coord, nil, service.BatchSpec{
+		Graphs: []string{"nohedge-g"},
+		Algos:  []string{"mwm2"},
+		Seeds:  []uint64{1, 2, 3, 4},
+	})
+	if fin.State != service.BatchDone || fin.Done != fin.Total {
+		t.Fatalf("batch without hedging: %+v", fin)
+	}
+	if n := coord.hedgesFired.Load(); n != 0 {
+		t.Fatalf("%d hedges fired with Hedge off", n)
+	}
+	if d := coord.cellsDispatched.Load(); d != uint64(fin.Total) {
+		t.Fatalf("cells dispatched %d, want exactly %d", d, fin.Total)
+	}
+}

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/httpapi"
 	"repro/internal/service"
@@ -19,7 +21,7 @@ func runSweep(t *testing.T, c *httpapi.Client, exp string, trials int) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sweep.Execute(c, exp, p); err != nil {
+	if err := sweep.Execute(context.Background(), c, exp, p); err != nil {
 		t.Fatalf("%s: %v", exp, err)
 	}
 	var buf bytes.Buffer
@@ -31,8 +33,9 @@ func runSweep(t *testing.T, c *httpapi.Client, exp string, trials int) []byte {
 
 // TestSweepCSVByteIdenticalAcrossTopologies is the tentpole acceptance
 // criterion: every DESIGN.md §5 experiment produces byte-identical CSVs
-// whether cmd/sweep talks to a single-node server or to a 3-worker cluster
-// coordinator — sharding is invisible to results.
+// whether cmd/sweep talks to a single-node server, a 3-worker cluster
+// coordinator, or the same cluster with hedged re-dispatch enabled —
+// sharding and speculative duplicates are invisible to results.
 func TestSweepCSVByteIdenticalAcrossTopologies(t *testing.T) {
 	// Single-node reference stack.
 	svc := service.New(service.Config{})
@@ -52,12 +55,29 @@ func TestSweepCSVByteIdenticalAcrossTopologies(t *testing.T) {
 	t.Cleanup(cl.Close)
 	clusterClient := httpapi.NewClient(cl.URL, nil)
 
+	// Hedging cluster: an aggressive 1ms straggler threshold fires hedges
+	// constantly, so first-result-wins merging gets exercised across every
+	// experiment — and must still change nothing.
+	hedged, _ := newFleet(t, 3, func(cfg *Config) {
+		cfg.Window = 4
+		cfg.MaxGraphs = 1024
+		cfg.Hedge = true
+		cfg.StragglerAfter = time.Millisecond
+	})
+	hl := httptest.NewServer(httpapi.NewClusterHandler(hedged))
+	t.Cleanup(hl.Close)
+	hedgedClient := httpapi.NewClient(hl.URL, nil)
+
 	const trials = 1
 	for _, exp := range sweep.Experiments() {
 		want := runSweep(t, singleClient, exp, trials)
 		got := runSweep(t, clusterClient, exp, trials)
 		if !bytes.Equal(want, got) {
 			t.Errorf("%s: cluster CSV differs from single-node\nsingle:\n%s\ncluster:\n%s", exp, want, got)
+		}
+		hot := runSweep(t, hedgedClient, exp, trials)
+		if !bytes.Equal(want, hot) {
+			t.Errorf("%s: hedged-cluster CSV differs from single-node\nsingle:\n%s\nhedged:\n%s", exp, want, hot)
 		}
 	}
 }

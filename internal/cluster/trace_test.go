@@ -34,9 +34,9 @@ func (b *syncBuffer) String() string {
 
 // TestTraceSurvivesRetry is the trace-propagation acceptance scenario: one
 // caller-chosen trace ID must be visible at every hop — the batch view, each
-// cell's derived child ID, the worker-side job that actually ran the cell,
-// and the coordinator's span-event log — even when a worker dies mid-batch
-// and cells are retried onto new hosts.
+// cell's derived child ID, the worker-side job group that actually ran the
+// cell, and the coordinator's span-event log — even when a worker dies
+// mid-batch and groups are retried onto new hosts.
 func TestTraceSurvivesRetry(t *testing.T) {
 	const trace = "feedface00c0ffee"
 	graphs := []namedSource{
@@ -53,6 +53,9 @@ func TestTraceSurvivesRetry(t *testing.T) {
 	logs := &syncBuffer{}
 	coord, workers := newFleet(t, 3, func(cfg *Config) {
 		cfg.Logger = slog.New(slog.NewTextHandler(logs, nil))
+		// Small groups so the batch finishes cell-by-cell: the kill must land
+		// while the victim still has undispatched groups to retry.
+		cfg.GroupSize = 2
 	})
 	for _, g := range graphs {
 		putGen(t, coord, g.name, g.src)
@@ -91,33 +94,40 @@ func TestTraceSurvivesRetry(t *testing.T) {
 			fin.State, fin.Done, fin.Total, fin.Failed)
 	}
 	if coord.cellRetries.Load() == 0 {
-		t.Fatal("kill produced no cell retries; the retry hop was not exercised")
+		t.Fatal("kill produced no retries; the retry hop was not exercised")
 	}
 	if fin.TraceID != trace {
 		t.Fatalf("final view trace %q, want %q", fin.TraceID, trace)
 	}
 
-	// Every cell carries the derived child ID, and the worker that finally
-	// ran it stamped that exact ID on its local job.
+	// Every cell carries the derived child ID, and the worker-side job group
+	// that finally ran it stamped that exact ID on the cell's seed entry.
 	for _, cell := range fin.Cells {
 		want := obs.ChildTraceID(trace, cell.Index)
 		if cell.TraceID != want {
 			t.Fatalf("cell %d trace %q, want %q", cell.Index, cell.TraceID, want)
 		}
-		wid, jobID, ok := strings.Cut(cell.JobID, ":")
+		wid, groupID, ok := strings.Cut(cell.JobID, ":")
 		if !ok || !strings.HasPrefix(wid, "w") {
-			t.Fatalf("cell %d job ref %q is not w<id>:<jobID>", cell.Index, cell.JobID)
+			t.Fatalf("cell %d job ref %q is not w<id>:<groupID>", cell.Index, cell.JobID)
 		}
 		idx, err := strconv.Atoi(wid[1:])
 		if err != nil || idx < 0 || idx >= len(workers) {
 			t.Fatalf("cell %d job ref %q names unknown worker", cell.Index, cell.JobID)
 		}
-		jv, ok := workers[idx].svc.Get(jobID)
+		gv, ok := workers[idx].svc.GetGroup(groupID)
 		if !ok {
-			t.Fatalf("cell %d: job %s not found on worker %d", cell.Index, jobID, idx)
+			t.Fatalf("cell %d: group %s not found on worker %d", cell.Index, groupID, idx)
 		}
-		if jv.TraceID != want {
-			t.Fatalf("cell %d: worker-side job trace %q, want %q", cell.Index, jv.TraceID, want)
+		found := false
+		for _, gc := range gv.Cells {
+			if gc.TraceID == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("cell %d: no cell of worker-side group %s carries trace %q", cell.Index, groupID, want)
 		}
 	}
 
@@ -130,12 +140,12 @@ func TestTraceSurvivesRetry(t *testing.T) {
 	}
 	retried := false
 	for line := range strings.Lines(got) {
-		if strings.Contains(line, "event=cell_retry") && strings.Contains(line, "trace="+trace+".") {
+		if strings.Contains(line, "event=group_retry") && strings.Contains(line, "trace="+trace+".") {
 			retried = true
 			break
 		}
 	}
 	if !retried {
-		t.Fatalf("log has no cell_retry event tagged with a child of %s:\n%s", trace, got)
+		t.Fatalf("log has no group_retry event tagged with a child of %s:\n%s", trace, got)
 	}
 }

@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file is the compact binary graph codec used on the coordinator→worker
+// wire (DESIGN.md §6a). The text format (Encode/Decode) stays the canonical
+// debug path — human-readable, fuzz-hardened, consumed by cmd/distmatch —
+// while the binary format exists purely to make bulk uploads cheap: a
+// varint-packed stream is typically 4-6× smaller than the text rendering and
+// decodes without any line scanning or integer parsing.
+//
+// Layout (all integers unsigned LEB128 varints):
+//
+//	magic "RGB1" (4 bytes)
+//	n, m
+//	w(0) … w(n-1)              node weights
+//	u v w                      per edge, in insertion order
+//
+// Edges are serialized in insertion order — the order Graph.Edges reports and
+// the order that defines dense edge IDs — so a decoded graph carries the same
+// edge IDs, the same registry fingerprint and therefore the same cache keys
+// and results as the original. Both codecs round-trip through Builder, so
+// they accept and produce exactly the same graphs.
+
+// binaryMagic brands a binary graph stream; the trailing 1 is the format
+// version.
+const binaryMagic = "RGB1"
+
+// EncodeBinary writes g in the binary graph format.
+func EncodeBinary(w io.Writer, g *Graph) error {
+	// Sized for the common case of small varints; append grows as needed.
+	buf := make([]byte, 0, len(binaryMagic)+10+2*g.N()+6*g.M())
+	buf = append(buf, binaryMagic...)
+	buf = binary.AppendUvarint(buf, uint64(g.N()))
+	buf = binary.AppendUvarint(buf, uint64(g.M()))
+	for v := 0; v < g.N(); v++ {
+		buf = binary.AppendUvarint(buf, uint64(g.NodeWeight(v)))
+	}
+	for id, e := range g.Edges() {
+		buf = binary.AppendUvarint(buf, uint64(e.U))
+		buf = binary.AppendUvarint(buf, uint64(e.V))
+		buf = binary.AppendUvarint(buf, uint64(g.EdgeWeight(id)))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readUvarint decodes one varint at data[off:], returning the value and the
+// next offset.
+func readUvarint(data []byte, off int, what string) (uint64, int, error) {
+	v, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("graph: binary: truncated or overlong %s at offset %d", what, off)
+	}
+	return v, off + n, nil
+}
+
+// BinaryHeader peeks the declared node and edge counts of a binary graph
+// stream without decoding it. Untrusted callers (the HTTP layer) use it to
+// enforce size caps before DecodeBinary allocates for the header's claim,
+// exactly as checkGraphHeader guards the text format.
+func BinaryHeader(data []byte) (n, m int, err error) {
+	if len(data) < len(binaryMagic) || string(data[:len(binaryMagic)]) != binaryMagic {
+		return 0, 0, fmt.Errorf("graph: binary: bad magic (want %q)", binaryMagic)
+	}
+	off := len(binaryMagic)
+	un, off, err := readUvarint(data, off, "node count")
+	if err != nil {
+		return 0, 0, err
+	}
+	um, _, err := readUvarint(data, off, "edge count")
+	if err != nil {
+		return 0, 0, err
+	}
+	if un > math.MaxInt32 || um > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("graph: binary: sizes %d/%d exceed int32 range", un, um)
+	}
+	return int(un), int(um), nil
+}
+
+// DecodeBinary parses the format written by EncodeBinary. Trailing bytes
+// after the last edge are rejected, so every accepted stream has exactly one
+// canonical re-encoding.
+//
+// The declared sizes are bounded against the input length before anything is
+// allocated (every node weight takes at least one byte, every edge at least
+// three), so a tiny stream cannot claim a huge graph; absolute size caps are
+// the caller's job, as with the text Decode.
+func DecodeBinary(data []byte) (*Graph, error) {
+	n, m, err := BinaryHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	off := len(binaryMagic)
+	_, off, _ = readUvarint(data, off, "node count")
+	_, off, _ = readUvarint(data, off, "edge count")
+	if rest := len(data) - off; rest < n+3*m {
+		return nil, fmt.Errorf("graph: binary: header declares %d nodes / %d edges but only %d payload bytes follow", n, m, rest)
+	}
+
+	b := NewBuilder(n)
+	b.Grow(m)
+	for v := 0; v < n; v++ {
+		var uw uint64
+		uw, off, err = readUvarint(data, off, "node weight")
+		if err != nil {
+			return nil, err
+		}
+		if uw == 0 || uw > math.MaxInt64 {
+			return nil, fmt.Errorf("graph: binary: node %d has non-positive weight", v)
+		}
+		b.SetNodeWeight(v, int64(uw))
+	}
+	for i := 0; i < m; i++ {
+		var uu, uv, uw uint64
+		if uu, off, err = readUvarint(data, off, "edge endpoint"); err != nil {
+			return nil, err
+		}
+		if uv, off, err = readUvarint(data, off, "edge endpoint"); err != nil {
+			return nil, err
+		}
+		if uw, off, err = readUvarint(data, off, "edge weight"); err != nil {
+			return nil, err
+		}
+		if uu > math.MaxInt32 || uv > math.MaxInt32 {
+			return nil, fmt.Errorf("graph: binary: edge %d endpoints out of int32 range", i)
+		}
+		if uw == 0 || uw > math.MaxInt64 {
+			return nil, fmt.Errorf("graph: binary: edge %d has non-positive weight", i)
+		}
+		if err := b.AddWeightedEdge(int(uu), int(uv), int64(uw)); err != nil {
+			return nil, err
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("graph: binary: %d trailing bytes after the last edge", len(data)-off)
+	}
+	return b.Build()
+}

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http"
 	"testing"
@@ -33,7 +34,7 @@ func TestGraphLifecycleAndDedup(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	up, err := c.PutGraph("uploaded", buf.String())
+	up, err := c.PutGraph(context.Background(), "uploaded", buf.String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestGraphLifecycleAndDedup(t *testing.T) {
 		t.Fatalf("upload info %+v", up)
 	}
 
-	gen, err := c.PutGraphGen("generated", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32})
+	gen, err := c.PutGraphGen(context.Background(), "generated", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestGraphLifecycleAndDedup(t *testing.T) {
 	}
 
 	// Same generator spec under a second name: deduplicated payload.
-	alias, err := c.PutGraphGen("generated-alias", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32})
+	alias, err := c.PutGraphGen(context.Background(), "generated-alias", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,15 +60,15 @@ func TestGraphLifecycleAndDedup(t *testing.T) {
 	}
 
 	// Idempotent re-put of the same name and content.
-	again, err := c.PutGraphGen("generated", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32})
+	again, err := c.PutGraphGen(context.Background(), "generated", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32})
 	if err != nil || !again.Dedup {
 		t.Fatalf("re-put: info %+v err %v", again, err)
 	}
 	// Conflicting content under an existing name: 409.
-	_, err = c.PutGraphGen("generated", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 8, MaxW: 32})
+	_, err = c.PutGraphGen(context.Background(), "generated", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 8, MaxW: 32})
 	wantStatus(t, err, http.StatusConflict)
 
-	ls, err := c.ListGraphs()
+	ls, err := c.ListGraphs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,16 +76,16 @@ func TestGraphLifecycleAndDedup(t *testing.T) {
 		t.Fatalf("listed %d graphs, want 3", len(ls))
 	}
 
-	if err := c.DeleteGraph("generated-alias"); err != nil {
+	if err := c.DeleteGraph(context.Background(), "generated-alias"); err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.GetGraph("generated")
+	info, err := c.GetGraph(context.Background(), "generated")
 	if err != nil || info.Shared != 1 {
 		t.Fatalf("survivor after alias delete: %+v err %v", info, err)
 	}
-	_, err = c.GetGraph("generated-alias")
+	_, err = c.GetGraph(context.Background(), "generated-alias")
 	wantStatus(t, err, http.StatusNotFound)
-	err = c.DeleteGraph("generated-alias")
+	err = c.DeleteGraph(context.Background(), "generated-alias")
 	wantStatus(t, err, http.StatusNotFound)
 }
 
@@ -94,10 +95,10 @@ func TestBatchGridLongPollAndAggregate(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 4}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
 
-	if _, err := c.PutGraphGen("g", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "g", GenRequest{Gen: "gnp", N: 24, P: 0.2, Seed: 7, MaxW: 32}); err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.SubmitBatch(BatchRequest{
+	b, err := c.SubmitBatch(context.Background(), BatchRequest{
 		Graphs: []string{"g"},
 		Algos:  []string{"mwm2", "fastmcm"},
 		Seeds:  []uint64{1, 2, 3},
@@ -109,7 +110,7 @@ func TestBatchGridLongPollAndAggregate(t *testing.T) {
 		t.Fatalf("submit response %+v", b)
 	}
 
-	fin, err := c.WaitBatch(b.ID, 60*time.Second)
+	fin, err := c.WaitBatch(context.Background(), b.ID, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestBatchGridLongPollAndAggregate(t *testing.T) {
 	}
 
 	// An identical batch is answered from the result cache.
-	b2, err := c.SubmitBatch(BatchRequest{
+	b2, err := c.SubmitBatch(context.Background(), BatchRequest{
 		Graphs: []string{"g"},
 		Algos:  []string{"mwm2", "fastmcm"},
 		Seeds:  []uint64{1, 2, 3},
@@ -161,7 +162,7 @@ func TestBatchGridLongPollAndAggregate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fin2, err := c.WaitBatch(b2.ID, 60*time.Second)
+	fin2, err := c.WaitBatch(context.Background(), b2.ID, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,10 +178,10 @@ func TestBatchPinBlocksGraphDelete(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 1}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
 
-	if _, err := c.PutGraphGen("pinned", GenRequest{Gen: "gnp", N: 800, P: 0.02, Seed: 3}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "pinned", GenRequest{Gen: "gnp", N: 800, P: 0.02, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.SubmitBatch(BatchRequest{
+	b, err := c.SubmitBatch(context.Background(), BatchRequest{
 		Graphs: []string{"pinned"},
 		Algos:  []string{"maxis"},
 		Seeds:  []uint64{1, 2, 3, 4},
@@ -188,13 +189,13 @@ func TestBatchPinBlocksGraphDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c.DeleteGraph("pinned")
+	err = c.DeleteGraph(context.Background(), "pinned")
 	wantStatus(t, err, http.StatusConflict)
 
-	if _, err := c.WaitBatch(b.ID, 60*time.Second); err != nil {
+	if _, err := c.WaitBatch(context.Background(), b.ID, 60*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.DeleteGraph("pinned"); err != nil {
+	if err := c.DeleteGraph(context.Background(), "pinned"); err != nil {
 		t.Fatalf("delete after batch: %v", err)
 	}
 }
@@ -205,21 +206,21 @@ func TestBatchCancelFanOutHTTP(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 1, QueueSize: 4}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
 
-	if _, err := c.PutGraphGen("slow", GenRequest{Gen: "gnp", N: 1200, P: 0.01, Seed: 11}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "slow", GenRequest{Gen: "gnp", N: 1200, P: 0.01, Seed: 11}); err != nil {
 		t.Fatal(err)
 	}
 	seeds := make([]uint64, 12)
 	for i := range seeds {
 		seeds[i] = uint64(i + 1)
 	}
-	b, err := c.SubmitBatch(BatchRequest{Graphs: []string{"slow"}, Algos: []string{"maxis"}, Seeds: seeds})
+	b, err := c.SubmitBatch(context.Background(), BatchRequest{Graphs: []string{"slow"}, Algos: []string{"maxis"}, Seeds: seeds})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.CancelBatch(b.ID); err != nil {
+	if _, err := c.CancelBatch(context.Background(), b.ID); err != nil {
 		t.Fatal(err)
 	}
-	fin, err := c.WaitBatch(b.ID, 60*time.Second)
+	fin, err := c.WaitBatch(context.Background(), b.ID, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestBatchCancelFanOutHTTP(t *testing.T) {
 	if fin.Canceled == 0 || fin.Done+fin.Failed+fin.Canceled != fin.Total {
 		t.Fatalf("member accounting %+v", fin)
 	}
-	_, err = c.CancelBatch(b.ID)
+	_, err = c.CancelBatch(context.Background(), b.ID)
 	wantStatus(t, err, http.StatusConflict)
 }
 
@@ -240,31 +241,31 @@ func TestBatchAndGraphBadRequests(t *testing.T) {
 	c := NewClient(ts.URL, nil)
 
 	// Graph registration.
-	_, err := c.PutGraph("bad", "this is not a graph")
+	_, err := c.PutGraph(context.Background(), "bad", "this is not a graph")
 	wantStatus(t, err, http.StatusBadRequest)
-	_, err = c.PutGraphGen("bad", GenRequest{Gen: "hypercube", N: 4})
+	_, err = c.PutGraphGen(context.Background(), "bad", GenRequest{Gen: "hypercube", N: 4})
 	wantStatus(t, err, http.StatusBadRequest)
-	if err := c.do(http.MethodPut, "/v1/graphs/empty", GraphRequest{}, nil); err == nil {
+	if err := c.do(context.Background(), http.MethodPut, "/v1/graphs/empty", GraphRequest{}, nil); err == nil {
 		t.Fatal("empty graph body accepted")
 	}
-	_, err = c.GetGraph("missing")
+	_, err = c.GetGraph(context.Background(), "missing")
 	wantStatus(t, err, http.StatusNotFound)
 
 	// Batches.
-	if _, err := c.PutGraphGen("g", GenRequest{Gen: "gnp", N: 12, P: 0.3, Seed: 1}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "g", GenRequest{Gen: "gnp", N: 12, P: 0.3, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.SubmitBatch(BatchRequest{Algos: []string{"mwm2"}})
+	_, err = c.SubmitBatch(context.Background(), BatchRequest{Algos: []string{"mwm2"}})
 	wantStatus(t, err, http.StatusBadRequest) // no graphs
-	_, err = c.SubmitBatch(BatchRequest{Graphs: []string{"missing"}, Algos: []string{"mwm2"}})
+	_, err = c.SubmitBatch(context.Background(), BatchRequest{Graphs: []string{"missing"}, Algos: []string{"mwm2"}})
 	wantStatus(t, err, http.StatusNotFound)
-	_, err = c.SubmitBatch(BatchRequest{Graphs: []string{"g"}, Algos: []string{"quantum"}})
+	_, err = c.SubmitBatch(context.Background(), BatchRequest{Graphs: []string{"g"}, Algos: []string{"quantum"}})
 	wantStatus(t, err, http.StatusBadRequest)
-	_, err = c.SubmitBatch(BatchRequest{Graphs: []string{"g"}, Algos: []string{"mwm2"}, Seeds: []uint64{1, 2, 3, 4, 5}})
+	_, err = c.SubmitBatch(context.Background(), BatchRequest{Graphs: []string{"g"}, Algos: []string{"mwm2"}, Seeds: []uint64{1, 2, 3, 4, 5}})
 	wantStatus(t, err, http.StatusBadRequest) // over MaxCells
-	_, err = c.GetBatch("b999999", 0)
+	_, err = c.GetBatch(context.Background(), "b999999", 0)
 	wantStatus(t, err, http.StatusNotFound)
-	_, err = c.CancelBatch("b999999")
+	_, err = c.CancelBatch(context.Background(), "b999999")
 	wantStatus(t, err, http.StatusNotFound)
 
 	// Bad ?wait= values.
@@ -284,10 +285,10 @@ func TestJobByStoredGraphName(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 2}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
 
-	if _, err := c.PutGraphGen("g", GenRequest{Gen: "gnp", N: 20, P: 0.25, Seed: 5, MaxW: 16}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "g", GenRequest{Gen: "gnp", N: 20, P: 0.25, Seed: 5, MaxW: 16}); err != nil {
 		t.Fatal(err)
 	}
-	jr, err := c.SubmitJob(SubmitRequest{Algo: "mwm2", GraphName: "g", Params: &ParamsRequest{Seed: 3}})
+	jr, err := c.SubmitJob(context.Background(), SubmitRequest{Algo: "mwm2", GraphName: "g", Params: &ParamsRequest{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,9 +296,9 @@ func TestJobByStoredGraphName(t *testing.T) {
 	if done.State != "done" || done.Result == nil {
 		t.Fatalf("job %+v", done)
 	}
-	_, err = c.SubmitJob(SubmitRequest{Algo: "mwm2", GraphName: "missing"})
+	_, err = c.SubmitJob(context.Background(), SubmitRequest{Algo: "mwm2", GraphName: "missing"})
 	wantStatus(t, err, http.StatusNotFound)
-	_, err = c.SubmitJob(SubmitRequest{Algo: "mwm2", GraphName: "g", Graph: "1 0\n1\n"})
+	_, err = c.SubmitJob(context.Background(), SubmitRequest{Algo: "mwm2", GraphName: "g", Graph: "1 0\n1\n"})
 	wantStatus(t, err, http.StatusBadRequest)
 }
 
@@ -307,22 +308,22 @@ func TestMetricsSplitsBatchTraffic(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 2}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
 
-	if _, err := c.PutGraphGen("g", GenRequest{Gen: "gnp", N: 16, P: 0.25, Seed: 2, MaxW: 8}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "g", GenRequest{Gen: "gnp", N: 16, P: 0.25, Seed: 2, MaxW: 8}); err != nil {
 		t.Fatal(err)
 	}
 	req := BatchRequest{Graphs: []string{"g"}, Algos: []string{"mwm2"}, Seeds: []uint64{1, 2}}
-	b1, err := c.SubmitBatch(req)
+	b1, err := c.SubmitBatch(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WaitBatch(b1.ID, 60*time.Second); err != nil {
+	if _, err := c.WaitBatch(context.Background(), b1.ID, 60*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	b2, err := c.SubmitBatch(req)
+	b2, err := c.SubmitBatch(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.WaitBatch(b2.ID, 60*time.Second); err != nil {
+	if _, err := c.WaitBatch(context.Background(), b2.ID, 60*time.Second); err != nil {
 		t.Fatal(err)
 	}
 
@@ -337,7 +338,7 @@ func TestMetricsSplitsBatchTraffic(t *testing.T) {
 		BatchesDone      uint64 `json:"batches_done"`
 		BatchCells       uint64 `json:"batch_cells"`
 	}
-	if err := c.do(http.MethodGet, "/metrics", nil, &m); err != nil {
+	if err := c.do(context.Background(), http.MethodGet, "/metrics", nil, &m); err != nil {
 		t.Fatal(err)
 	}
 	if m.BatchMembers != 4 || m.BatchCacheHits != 2 || m.BatchCacheMisses != 2 {

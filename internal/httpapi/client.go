@@ -2,11 +2,13 @@ package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 )
 
@@ -15,6 +17,10 @@ import (
 // in-process httptest server, so every consumer exercises the same wire
 // format the service serves. The zero Client is not usable; construct with
 // NewClient. A Client is safe for concurrent use.
+//
+// Every method takes a context as its first argument and abandons the HTTP
+// round trip when it is canceled — the cluster coordinator relies on this to
+// cut losing hedge attempts loose promptly.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -43,7 +49,7 @@ func (e *APIError) Error() string {
 }
 
 // do round-trips one JSON request. A nil out discards the response body.
-func (c *Client) do(method, path string, in, out any) error {
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -52,7 +58,7 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
@@ -87,57 +93,87 @@ func (c *Client) do(method, path string, in, out any) error {
 }
 
 // PutGraph registers a graph in the graph.Encode text format under name.
-func (c *Client) PutGraph(name, text string) (GraphInfo, error) {
+func (c *Client) PutGraph(ctx context.Context, name, text string) (GraphInfo, error) {
 	var out GraphInfo
-	err := c.do(http.MethodPut, "/v1/graphs/"+url.PathEscape(name), GraphRequest{Graph: text}, &out)
+	err := c.do(ctx, http.MethodPut, "/v1/graphs/"+url.PathEscape(name), GraphRequest{Graph: text}, &out)
 	return out, err
 }
 
-// PutGraphGen registers a generated graph under name.
-func (c *Client) PutGraphGen(name string, gen GenRequest) (GraphInfo, error) {
+// PutGraphBinary registers a graph from its graph.EncodeBinary stream under
+// name, sending the bytes raw under the binary graph content type. It
+// returns how many body bytes went on the wire beside the stored metadata.
+func (c *Client) PutGraphBinary(ctx context.Context, name string, data []byte) (GraphInfo, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.base+"/v1/graphs/"+url.PathEscape(name), bytes.NewReader(data))
+	if err != nil {
+		return GraphInfo{}, 0, err
+	}
+	req.Header.Set("Content-Type", GraphBinaryContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return GraphInfo{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		return GraphInfo{}, 0, &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Error}
+	}
 	var out GraphInfo
-	err := c.do(http.MethodPut, "/v1/graphs/"+url.PathEscape(name), GraphRequest{Gen: &gen}, &out)
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return GraphInfo{}, 0, err
+	}
+	return out, len(data), nil
+}
+
+// PutGraphGen registers a generated graph under name.
+func (c *Client) PutGraphGen(ctx context.Context, name string, gen GenRequest) (GraphInfo, error) {
+	var out GraphInfo
+	err := c.do(ctx, http.MethodPut, "/v1/graphs/"+url.PathEscape(name), GraphRequest{Gen: &gen}, &out)
 	return out, err
 }
 
 // GetGraph fetches a stored graph's metadata.
-func (c *Client) GetGraph(name string) (GraphInfo, error) {
+func (c *Client) GetGraph(ctx context.Context, name string) (GraphInfo, error) {
 	var out GraphInfo
-	err := c.do(http.MethodGet, "/v1/graphs/"+url.PathEscape(name), nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(name), nil, &out)
 	return out, err
 }
 
 // ListGraphs lists every stored graph.
-func (c *Client) ListGraphs() ([]GraphInfo, error) {
+func (c *Client) ListGraphs(ctx context.Context) ([]GraphInfo, error) {
 	var out struct {
 		Graphs []GraphInfo `json:"graphs"`
 	}
-	err := c.do(http.MethodGet, "/v1/graphs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/graphs", nil, &out)
 	return out.Graphs, err
 }
 
 // DeleteGraph removes a stored graph; pinned graphs refuse with a 409
 // APIError.
-func (c *Client) DeleteGraph(name string) error {
-	return c.do(http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
+func (c *Client) DeleteGraph(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
 }
 
 // Health probes GET /healthz.
-func (c *Client) Health() error {
-	return c.do(http.MethodGet, "/healthz", nil, nil)
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
 // Metrics fetches the merged service and batch counters.
-func (c *Client) Metrics() (MetricsResponse, error) {
+func (c *Client) Metrics(ctx context.Context) (MetricsResponse, error) {
 	var out MetricsResponse
-	err := c.do(http.MethodGet, "/metrics", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
 	return out, err
 }
 
 // PromMetrics fetches /metrics in the Prometheus text exposition format by
 // negotiating text/plain. It works against both server modes.
-func (c *Client) PromMetrics() (string, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+"/metrics", nil)
+func (c *Client) PromMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
 	if err != nil {
 		return "", err
 	}
@@ -159,71 +195,127 @@ func (c *Client) PromMetrics() (string, error) {
 
 // GetCluster fetches the coordinator's health/placement view. Only
 // coordinator-mode servers (cmd/reprod -workers) serve it.
-func (c *Client) GetCluster() (ClusterView, error) {
+func (c *Client) GetCluster(ctx context.Context) (ClusterView, error) {
 	var out ClusterView
-	err := c.do(http.MethodGet, "/v1/cluster", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &out)
 	return out, err
 }
 
 // ClusterMetrics fetches the coordinator-mode /metrics document (coordinator
 // counters plus summed fleet counters).
-func (c *Client) ClusterMetrics() (ClusterMetrics, error) {
+func (c *Client) ClusterMetrics(ctx context.Context) (ClusterMetrics, error) {
 	var out ClusterMetrics
-	err := c.do(http.MethodGet, "/metrics", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &out)
 	return out, err
 }
 
 // SubmitJob submits one job.
-func (c *Client) SubmitJob(req SubmitRequest) (JobResponse, error) {
+func (c *Client) SubmitJob(ctx context.Context, req SubmitRequest) (JobResponse, error) {
 	var out JobResponse
-	err := c.do(http.MethodPost, "/v1/jobs", req, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out)
 	return out, err
 }
 
 // GetJob polls one job.
-func (c *Client) GetJob(id string) (JobResponse, error) {
+func (c *Client) GetJob(ctx context.Context, id string) (JobResponse, error) {
 	var out JobResponse
-	err := c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &out)
 	return out, err
 }
 
 // CancelJob cancels a queued or running job.
-func (c *Client) CancelJob(id string) (JobResponse, error) {
+func (c *Client) CancelJob(ctx context.Context, id string) (JobResponse, error) {
 	var out JobResponse
-	err := c.do(http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// SubmitJobGroup submits one job group (N seeds of one algorithm against a
+// stored graph).
+func (c *Client) SubmitJobGroup(ctx context.Context, req JobGroupRequest) (JobGroupResponse, error) {
+	var out JobGroupResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobgroups", req, &out)
+	return out, err
+}
+
+// GetJobGroup polls one job group. It asks for the compact binary rendering
+// and falls back to JSON by the response's Content-Type, so it works against
+// both current and older servers; WireBytes reports the body size either
+// way.
+func (c *Client) GetJobGroup(ctx context.Context, id string) (JobGroupResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobgroups/"+url.PathEscape(id), nil)
+	if err != nil {
+		return JobGroupResponse{}, err
+	}
+	req.Header.Set("Accept", GroupBinaryContentType+", application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return JobGroupResponse{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return JobGroupResponse{}, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.Unmarshal(body, &env)
+		return JobGroupResponse{}, &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Error}
+	}
+	var out JobGroupResponse
+	if strings.Contains(resp.Header.Get("Content-Type"), GroupBinaryContentType) {
+		out, err = decodeGroupBinary(body)
+	} else {
+		err = json.Unmarshal(body, &out)
+	}
+	if err != nil {
+		return JobGroupResponse{}, err
+	}
+	out.WireBytes = len(body)
+	return out, nil
+}
+
+// CancelJobGroup cancels a queued or running job group.
+func (c *Client) CancelJobGroup(ctx context.Context, id string) (JobGroupResponse, error) {
+	var out JobGroupResponse
+	err := c.do(ctx, http.MethodDelete, "/v1/jobgroups/"+url.PathEscape(id), nil, &out)
 	return out, err
 }
 
 // SubmitBatch submits a batch.
-func (c *Client) SubmitBatch(req BatchRequest) (BatchResponse, error) {
+func (c *Client) SubmitBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
 	var out BatchResponse
-	err := c.do(http.MethodPost, "/v1/batches", req, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/batches", req, &out)
 	return out, err
 }
 
 // GetBatch polls a batch; wait > 0 long-polls server-side until the batch
 // is terminal or wait has elapsed.
-func (c *Client) GetBatch(id string, wait time.Duration) (BatchResponse, error) {
+func (c *Client) GetBatch(ctx context.Context, id string, wait time.Duration) (BatchResponse, error) {
 	path := "/v1/batches/" + url.PathEscape(id)
 	if wait > 0 {
 		path += "?wait=" + url.QueryEscape(wait.String())
 	}
 	var out BatchResponse
-	err := c.do(http.MethodGet, path, nil, &out)
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
 	return out, err
 }
 
 // CancelBatch cancels a running batch.
-func (c *Client) CancelBatch(id string) (BatchResponse, error) {
+func (c *Client) CancelBatch(ctx context.Context, id string) (BatchResponse, error) {
 	var out BatchResponse
-	err := c.do(http.MethodDelete, "/v1/batches/"+url.PathEscape(id), nil, &out)
+	err := c.do(ctx, http.MethodDelete, "/v1/batches/"+url.PathEscape(id), nil, &out)
 	return out, err
 }
 
 // WaitBatch long-polls the batch until it is terminal or timeout elapses
 // (timeout <= 0 waits indefinitely), re-issuing bounded server-side waits so
 // proxies with idle limits stay happy.
-func (c *Client) WaitBatch(id string, timeout time.Duration) (BatchResponse, error) {
+func (c *Client) WaitBatch(ctx context.Context, id string, timeout time.Duration) (BatchResponse, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		wait := 10 * time.Second
@@ -234,7 +326,7 @@ func (c *Client) WaitBatch(id string, timeout time.Duration) (BatchResponse, err
 			}
 			wait = min(wait, left)
 		}
-		v, err := c.GetBatch(id, wait)
+		v, err := c.GetBatch(ctx, id, wait)
 		if err != nil {
 			return v, err
 		}

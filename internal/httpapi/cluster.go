@@ -36,6 +36,9 @@ type ClusterWorker struct {
 	Graphs int `json:"graphs"`
 	// InFlight counts cells currently dispatched to the worker.
 	InFlight int `json:"in_flight"`
+	// QueueDepth counts dispatch attempts waiting behind the worker's
+	// in-flight window.
+	QueueDepth int `json:"queue_depth"`
 	// Dispatched and Failures count cell dispatches and observed worker
 	// failures over the coordinator's lifetime; LastError is the most
 	// recent failure observed against the worker.
@@ -72,6 +75,17 @@ type ClusterMetrics struct {
 	CellsDispatched  uint64 `json:"cells_dispatched"`
 	CellRetries      uint64 `json:"cell_retries"`
 	WorkerFailures   uint64 `json:"worker_failures"`
+	// GroupsDispatched counts job-group dispatches (hedges and retries
+	// included); HedgesFired/Won/Wasted account for speculative re-dispatch:
+	// fired when a straggling group was hedged, won when the hedge produced
+	// the winning result, wasted when the primary still won.
+	GroupsDispatched uint64 `json:"groups_dispatched"`
+	HedgesFired      uint64 `json:"hedges_fired"`
+	HedgesWon        uint64 `json:"hedges_won"`
+	HedgesWasted     uint64 `json:"hedges_wasted"`
+	// WireBytesTotal counts body bytes shipped to and from workers over the
+	// binary codecs (graph uploads and group poll responses).
+	WireBytesTotal uint64 `json:"wire_bytes_total"`
 	// Fleet sums the /metrics counters of every worker that answered.
 	Fleet MetricsResponse `json:"fleet"`
 }

@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"strings"
@@ -49,7 +50,7 @@ func TestParseWaitClampsAndRejects(t *testing.T) {
 func TestErrorStatusSurface(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 1}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
-	if _, err := c.PutGraphGen("err-g", GenRequest{Gen: "gnp", N: 12, P: 0.3, Seed: 1, MaxW: 8}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "err-g", GenRequest{Gen: "gnp", N: 12, P: 0.3, Seed: 1, MaxW: 8}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -113,12 +114,12 @@ func TestErrorStatusSurface(t *testing.T) {
 func TestQueueFullCarriesErrorCode(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 1, QueueSize: 1}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
-	if _, err := c.PutGraphGen("full-g", GenRequest{Gen: "gnp", N: 1500, P: 0.013, Seed: 2}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "full-g", GenRequest{Gen: "gnp", N: 1500, P: 0.013, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
 	var sawCode bool
 	for i := 0; i < 32 && !sawCode; i++ {
-		_, err := c.SubmitJob(SubmitRequest{Algo: "maxis", GraphName: "full-g", Params: &ParamsRequest{Seed: uint64(i)}})
+		_, err := c.SubmitJob(context.Background(), SubmitRequest{Algo: "maxis", GraphName: "full-g", Params: &ParamsRequest{Seed: uint64(i)}})
 		var apiErr *APIError
 		if errors.As(err, &apiErr) {
 			if apiErr.Status != http.StatusServiceUnavailable {
@@ -141,15 +142,15 @@ func TestQueueFullCarriesErrorCode(t *testing.T) {
 func TestOversizedWaitClampedEndToEnd(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 2}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
-	if _, err := c.PutGraphGen("wait-g", GenRequest{Gen: "gnp", N: 16, P: 0.25, Seed: 3, MaxW: 8}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "wait-g", GenRequest{Gen: "gnp", N: 16, P: 0.25, Seed: 3, MaxW: 8}); err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.SubmitBatch(BatchRequest{Graphs: []string{"wait-g"}, Algos: []string{"mwm2"}, Seeds: []uint64{1}})
+	b, err := c.SubmitBatch(context.Background(), BatchRequest{Graphs: []string{"wait-g"}, Algos: []string{"mwm2"}, Seeds: []uint64{1}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	fin, err := c.GetBatch(b.ID, 24*time.Hour) // clamped to 60s server-side
+	fin, err := c.GetBatch(context.Background(), b.ID, 24*time.Hour) // clamped to 60s server-side
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,31 +168,31 @@ func TestOversizedWaitClampedEndToEnd(t *testing.T) {
 func TestDeleteRunningBatch(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 1, QueueSize: 4}, service.BatchConfig{})
 	c := NewClient(ts.URL, nil)
-	if _, err := c.PutGraphGen("running-g", GenRequest{Gen: "gnp", N: 1200, P: 0.01, Seed: 7}); err != nil {
+	if _, err := c.PutGraphGen(context.Background(), "running-g", GenRequest{Gen: "gnp", N: 1200, P: 0.01, Seed: 7}); err != nil {
 		t.Fatal(err)
 	}
 	seeds := make([]uint64, 8)
 	for i := range seeds {
 		seeds[i] = uint64(i + 1)
 	}
-	b, err := c.SubmitBatch(BatchRequest{Graphs: []string{"running-g"}, Algos: []string{"maxis"}, Seeds: seeds})
+	b, err := c.SubmitBatch(context.Background(), BatchRequest{Graphs: []string{"running-g"}, Algos: []string{"maxis"}, Seeds: seeds})
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, err := c.CancelBatch(b.ID)
+	v, err := c.CancelBatch(context.Background(), b.ID)
 	if err != nil {
 		t.Fatalf("cancel of running batch: %v", err)
 	}
 	if v.State != "running" && v.State != "canceled" {
 		t.Fatalf("post-cancel state %q", v.State)
 	}
-	fin, err := c.WaitBatch(b.ID, 60*time.Second)
+	fin, err := c.WaitBatch(context.Background(), b.ID, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fin.State != "canceled" {
 		t.Fatalf("final state %q, want canceled", fin.State)
 	}
-	_, err = c.CancelBatch(b.ID)
+	_, err = c.CancelBatch(context.Background(), b.ID)
 	wantStatus(t, err, http.StatusConflict)
 }

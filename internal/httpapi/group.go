@@ -1,0 +1,204 @@
+package httpapi
+
+import (
+	"errors"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// This file is the wire surface of the worker-side job-group path
+// (DESIGN.md §6a): POST /v1/jobgroups runs one algorithm over N seeds
+// against a single stored-graph lookup, and GET /v1/jobgroups/{id}
+// content-negotiates between JSON and the compact binary result stream in
+// bincodec.go (Accept: application/x-repro-jobgroup). The cluster
+// coordinator is the primary client; curl with JSON works the same way.
+
+// JobGroupRequest is the POST /v1/jobgroups body. Groups always run against
+// a stored graph (graph_name): the uploading-coordinator use case has the
+// graph registered already, and inline graphs would re-pay exactly the
+// per-cell wire cost the endpoint exists to amortize.
+type JobGroupRequest struct {
+	Algo      string `json:"algo"`
+	GraphName string `json:"graph_name"`
+	// Params is the shared base; its seed field is ignored in favor of
+	// Seeds, one run per entry.
+	Params *ParamsRequest `json:"params,omitempty"`
+	Seeds  []uint64       `json:"seeds"`
+	// Traces optionally carries one trace ID per seed (the coordinator's
+	// batch-cell child IDs), aligned with Seeds.
+	Traces []string `json:"traces,omitempty"`
+	// TimeoutMs bounds each seed's run, not the whole group.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// TraceID propagates an existing trace into the group; empty means the
+	// service mints one.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// TraceHeaderValue reports the trace ID Client.do should send as the
+// TraceHeader header.
+func (r JobGroupRequest) TraceHeaderValue() string { return r.TraceID }
+
+// GroupCellWire is the wire form of one seed's run inside a job group.
+type GroupCellWire struct {
+	Seed     uint64     `json:"seed"`
+	TraceID  string     `json:"trace_id,omitempty"`
+	State    string     `json:"state"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Result   *JobResult `json:"result,omitempty"`
+}
+
+// JobGroupResponse is the wire form of a job-group snapshot.
+type JobGroupResponse struct {
+	ID          string          `json:"id"`
+	Algo        string          `json:"algo"`
+	State       string          `json:"state"`
+	TraceID     string          `json:"trace_id,omitempty"`
+	Total       int             `json:"total"`
+	Done        int             `json:"done"`
+	Cells       []GroupCellWire `json:"cells"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	// WireBytes reports how many body bytes the response arrived as; the
+	// client fills it for the coordinator's bytes-on-wire accounting. Never
+	// serialized.
+	WireBytes int `json:"-"`
+}
+
+// Terminal reports whether the group snapshot is final.
+func (g *JobGroupResponse) Terminal() bool {
+	return service.State(g.State).Terminal()
+}
+
+// registerGroupRoutes mounts the job-group endpoints. Only the single-node
+// handler serves them: in coordinator mode groups are an internal dispatch
+// unit, not a client surface.
+func registerGroupRoutes(mux *http.ServeMux, svc *service.Service, st *store.Store) {
+	mux.HandleFunc("POST /v1/jobgroups", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmitGroup(svc, st, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobgroups/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := svc.GetGroup(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no such job group")
+			return
+		}
+		writeGroup(w, r, http.StatusOK, toGroupResponse(v))
+	})
+	mux.HandleFunc("DELETE /v1/jobgroups/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, err := svc.CancelGroup(r.PathValue("id"))
+		switch {
+		case errors.Is(err, service.ErrGroupNotFound):
+			writeErr(w, http.StatusNotFound, "no such job group")
+		case errors.Is(err, service.ErrFinished):
+			writeErr(w, http.StatusConflict, "job group already finished")
+		case err != nil:
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeGroup(w, r, http.StatusOK, toGroupResponse(v))
+		}
+	})
+}
+
+func handleSubmitGroup(svc *service.Service, st *store.Store, w http.ResponseWriter, r *http.Request) {
+	var req JobGroupRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Algo == "" {
+		writeErr(w, http.StatusBadRequest, "missing algo (see GET /v1/algorithms)")
+		return
+	}
+	if req.GraphName == "" {
+		writeErr(w, http.StatusBadRequest, "missing graph_name: job groups run against stored graphs")
+		return
+	}
+	g, release, err := st.Acquire(req.GraphName)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, store.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, err.Error())
+		return
+	}
+	// As with single jobs, the name stays pinned only for the submission:
+	// the group holds its own reference to the immutable graph.
+	defer release()
+
+	params, err := req.Params.params()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	trace := req.TraceID
+	if trace == "" {
+		trace = r.Header.Get(TraceHeader)
+	}
+	v, err := svc.SubmitGroup(service.GroupRequest{
+		Algo:    req.Algo,
+		Graph:   g,
+		Params:  params,
+		Seeds:   req.Seeds,
+		Traces:  req.Traces,
+		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
+		TraceID: trace,
+	})
+	switch {
+	case errors.Is(err, service.ErrClosed):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		w.Header().Set(TraceHeader, v.TraceID)
+		writeGroup(w, r, http.StatusAccepted, toGroupResponse(v))
+	}
+}
+
+// writeGroup writes a group response in the representation the request's
+// Accept header asks for: the compact binary stream when it names
+// GroupBinaryContentType, JSON otherwise.
+func writeGroup(w http.ResponseWriter, r *http.Request, code int, v JobGroupResponse) {
+	if strings.Contains(r.Header.Get("Accept"), GroupBinaryContentType) {
+		w.Header().Set("Content-Type", GroupBinaryContentType)
+		w.WriteHeader(code)
+		if _, err := w.Write(encodeGroupBinary(v)); err != nil {
+			log.Printf("httpapi: writing group response: %v", err)
+		}
+		return
+	}
+	writeJSON(w, code, v)
+}
+
+func toGroupResponse(v service.GroupView) JobGroupResponse {
+	out := JobGroupResponse{
+		ID:          v.ID,
+		Algo:        v.Algo,
+		State:       string(v.State),
+		TraceID:     v.TraceID,
+		Total:       v.Total,
+		Done:        v.Done,
+		Cells:       make([]GroupCellWire, len(v.Cells)),
+		SubmittedAt: v.SubmittedAt,
+	}
+	if !v.FinishedAt.IsZero() {
+		t := v.FinishedAt
+		out.FinishedAt = &t
+	}
+	for i, c := range v.Cells {
+		out.Cells[i] = GroupCellWire{
+			Seed:     c.Seed,
+			TraceID:  c.TraceID,
+			State:    string(c.State),
+			CacheHit: c.CacheHit,
+			Error:    c.Error,
+			Result:   toJobResult(c.Result),
+		}
+	}
+	return out
+}

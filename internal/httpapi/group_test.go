@@ -1,0 +1,285 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+// pollGroup polls GET /v1/jobgroups/{id} through the client (which negotiates
+// the binary rendering) until the group is terminal.
+func pollGroup(t *testing.T, c *Client, id string) JobGroupResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		gv, err := c.GetJobGroup(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gv.Terminal() {
+			return gv
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("group %s never finished", id)
+	return JobGroupResponse{}
+}
+
+// TestJobGroupLifecycleHTTP is the end-to-end jobgroup path over HTTP:
+// submit a seed group against a stored graph, poll to done through the binary
+// rendering, check per-seed results and trace alignment, observe the result
+// cache on resubmission, and hit the 404/409 error surface.
+func TestJobGroupLifecycleHTTP(t *testing.T) {
+	ts, _, _ := newFullServer(t, service.Config{Workers: 2}, service.BatchConfig{})
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	if _, err := c.PutGraphGen(ctx, "gg", GenRequest{Gen: "gnp", N: 48, P: 0.1, Seed: 3, MaxW: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	traces := make([]string, len(seeds))
+	for i := range traces {
+		traces[i] = fmt.Sprintf("trace-cell-%d", i)
+	}
+	sub, err := c.SubmitJobGroup(ctx, JobGroupRequest{
+		Algo: "mwm2", GraphName: "gg", Seeds: seeds, Traces: traces,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || sub.Total != len(seeds) {
+		t.Fatalf("submit response %+v", sub)
+	}
+
+	gv := pollGroup(t, c, sub.ID)
+	if gv.State != "done" || gv.Done != len(seeds) || len(gv.Cells) != len(seeds) {
+		t.Fatalf("terminal group %s: state=%s done=%d cells=%d", gv.ID, gv.State, gv.Done, len(gv.Cells))
+	}
+	if gv.WireBytes <= 0 {
+		t.Fatalf("WireBytes %d, want body size", gv.WireBytes)
+	}
+	for i, cell := range gv.Cells {
+		if cell.Seed != seeds[i] || cell.TraceID != traces[i] {
+			t.Fatalf("cell %d: seed=%d trace=%q, want seed=%d trace=%q",
+				i, cell.Seed, cell.TraceID, seeds[i], traces[i])
+		}
+		if cell.State != "done" || cell.Error != "" || cell.Result == nil {
+			t.Fatalf("cell %d: %+v", i, cell)
+		}
+		res, err := cell.Result.ToResult()
+		if err != nil {
+			t.Fatalf("cell %d result: %v", i, err)
+		}
+		if res.Weight <= 0 || len(res.Edges) == 0 {
+			t.Fatalf("cell %d: implausible mwm2 result %+v", i, res)
+		}
+	}
+
+	// Same group again: every seed's result is already cached.
+	re, err := c.SubmitJobGroup(ctx, JobGroupRequest{Algo: "mwm2", GraphName: "gg", Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv := pollGroup(t, c, re.ID)
+	for i, cell := range rv.Cells {
+		if !cell.CacheHit {
+			t.Fatalf("resubmitted cell %d not a cache hit: %+v", i, cell)
+		}
+	}
+
+	// Error surface: unknown id and canceling a finished group.
+	_, err = c.GetJobGroup(ctx, "nope")
+	wantStatus(t, err, http.StatusNotFound)
+	_, err = c.CancelJobGroup(ctx, sub.ID)
+	wantStatus(t, err, http.StatusConflict)
+	_, err = c.SubmitJobGroup(ctx, JobGroupRequest{Algo: "mwm2", GraphName: "nope", Seeds: seeds})
+	wantStatus(t, err, http.StatusNotFound)
+}
+
+// TestJobGroupCancelHTTP cancels a group waiting on the group semaphore
+// behind a long-running group and checks the whole victim lands canceled.
+// Groups do not ride the job queue, so the blocker must itself be a group
+// (sized like TestCancellation's blockers: each big-graph seed takes ~300ms+
+// even on a single-CPU runner, comfortably outlasting the cancel round trip).
+func TestJobGroupCancelHTTP(t *testing.T) {
+	ts, _, _ := newFullServer(t, service.Config{Workers: 1}, service.BatchConfig{})
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	if _, err := c.PutGraphGen(ctx, "big", GenRequest{Gen: "gnp", N: 1500, P: 0.013, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PutGraphGen(ctx, "gg", GenRequest{Gen: "gnp", N: 32, P: 0.1, Seed: 9, MaxW: 16}); err != nil {
+		t.Fatal(err)
+	}
+	blocker, err := c.SubmitJobGroup(ctx, JobGroupRequest{Algo: "maxis", GraphName: "big", Seeds: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.SubmitJobGroup(ctx, JobGroupRequest{Algo: "maxis", GraphName: "gg", Seeds: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CancelJobGroup(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	gv := pollGroup(t, c, sub.ID)
+	if gv.State != "canceled" {
+		t.Fatalf("group state %s, want canceled", gv.State)
+	}
+	for i, cell := range gv.Cells {
+		if cell.State != "canceled" {
+			t.Fatalf("cell %d state %s, want canceled", i, cell.State)
+		}
+	}
+	if bv := pollGroup(t, c, blocker.ID); bv.State != "done" {
+		t.Fatalf("blocker group state %s, want done", bv.State)
+	}
+}
+
+// TestGroupBinaryMatchesJSON pins the codec contract stated in bincodec.go:
+// the binary and JSON renderings of the same group snapshot decode to
+// identical JobGroupResponse structs, and the binary body is substantially
+// smaller.
+func TestGroupBinaryMatchesJSON(t *testing.T) {
+	ts, _, _ := newFullServer(t, service.Config{Workers: 2}, service.BatchConfig{})
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	if _, err := c.PutGraphGen(ctx, "gg", GenRequest{Gen: "gnp", N: 64, P: 0.1, Seed: 11, MaxW: 64}); err != nil {
+		t.Fatal(err)
+	}
+	seeds := make([]uint64, 16)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	sub, err := c.SubmitJobGroup(ctx, JobGroupRequest{
+		Algo: "maxis", GraphName: "gg", Seeds: seeds, TraceID: "trace-group-codec",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollGroup(t, c, sub.ID)
+
+	fetch := func(accept string) (body []byte, contentType string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobgroups/"+sub.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Accept", accept)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err = io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET with Accept %q: status %d", accept, resp.StatusCode)
+		}
+		return body, resp.Header.Get("Content-Type")
+	}
+
+	binBody, binType := fetch(GroupBinaryContentType)
+	if binType != GroupBinaryContentType {
+		t.Fatalf("binary Content-Type %q", binType)
+	}
+	jsonBody, jsonType := fetch("application/json")
+	if jsonType != "application/json" {
+		t.Fatalf("json Content-Type %q", jsonType)
+	}
+
+	var fromJSON JobGroupResponse
+	if err := json.Unmarshal(jsonBody, &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := decodeGroupBinary(binBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Timestamps compare by instant (the two decoders land in different
+	// time.Location representations), the rest by deep equality.
+	if !fromBin.SubmittedAt.Equal(fromJSON.SubmittedAt) {
+		t.Fatalf("submitted_at: binary %v, json %v", fromBin.SubmittedAt, fromJSON.SubmittedAt)
+	}
+	if (fromBin.FinishedAt == nil) != (fromJSON.FinishedAt == nil) ||
+		(fromBin.FinishedAt != nil && !fromBin.FinishedAt.Equal(*fromJSON.FinishedAt)) {
+		t.Fatalf("finished_at: binary %v, json %v", fromBin.FinishedAt, fromJSON.FinishedAt)
+	}
+	fromBin.SubmittedAt, fromJSON.SubmittedAt = time.Time{}, time.Time{}
+	fromBin.FinishedAt, fromJSON.FinishedAt = nil, nil
+	if !reflect.DeepEqual(fromBin, fromJSON) {
+		t.Fatalf("renderings diverge:\nbinary: %+v\njson:   %+v", fromBin, fromJSON)
+	}
+
+	if len(binBody)*2 >= len(jsonBody) {
+		t.Fatalf("binary body %d bytes vs json %d: expected at least 2x compaction", len(binBody), len(jsonBody))
+	}
+}
+
+// TestBinaryGraphUploadParity pins the fingerprint contract of the binary
+// upload path: PUT with the graph.EncodeBinary body registers the same graph
+// — same fingerprint, deduplicated payload — as the text upload.
+func TestBinaryGraphUploadParity(t *testing.T) {
+	ts, _, _ := newFullServer(t, service.Config{Workers: 1}, service.BatchConfig{})
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	g := repro.GNP(40, 0.12, 77)
+	repro.AssignUniformEdgeWeights(g, 30, 78)
+
+	var text bytes.Buffer
+	if err := repro.WriteGraph(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	txtInfo, err := c.PutGraph(ctx, "as-text", text.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bin bytes.Buffer
+	if err := graph.EncodeBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	binInfo, sent, err := c.PutGraphBinary(ctx, "as-binary", bin.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != bin.Len() {
+		t.Fatalf("reported %d wire bytes, sent %d", sent, bin.Len())
+	}
+	if binInfo.Fingerprint != txtInfo.Fingerprint {
+		t.Fatalf("fingerprints diverge: binary %s, text %s", binInfo.Fingerprint, txtInfo.Fingerprint)
+	}
+	if !binInfo.Dedup || binInfo.Shared != 2 {
+		t.Fatalf("binary upload not deduplicated against text twin: %+v", binInfo)
+	}
+	if binInfo.Nodes != 40 || binInfo.Edges != txtInfo.Edges {
+		t.Fatalf("binary info %+v vs text %+v", binInfo, txtInfo)
+	}
+
+	// And the registered graph is runnable.
+	sub, err := c.SubmitJobGroup(ctx, JobGroupRequest{Algo: "mwm2", GraphName: "as-binary", Seeds: []uint64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv := pollGroup(t, c, sub.ID); gv.State != "done" {
+		t.Fatalf("group over binary-registered graph: %s", gv.State)
+	}
+}

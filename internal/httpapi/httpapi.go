@@ -18,7 +18,11 @@
 //	POST   /v1/jobs            submit a job (inline graph, stored graph, or generator spec)
 //	GET    /v1/jobs/{id}       poll a job
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
-//	PUT    /v1/graphs/{name}   register a named graph (upload or generator spec)
+//	POST   /v1/jobgroups       run one algorithm over N seeds against one stored graph
+//	GET    /v1/jobgroups/{id}  poll a job group (binary with Accept: application/x-repro-jobgroup)
+//	DELETE /v1/jobgroups/{id}  cancel a job group
+//	PUT    /v1/graphs/{name}   register a named graph (text, generator spec, or
+//	                           Content-Type: application/x-repro-graph binary)
 //	GET    /v1/graphs          list named graphs
 //	GET    /v1/graphs/{name}   inspect a named graph
 //	DELETE /v1/graphs/{name}   delete a named graph (409 while pinned)
@@ -35,6 +39,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strings"
@@ -370,6 +375,7 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 		}
 	})
 
+	registerGroupRoutes(mux, svc, st)
 	registerBackendRoutes(mux, engineBackend{st: st, batches: batches})
 	return mux
 }
@@ -553,14 +559,45 @@ func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, 
 }
 
 func handlePutGraph(b Backend, w http.ResponseWriter, r *http.Request) {
-	var req GraphRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	src, err := toSource(req.Graph, req.Gen)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
-		return
+	var src store.Source
+	if strings.Contains(r.Header.Get("Content-Type"), GraphBinaryContentType) {
+		// Binary upload: the body is the graph.EncodeBinary stream itself,
+		// size-capped through its peekable header exactly as checkGraphHeader
+		// caps text uploads.
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		n, m, err := graph.BinaryHeader(data)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if n > registry.MaxGraphNodes {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("graph declares %d nodes, cap %d", n, registry.MaxGraphNodes))
+			return
+		}
+		if m > registry.MaxGraphEdges {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("graph declares %d edges, cap %d", m, registry.MaxGraphEdges))
+			return
+		}
+		g, err := graph.DecodeBinary(data)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed graph: "+err.Error())
+			return
+		}
+		src = store.Source{Graph: g}
+	} else {
+		var req GraphRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		var err error
+		if src, err = toSource(req.Graph, req.Gen); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
 	info, dedup, err := b.PutGraph(r.PathValue("name"), src)
 	switch {

@@ -89,6 +89,11 @@ func writePromCluster(w http.ResponseWriter, m ClusterMetrics, v ClusterView) {
 	p.Counter("repro_cluster_cells_dispatched_total", "Cell dispatches to workers (retries included).", float64(m.CellsDispatched))
 	p.Counter("repro_cluster_cell_retries_total", "Cell re-dispatches after a worker failure.", float64(m.CellRetries))
 	p.Counter("repro_cluster_worker_failures_total", "Worker failures observed by the coordinator.", float64(m.WorkerFailures))
+	p.Counter("repro_cluster_groups_dispatched_total", "Job-group dispatches to workers (hedges and retries included).", float64(m.GroupsDispatched))
+	p.Counter("repro_cluster_hedges_fired_total", "Straggling groups speculatively re-dispatched.", float64(m.HedgesFired))
+	p.Counter("repro_cluster_hedges_won_total", "Hedge attempts that produced the winning result.", float64(m.HedgesWon))
+	p.Counter("repro_cluster_hedges_wasted_total", "Hedge attempts beaten by their primary.", float64(m.HedgesWasted))
+	p.Counter("repro_cluster_wire_bytes_total", "Body bytes shipped over the binary wire codecs.", float64(m.WireBytesTotal))
 
 	// Fleet: the summed counters of every worker that answered /metrics.
 	p.Counter("repro_fleet_jobs_submitted_total", "Jobs submitted across the fleet.", float64(m.Fleet.Submitted))
@@ -110,6 +115,8 @@ func writePromCluster(w http.ResponseWriter, m ClusterMetrics, v ClusterView) {
 		}
 		p.Gauge("repro_cluster_worker_healthy", "Worker health (1 healthy, 0 down).", healthy, "worker", url)
 		p.Gauge("repro_cluster_worker_in_flight", "Cells currently dispatched to the worker.", float64(cw.InFlight), "worker", url)
+		p.Gauge("repro_cluster_inflight", "In-flight window occupancy of the worker, in cells.", float64(cw.InFlight), "worker", url)
+		p.Gauge("repro_cluster_queue_depth", "Dispatch attempts waiting behind the worker's window.", float64(cw.QueueDepth), "worker", url)
 		p.Gauge("repro_cluster_worker_graphs", "Graphs this coordinator has uploaded to the worker.", float64(cw.Graphs), "worker", url)
 		p.Counter("repro_cluster_worker_dispatched_total", "Cell dispatches to the worker.", float64(cw.Dispatched), "worker", url)
 		p.Counter("repro_cluster_worker_failures_total", "Failures observed against the worker.", float64(cw.Failures), "worker", url)

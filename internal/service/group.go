@@ -1,0 +1,370 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/registry"
+)
+
+// This file is the worker-side grouped execution path behind POST
+// /v1/jobgroups (DESIGN.md §6a): one submission runs a whole seed-axis group
+// — same graph, same algorithm and parameters, N seeds — against a single
+// graph lookup, paying the per-job wire and bookkeeping overhead once
+// instead of N times. Groups execute on their own goroutine, gated by a
+// semaphore sized like the worker pool so grouped and per-cell load contend
+// for the same engine parallelism, and the seeds inside a group run
+// sequentially (the coordinator provides cross-group parallelism).
+//
+// Accounting contract: every seed flows through the same counters a
+// batch-member job would (submitted, batch_members, batch cache hits/misses,
+// completed/failed/canceled, engine telemetry, latency) so fleet-level
+// metric sums are identical whether cells arrive grouped or one at a time.
+
+// MaxGroupSeeds bounds the seeds one group may carry; the HTTP layer
+// surfaces violations as 400s.
+const MaxGroupSeeds = 4096
+
+// ErrGroupNotFound reports an unknown group ID.
+var ErrGroupNotFound = errors.New("service: no such job group")
+
+// GroupRequest describes one grouped submission: Params is the shared base
+// (its Seed field is ignored) and Seeds supplies the per-cell randomness.
+type GroupRequest struct {
+	// Algo names a registered algorithm.
+	Algo string
+	// Graph is the shared input graph; the service takes ownership as with
+	// Request.Graph.
+	Graph *graph.Graph
+	// Params configures every run; Params.Seed is overwritten per cell.
+	Params registry.Params
+	// Seeds lists the per-cell seeds, one run each, in order.
+	Seeds []uint64
+	// Traces optionally carries one trace ID per seed (the coordinator's
+	// batch-cell child IDs). Empty means IDs are derived from TraceID.
+	Traces []string
+	// Timeout bounds each run, not the whole group (0 = Config.DefaultTimeout).
+	Timeout time.Duration
+	// TraceID identifies the group; empty means the service generates one.
+	TraceID string
+}
+
+// GroupCellView is an immutable snapshot of one seed's run inside a group.
+type GroupCellView struct {
+	Seed     uint64
+	TraceID  string
+	State    State
+	CacheHit bool
+	Error    string
+	Result   *registry.Result
+}
+
+// GroupView is an immutable snapshot of a job group.
+type GroupView struct {
+	ID          string
+	TraceID     string
+	Algo        string
+	Params      registry.Params
+	State       State
+	Total       int
+	Done        int
+	Cells       []GroupCellView
+	SubmittedAt time.Time
+	FinishedAt  time.Time
+}
+
+type groupCell struct {
+	seed     uint64
+	traceID  string
+	state    State
+	cacheHit bool
+	err      string
+	result   *registry.Result
+}
+
+type group struct {
+	id      string
+	traceID string
+	spec    *registry.Spec
+	g       *graph.Graph
+	fp      string
+	params  registry.Params
+	timeout time.Duration
+
+	state     State
+	cells     []groupCell
+	done      int // terminal cells
+	canceled  bool
+	submitted time.Time
+	finished  time.Time
+	ctx       context.Context
+	cancel    context.CancelFunc
+}
+
+// SubmitGroup validates and starts a job group. Unlike Submit there is no
+// queue-full rejection: the group occupies one goroutine immediately and
+// waits its turn on the group semaphore, which is what bounds concurrent
+// grouped engine work.
+func (s *Service) SubmitGroup(req GroupRequest) (GroupView, error) {
+	spec, ok := registry.Get(req.Algo)
+	if !ok {
+		return GroupView{}, fmt.Errorf("service: unknown algorithm %q", req.Algo)
+	}
+	if req.Graph == nil {
+		return GroupView{}, errors.New("service: nil graph")
+	}
+	if len(req.Seeds) == 0 {
+		return GroupView{}, errors.New("service: job group has no seeds")
+	}
+	if len(req.Seeds) > MaxGroupSeeds {
+		return GroupView{}, fmt.Errorf("service: job group has %d seeds, max %d", len(req.Seeds), MaxGroupSeeds)
+	}
+	if len(req.Traces) != 0 && len(req.Traces) != len(req.Seeds) {
+		return GroupView{}, fmt.Errorf("service: %d traces for %d seeds", len(req.Traces), len(req.Seeds))
+	}
+	params := req.Params.Normalized()
+	if err := spec.Validate(params); err != nil {
+		return GroupView{}, err
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	fp := registry.Fingerprint(req.Graph)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return GroupView{}, ErrClosed
+	}
+	s.nextGroupID++
+	trace := req.TraceID
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	gr := &group{
+		id:        fmt.Sprintf("g%08d", s.nextGroupID),
+		traceID:   trace,
+		spec:      spec,
+		g:         req.Graph,
+		fp:        fp,
+		params:    params,
+		timeout:   timeout,
+		state:     Queued,
+		cells:     make([]groupCell, len(req.Seeds)),
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	for i, seed := range req.Seeds {
+		cellTrace := obs.ChildTraceID(trace, i)
+		if len(req.Traces) != 0 {
+			cellTrace = req.Traces[i]
+		}
+		gr.cells[i] = groupCell{seed: seed, traceID: cellTrace, state: Queued}
+	}
+	s.groups[gr.id] = gr
+	s.groupWG.Add(1)
+	go s.runGroup(gr)
+	return gr.view(), nil
+}
+
+// GetGroup returns a snapshot of the group with the given ID.
+func (s *Service) GetGroup(id string) (GroupView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gr, ok := s.groups[id]
+	if !ok {
+		return GroupView{}, false
+	}
+	return gr.view(), true
+}
+
+// CancelGroup stops a queued or running group: the in-flight seed is
+// abandoned and every not-yet-terminal cell transitions to Canceled.
+// Finished groups return ErrFinished.
+func (s *Service) CancelGroup(id string) (GroupView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gr, ok := s.groups[id]
+	if !ok {
+		return GroupView{}, ErrGroupNotFound
+	}
+	if gr.state.Terminal() {
+		return gr.view(), ErrFinished
+	}
+	gr.canceled = true
+	gr.cancel()
+	return gr.view(), nil
+}
+
+// runGroup owns one group's lifecycle: wait for an engine slot, run the
+// seeds in order, finalize. All state transitions happen under s.mu.
+func (s *Service) runGroup(gr *group) {
+	defer s.groupWG.Done()
+	defer gr.cancel()
+	select {
+	case s.groupSem <- struct{}{}:
+		defer func() { <-s.groupSem }()
+	case <-gr.ctx.Done():
+	}
+
+	s.mu.Lock()
+	if !gr.canceled {
+		gr.state = Running
+	}
+	s.mu.Unlock()
+
+	for i := range gr.cells {
+		s.runGroupCell(gr, i)
+	}
+
+	s.mu.Lock()
+	gr.g = nil
+	if gr.canceled {
+		gr.state = Canceled
+	} else {
+		gr.state = Done
+	}
+	gr.finished = time.Now()
+	s.terminalGroups = append(s.terminalGroups, gr.id)
+	for len(s.terminalGroups) > s.cfg.MaxJobs {
+		delete(s.groups, s.terminalGroups[0])
+		s.terminalGroups = s.terminalGroups[1:]
+	}
+	s.mu.Unlock()
+}
+
+// runGroupCell executes one seed with the same cache, telemetry and
+// abandon-on-timeout semantics as runJob.
+func (s *Service) runGroupCell(gr *group, i int) {
+	cell := &gr.cells[i]
+	params := gr.params
+	params.Seed = cell.seed
+	key := gr.fp + "|" + gr.spec.CacheKey(params)
+
+	s.mu.Lock()
+	s.met.submitted++
+	s.met.batchMembers++
+	if gr.canceled {
+		cell.state = Canceled
+		gr.done++
+		s.met.canceled++
+		s.mu.Unlock()
+		return
+	}
+	if res, hit := s.cache.get(key); hit {
+		cell.state = Done
+		cell.cacheHit = true
+		cell.result = res
+		gr.done++
+		s.met.batchCacheHits++
+		s.met.completed++
+		s.mu.Unlock()
+		return
+	}
+	s.met.batchCacheMisses++
+	cell.state = Running
+	s.running++
+	g, spec := gr.g, gr.spec
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(gr.ctx, gr.timeout)
+	defer cancel()
+	started := time.Now()
+
+	type outcome struct {
+		res *registry.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	// Same abandon-and-drain contract as runJob: the algorithms are
+	// synchronous, so cancellation flips the cell's state immediately while
+	// this goroutine is drained before the next seed starts — a canceled
+	// group never leaves a computation running behind its terminal state.
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("service: algorithm panicked: %v", r)}
+			}
+		}()
+		res, err := spec.Run(g, params)
+		ch <- outcome{res: res, err: err}
+	}()
+
+	finish := func(out outcome) {
+		s.mu.Lock()
+		s.running--
+		if out.err != nil {
+			cell.state = Failed
+			cell.err = out.err.Error()
+			s.met.failed++
+		} else {
+			cell.state = Done
+			cell.result = out.res
+			s.cache.put(key, out.res)
+			s.met.completed++
+			s.met.recordEngine(traceOf(out.res))
+			s.met.recordLatency(time.Since(started))
+		}
+		gr.done++
+		s.mu.Unlock()
+	}
+
+	select {
+	case out := <-ch:
+		finish(out)
+	case <-ctx.Done():
+		select {
+		case out := <-ch:
+			finish(out)
+			return
+		default:
+		}
+		s.mu.Lock()
+		s.running--
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			cell.state = Failed
+			cell.err = fmt.Sprintf("service: job exceeded its %s timeout", gr.timeout)
+			s.met.failed++
+		} else {
+			cell.state = Canceled
+			s.met.canceled++
+		}
+		gr.done++
+		s.mu.Unlock()
+		<-ch // drain the abandoned computation
+	}
+}
+
+// view must be called with s.mu held.
+func (gr *group) view() GroupView {
+	v := GroupView{
+		ID:          gr.id,
+		TraceID:     gr.traceID,
+		Algo:        gr.spec.Name,
+		Params:      gr.params,
+		State:       gr.state,
+		Total:       len(gr.cells),
+		Done:        gr.done,
+		Cells:       make([]GroupCellView, len(gr.cells)),
+		SubmittedAt: gr.submitted,
+		FinishedAt:  gr.finished,
+	}
+	for i, c := range gr.cells {
+		v.Cells[i] = GroupCellView{
+			Seed:     c.seed,
+			TraceID:  c.traceID,
+			State:    c.state,
+			CacheHit: c.cacheHit,
+			Error:    c.err,
+			Result:   c.result,
+		}
+	}
+	return v
+}

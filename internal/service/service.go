@@ -164,15 +164,25 @@ type Service struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
-	mu       sync.Mutex
-	closed   bool
-	jobs     map[string]*job
-	terminal []string // finished job IDs, oldest first, for eviction
-	cache    *lruCache
-	met      counters
-	queued   int // jobs waiting in the channel, minus canceled ones
-	running  int
-	nextID   uint64
+	// groupSem bounds how many job groups execute concurrently (one engine
+	// run at a time each); sized like the worker pool so grouped and
+	// per-job load share the same parallelism budget. groupWG tracks group
+	// runner goroutines for Close.
+	groupSem chan struct{}
+	groupWG  sync.WaitGroup
+
+	mu             sync.Mutex
+	closed         bool
+	jobs           map[string]*job
+	terminal       []string // finished job IDs, oldest first, for eviction
+	groups         map[string]*group
+	terminalGroups []string // finished group IDs, oldest first, for eviction
+	cache          *lruCache
+	met            counters
+	queued         int // jobs waiting in the channel, minus canceled ones
+	running        int
+	nextID         uint64
+	nextGroupID    uint64
 }
 
 // markTerminal must be called with s.mu held once a job reaches a terminal
@@ -196,10 +206,12 @@ func (s *Service) markTerminal(jb *job) {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueSize),
-		jobs:  make(map[string]*job),
-		cache: newLRUCache(cfg.CacheSize),
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueSize),
+		jobs:     make(map[string]*job),
+		groups:   make(map[string]*group),
+		groupSem: make(chan struct{}, cfg.Workers),
+		cache:    newLRUCache(cfg.CacheSize),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -380,8 +392,8 @@ func (s *Service) Telemetry() EngineTelemetry {
 	return s.met.engineTelemetry()
 }
 
-// Close stops accepting submissions, waits for queued and running jobs to
-// drain, and releases the worker pool.
+// Close stops accepting submissions, waits for queued and running jobs and
+// job groups to drain, and releases the worker pool.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -392,6 +404,7 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	s.groupWG.Wait()
 }
 
 func (s *Service) worker() {

@@ -20,6 +20,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"slices"
@@ -82,8 +83,9 @@ func Build(exp string, trials int) (*Plan, error) {
 
 // Execute drives a plan through the batch API: upload every run's graph to
 // the store (identical graphs deduplicate server-side), submit one batch of
-// explicit cells in row order, long-poll it, and emit the rows.
-func Execute(c *httpapi.Client, exp string, p *Plan) (err error) {
+// explicit cells in row order, long-poll it, and emit the rows. Canceling
+// ctx abandons the in-flight round trip; cleanup still runs.
+func Execute(ctx context.Context, c *httpapi.Client, exp string, p *Plan) (err error) {
 	// The uploads are per-sweep scratch: delete them however this sweep
 	// ends, or a failed run would leak deterministic sweep-* names into a
 	// remote server's store and 409 every later run that maps the same
@@ -91,7 +93,7 @@ func Execute(c *httpapi.Client, exp string, p *Plan) (err error) {
 	var names []string
 	defer func() {
 		for _, name := range names {
-			if derr := c.DeleteGraph(name); derr != nil && err == nil {
+			if derr := c.DeleteGraph(ctx, name); derr != nil && err == nil {
 				err = fmt.Errorf("cleaning up %s: %w", name, derr)
 			}
 		}
@@ -104,18 +106,18 @@ func Execute(c *httpapi.Client, exp string, p *Plan) (err error) {
 			return err
 		}
 		name := fmt.Sprintf("sweep-%s-r%03d", exp, i)
-		if _, err := c.PutGraph(name, buf.String()); err != nil {
+		if _, err := c.PutGraph(ctx, name, buf.String()); err != nil {
 			return fmt.Errorf("uploading graph for cell %d: %w", i, err)
 		}
 		names = append(names, name)
 		params := r.params
 		cells[i] = httpapi.BatchCell{Graph: name, Algo: r.algo, Params: &params}
 	}
-	b, err := c.SubmitBatch(httpapi.BatchRequest{Cells: cells})
+	b, err := c.SubmitBatch(ctx, httpapi.BatchRequest{Cells: cells})
 	if err != nil {
 		return fmt.Errorf("submitting batch: %w", err)
 	}
-	fin, err := c.WaitBatch(b.ID, 10*time.Minute)
+	fin, err := c.WaitBatch(ctx, b.ID, 10*time.Minute)
 	if err != nil {
 		return err
 	}
