@@ -17,10 +17,22 @@
 // (n, trials, seed), which is what makes them a CI-enforceable gate where
 // wall-clock (reported, but noisy on shared runners) is not.
 //
+// With -scale the tool switches from the paper's table to a single-worker
+// scaling sweep: -n takes a comma list with k/M suffixes (96,10k,1M), each
+// -algos algorithm runs once per size over a sparse G(n, 8/n) instance (or
+// over one -load graph file), and each (algo, n) cell reports wall-clock,
+// allocations, peak RSS, rounds and messages. -comparescale gates a fresh
+// sweep against a committed record (BENCH_scale_baseline.json): rounds must
+// match exactly, allocations within -threshold percent; cells are matched by
+// (algo, n) so a CI subset run can gate against the full baseline.
+//
 // Usage:
 //
 //	benchtab [-n nodes] [-trials k] [-seed s] [-json] [-out file]
 //	         [-compare BENCH_baseline.json] [-threshold pct]
+//	benchtab -scale [-n 96,10k,1M] [-algos maxis,mwm2] [-load graph.el]
+//	         [-out BENCH_scale_baseline.json]
+//	         [-comparescale BENCH_scale_baseline.json]
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro"
@@ -81,17 +94,56 @@ type benchRecord struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtab: ")
-	n := flag.Int("n", 96, "nodes per instance")
-	trials := flag.Int("trials", 5, "instances per row")
+	nFlag := flag.String("n", "96", "nodes per instance; -scale mode takes a comma list with k/M suffixes (96,10k,1M)")
+	trials := flag.Int("trials", 5, "instances per row (table mode)")
 	seed := flag.Uint64("seed", 1, "base seed")
 	jsonOut := flag.Bool("json", false, "also write a BENCH_<date>.json perf record")
 	outPath := flag.String("out", "", "perf record path (default BENCH_<date>.json; implies -json)")
 	compare := flag.String("compare", "", "previous perf record to diff against; exit 1 on allocs_per_run regression beyond -threshold")
-	threshold := flag.Float64("threshold", 25, "allowed allocs_per_run regression for -compare, in percent")
+	threshold := flag.Float64("threshold", 25, "allowed allocs_per_run regression for -compare/-comparescale, in percent")
+	scale := flag.Bool("scale", false, "scaling-table mode: run each -algos algorithm once per -n size over sparse G(n, 8/n) instances; reports wall/allocs/peak-RSS/rounds/messages per cell")
+	algosFlag := flag.String("algos", "maxis,mwm2", "comma-separated algorithms for -scale mode")
+	loadPath := flag.String("load", "", "-scale mode: benchmark this graph file (.el/.txt/.mtx/.rgd1/.rgb1) instead of generating; overrides -n")
+	compareScale := flag.String("comparescale", "", "-scale mode: gate against this scale record — rounds must match exactly, allocs within -threshold; cells matched by (algo, n), unmatched cells skipped")
 	flag.Parse()
 	if *trials < 1 {
 		log.Fatalf("trials must be ≥ 1, got %d", *trials)
 	}
+
+	sizes, err := parseSizes(*nFlag)
+	if err != nil {
+		log.Fatalf("-n: %v", err)
+	}
+	if *scale {
+		cfg := scaleConfig{
+			sizes:     sizes,
+			seed:      *seed,
+			loadPath:  *loadPath,
+			jsonOut:   *jsonOut,
+			outPath:   *outPath,
+			compare:   *compareScale,
+			threshold: *threshold,
+		}
+		for _, a := range strings.Split(*algosFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.algos = append(cfg.algos, a)
+			}
+		}
+		if len(cfg.algos) == 0 {
+			log.Fatal("-scale needs at least one algorithm in -algos")
+		}
+		if err := runScale(cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *compareScale != "" || *loadPath != "" {
+		log.Fatal("-comparescale and -load only apply in -scale mode")
+	}
+	if len(sizes) != 1 {
+		log.Fatalf("table mode takes a single -n size (got %q); use -scale for a size sweep", *nFlag)
+	}
+	n := &sizes[0]
 
 	rows := []rowSpec{
 		{"1", "MaxIS local-ratio (Alg 2, Luby)", "∆", "CONGEST", "maxis", 0, 3, isRatio},

@@ -116,6 +116,9 @@ func main() {
 	cache := flag.Int("cache", 128, "LRU result-cache entries")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job timeout")
 	maxGraphs := flag.Int("maxgraphs", 256, "named graph store capacity")
+	maxBody := flag.Int64("maxbody", httpapi.DefaultMaxBodyBytes, "request body size cap in bytes (raise for large graph uploads)")
+	spillDir := flag.String("spilldir", "", "directory for RGD1 graph spill: evicted store entries move to disk and revive via mmap")
+	load := flag.String("load", "", "comma-separated graph files to preload into the store (.el/.txt edge list, .mtx Matrix Market, .rgd1 disk CSR, .rgb1 binary); each is named after its base filename")
 	maxCells := flag.Int("maxcells", 4096, "cell cap per batch")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	fleet := flag.String("workers", "", "comma-separated reprod worker base URLs; enables cluster-coordinator mode")
@@ -140,7 +143,7 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	inert := map[bool][]string{
-		true:  {"pool", "queue", "cache", "timeout"},                                     // single-node engine knobs
+		true:  {"pool", "queue", "cache", "timeout", "spilldir", "load"},                 // single-node engine knobs
 		false: {"window", "probe", "poll", "straggler", "hedge", "groupsize", "percell"}, // coordinator knobs
 	}
 	for _, name := range inert[*fleet != ""] {
@@ -170,7 +173,7 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("coordinator mode over %d workers", len(strings.Split(*fleet, ",")))
-		handler = httpapi.NewClusterHandler(coord)
+		handler = httpapi.NewClusterHandler(coord, httpapi.WithMaxBodyBytes(*maxBody))
 		shutdown = coord.Close
 	} else {
 		svc := service.New(service.Config{
@@ -179,9 +182,18 @@ func main() {
 			CacheSize:      *cache,
 			DefaultTimeout: *timeout,
 		})
-		st := store.New(store.Config{MaxGraphs: *maxGraphs})
+		st := store.New(store.Config{MaxGraphs: *maxGraphs, SpillDir: *spillDir})
 		batches := service.NewBatches(svc, st, service.BatchConfig{MaxCells: *maxCells})
-		handler = httpapi.NewHandler(svc, st, batches)
+		if *load != "" {
+			for _, path := range strings.Split(*load, ",") {
+				name, info, err := loadGraphFile(st, strings.TrimSpace(path))
+				if err != nil {
+					log.Fatalf("-load %s: %v", path, err)
+				}
+				log.Printf("loaded %s as %q: %d nodes, %d edges", path, name, info.Nodes, info.Edges)
+			}
+		}
+		handler = httpapi.NewHandler(svc, st, batches, httpapi.WithMaxBodyBytes(*maxBody))
 		shutdown = svc.Close
 	}
 	if *pprofOn {

@@ -291,11 +291,44 @@ func RunLine(g *graph.Graph, cfg simul.Config, build func(edgeID int) Machine) (
 		return nil, err
 	}
 	offsets, _, _ := g.CSR()
+	n := g.N()
 	outputs := make([]any, g.M())
-	nodes := make([]lineNode, g.N())
+	nodes := make([]lineNode, n)
+	// Pre-size each node's reusable buffers from CSR stats instead of
+	// letting them grow by append over the first rounds: liveData never
+	// exceeds the node's degree, rbuf holds one result per query of the
+	// node's primary states (machines query Fields() values per round in
+	// the common case), and qbuf is reused one state at a time, so its high
+	// water is the node's largest Fields(). Three slabs, three allocations
+	// total; each node's view is capacity-clipped (three-index slices), so
+	// a machine that out-queries the estimate reallocates privately instead
+	// of bleeding into its neighbor's slab.
+	rOff := make([]int, n+1)
+	qOff := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		sumPrimary, maxF := 0, 0
+		for k := int(offsets[v]); k < int(offsets[v+1]); k++ {
+			f := states[k].m.Fields()
+			if states[k].primary {
+				sumPrimary += f
+			}
+			if f > maxF {
+				maxF = f
+			}
+		}
+		rOff[v+1] = rOff[v] + sumPrimary
+		qOff[v+1] = qOff[v] + maxF
+	}
+	liveSlab := make([]Data, len(states))
+	rSlab := make([]int64, rOff[n])
+	qSlab := make([]Query, qOff[n])
 	res, err := simul.Run(g, cfg, func(v int) simul.Automaton {
-		nodes[v].states = states[offsets[v]:offsets[v+1]]
+		lo, hi := int(offsets[v]), int(offsets[v+1])
+		nodes[v].states = states[lo:hi]
 		nodes[v].outputs = outputs
+		nodes[v].liveData = liveSlab[lo:lo:hi]
+		nodes[v].rbuf = rSlab[rOff[v]:rOff[v]:rOff[v+1]]
+		nodes[v].qbuf = qSlab[qOff[v]:qOff[v]:qOff[v+1]]
 		return &nodes[v]
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -81,6 +82,85 @@ func BinaryHeader(data []byte) (n, m int, err error) {
 		return 0, 0, fmt.Errorf("graph: binary: sizes %d/%d exceed int32 range", un, um)
 	}
 	return int(un), int(um), nil
+}
+
+// DecodeBinaryStream parses the format written by EncodeBinary directly
+// from r, without ever holding the raw stream in memory — the service
+// boundary uses it so a large upload costs one Builder, not body + Builder.
+// Non-positive maxNodes/maxEdges mean unlimited; the caps are enforced
+// against the declared header before any size-proportional allocation.
+// Unlike DecodeBinary, which sanity-checks the header's claim against the
+// slice length, a stream has no length to check against, so the caps are
+// the only pre-allocation guard: pass real ones for untrusted input.
+func DecodeBinaryStream(r io.Reader, maxNodes, maxEdges int) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: binary: bad magic (want %q)", binaryMagic)
+	}
+	rd := func(what string) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("graph: binary: truncated or overlong %s: %w", what, err)
+		}
+		return v, nil
+	}
+	un, err := rd("node count")
+	if err != nil {
+		return nil, err
+	}
+	um, err := rd("edge count")
+	if err != nil {
+		return nil, err
+	}
+	if un > math.MaxInt32 || um > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: binary: sizes %d/%d exceed int32 range", un, um)
+	}
+	if maxNodes > 0 && un > uint64(maxNodes) {
+		return nil, fmt.Errorf("graph: binary: %d nodes exceeds cap %d", un, maxNodes)
+	}
+	if maxEdges > 0 && um > uint64(maxEdges) {
+		return nil, fmt.Errorf("graph: binary: %d edges exceeds cap %d", um, maxEdges)
+	}
+	n, m := int(un), int(um)
+	b := NewBuilderHint(n, m)
+	for v := 0; v < n; v++ {
+		uw, err := rd("node weight")
+		if err != nil {
+			return nil, err
+		}
+		if uw == 0 || uw > math.MaxInt64 {
+			return nil, fmt.Errorf("graph: binary: node %d has non-positive weight", v)
+		}
+		b.SetNodeWeight(v, int64(uw))
+	}
+	for i := 0; i < m; i++ {
+		uu, err := rd("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		uv, err := rd("edge endpoint")
+		if err != nil {
+			return nil, err
+		}
+		uw, err := rd("edge weight")
+		if err != nil {
+			return nil, err
+		}
+		if uu > math.MaxInt32 || uv > math.MaxInt32 {
+			return nil, fmt.Errorf("graph: binary: edge %d endpoints out of int32 range", i)
+		}
+		if uw == 0 || uw > math.MaxInt64 {
+			return nil, fmt.Errorf("graph: binary: edge %d has non-positive weight", i)
+		}
+		if err := b.AddWeightedEdge(int(uu), int(uv), int64(uw)); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("graph: binary: trailing bytes after the last edge")
+	}
+	return b.Build()
 }
 
 // DecodeBinary parses the format written by EncodeBinary. Trailing bytes

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"slices"
@@ -31,6 +32,35 @@ func NewBuilder(n int) *Builder {
 		w[i] = 1
 	}
 	return &Builder{n: n, nodeW: w}
+}
+
+// NewBuilderHint returns a builder for n nodes with capacity reserved for m
+// edges, so the streamed ingestion paths (ReadEdgeList, ReadMatrixMarket)
+// never re-slice the edge arrays per edge when the header announces sizes.
+func NewBuilderHint(n, m int) *Builder {
+	b := NewBuilder(n)
+	if m > 0 {
+		b.Grow(m)
+	}
+	return b
+}
+
+// EnsureNode grows the node count so that v is a valid node, assigning weight
+// 1 to any nodes created. It is the auto-grow hook for streamed edge lists
+// whose node count is not known up front: amortized O(1) per call (the weight
+// array doubles), and a no-op when v is already in range.
+func (b *Builder) EnsureNode(v int) {
+	if v < 0 {
+		panic("graph: negative node id")
+	}
+	if v < b.n {
+		return
+	}
+	b.nodeW = slices.Grow(b.nodeW, v+1-b.n)
+	for b.n <= v {
+		b.nodeW = append(b.nodeW, 1)
+		b.n++
+	}
 }
 
 // N returns the number of nodes.
@@ -71,6 +101,55 @@ func (b *Builder) MustAddEdge(u, v int) {
 	if err := b.AddEdge(u, v); err != nil {
 		panic(err)
 	}
+}
+
+// DedupEdges removes duplicate edges — later insertions of an endpoint pair
+// already present — keeping the first occurrence and its weight, and returns
+// how many were dropped. Real-world edge lists (SNAP dumps list both arc
+// directions; general Matrix Market files may carry both triangles) routinely
+// contain duplicates that Build would reject; ingestion calls this once after
+// streaming instead of paying a hash set per edge.
+func (b *Builder) DedupEdges() int {
+	if len(b.edges) < 2 {
+		return 0
+	}
+	idx := make([]int32, len(b.edges))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(i, j int32) int {
+		a, c := b.edges[i], b.edges[j]
+		if a.U != c.U {
+			return cmp.Compare(a.U, c.U)
+		}
+		if a.V != c.V {
+			return cmp.Compare(a.V, c.V)
+		}
+		return int(i - j)
+	})
+	dup := make([]bool, len(b.edges))
+	removed := 0
+	for k := 1; k < len(idx); k++ {
+		if b.edges[idx[k]] == b.edges[idx[k-1]] {
+			dup[idx[k]] = true
+			removed++
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	w := 0
+	for i := range b.edges {
+		if dup[i] {
+			continue
+		}
+		b.edges[w] = b.edges[i]
+		b.edgeW[w] = b.edgeW[i]
+		w++
+	}
+	b.edges = b.edges[:w]
+	b.edgeW = b.edgeW[:w]
+	return removed
 }
 
 // SetNodeWeight sets w(v). Weights must be positive (§2.2).

@@ -1,0 +1,38 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-write MAP_PRIVATE: reads fault pages straight from
+// the page cache (shared across every mapping of the same file) and weight
+// writes land in private copy-on-write pages, so the file is never dirtied.
+// The descriptor is closed immediately after mapping — the mapping keeps the
+// file data alive on its own.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, fmt.Errorf("graph: rgd1: %s: empty file", path)
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("graph: rgd1: %s: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: rgd1: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

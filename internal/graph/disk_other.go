@@ -1,0 +1,14 @@
+//go:build !unix
+
+package graph
+
+import "os"
+
+// mapFile on platforms without a memory-mapping path reads the whole file
+// into memory. The nil unmap tells OpenDisk the image is heap-owned, which
+// routes decoding through the copy path (no aliasing of a shared mapping to
+// manage, no Close obligation).
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	return data, nil, err
+}

@@ -69,3 +69,40 @@ func BenchmarkLineGraph(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBuilderSmall pins the satellite contract of the streaming-
+// ingestion work: adding capacity hints and EnsureNode auto-grow must not
+// tax the small-graph construction path every algorithm test pays. The
+// three variants build the same 64-node / 256-edge graph; "hint" should
+// match or beat "exact", and "autogrow" bounds the cost of not announcing
+// n up front.
+func BenchmarkBuilderSmall(b *testing.B) {
+	const n, m = 64, 256
+	edges := make([][2]int, 0, m)
+	r := rng.New(3)
+	for len(edges) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	build := func(b *testing.B, mk func() *graph.Builder, grow bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bd := mk()
+			for _, e := range edges {
+				if grow {
+					bd.EnsureNode(max(e[0], e[1]))
+				}
+				bd.AddWeightedEdge(e[0], e[1], 1)
+			}
+			bd.DedupEdges()
+			if _, err := bd.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("exact", func(b *testing.B) { build(b, func() *graph.Builder { return graph.NewBuilder(n) }, false) })
+	b.Run("hint", func(b *testing.B) { build(b, func() *graph.Builder { return graph.NewBuilderHint(n, m) }, false) })
+	b.Run("autogrow", func(b *testing.B) { build(b, func() *graph.Builder { return graph.NewBuilder(0) }, true) })
+}

@@ -24,6 +24,15 @@ import (
 // formats; signed fields (weights, Edges entries, which use -1 for
 // unmatched) travel zigzagged via Varint.
 
+// GraphEdgeListContentType negotiates streamed whitespace edge-list (SNAP
+// dump) graph uploads on PUT /v1/graphs/{name}: the body is the file itself,
+// decoded by graph.ReadEdgeList.
+const GraphEdgeListContentType = "application/x-repro-edgelist"
+
+// GraphMatrixMarketContentType negotiates streamed Matrix Market coordinate
+// uploads on PUT /v1/graphs/{name}, decoded by graph.ReadMatrixMarket.
+const GraphMatrixMarketContentType = "application/x-matrix-market"
+
 // GraphBinaryContentType negotiates the graph.EncodeBinary format on
 // PUT /v1/graphs/{name}.
 const GraphBinaryContentType = "application/x-repro-graph"

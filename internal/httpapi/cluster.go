@@ -116,7 +116,8 @@ func (r *JobResult) ToResult() (*registry.Result, error) {
 // ClusterBackend. Single-job endpoints are not served in coordinator mode
 // (submit a one-cell batch instead); everything else matches NewHandler's
 // wire format exactly.
-func NewClusterHandler(b ClusterBackend) http.Handler {
+func NewClusterHandler(b ClusterBackend, opts ...HandlerOption) http.Handler {
+	cfg := buildHandlerConfig(opts)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -142,5 +143,5 @@ func NewClusterHandler(b ClusterBackend) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", unsupported)
 
 	registerBackendRoutes(mux, b)
-	return mux
+	return limitBody(mux, cfg.maxBody)
 }

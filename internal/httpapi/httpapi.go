@@ -39,7 +39,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"strings"
@@ -53,8 +52,47 @@ import (
 	"repro/internal/store"
 )
 
-// maxBodyBytes bounds a request body (inline graphs included).
-const maxBodyBytes = 64 << 20
+// DefaultMaxBodyBytes is the request-body bound (inline graphs included)
+// applied when no WithMaxBodyBytes option overrides it.
+const DefaultMaxBodyBytes = 64 << 20
+
+// HandlerOption configures NewHandler / NewClusterHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	maxBody int64
+}
+
+func buildHandlerConfig(opts []HandlerOption) handlerConfig {
+	cfg := handlerConfig{maxBody: DefaultMaxBodyBytes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithMaxBodyBytes overrides the request-body size bound (default
+// DefaultMaxBodyBytes). Deployments ingesting million-node graphs raise it;
+// the streaming upload decoders keep memory proportional to the graph, not
+// the bound.
+func WithMaxBodyBytes(n int64) HandlerOption {
+	return func(c *handlerConfig) {
+		if n > 0 {
+			c.maxBody = n
+		}
+	}
+}
+
+// limitBody caps every request body once, at the edge, so the decoders
+// below can consume r.Body directly — streaming ones included.
+func limitBody(h http.Handler, limit int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
 
 // maxWait caps the ?wait= long-poll duration.
 const maxWait = 60 * time.Second
@@ -336,7 +374,8 @@ func (e engineBackend) CancelBatch(id string) (service.BatchView, error) {
 // NewHandler wires the HTTP API around the job service, the graph store and
 // the batch engine. It is a plain http.Handler so tests and in-process
 // clients can drive it through httptest.
-func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches) http.Handler {
+func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches, opts ...HandlerOption) http.Handler {
+	cfg := buildHandlerConfig(opts)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -377,7 +416,7 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches)
 
 	registerGroupRoutes(mux, svc, st)
 	registerBackendRoutes(mux, engineBackend{st: st, batches: batches})
-	return mux
+	return limitBody(mux, cfg.maxBody)
 }
 
 // registerBackendRoutes mounts the graph-store and batch routes over a
@@ -558,37 +597,46 @@ func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, 
 	}
 }
 
+// streamReadOptions are the ingestion bounds every streamed graph upload
+// shares: the registry's untrusted-input caps, plus the cleanup steps
+// (self-loop and duplicate tolerance) that real-world edge dumps need.
+var streamReadOptions = graph.ReadOptions{
+	MaxNodes:      registry.MaxGraphNodes,
+	MaxEdges:      registry.MaxGraphEdges,
+	SkipSelfLoops: true,
+	DedupEdges:    true,
+}
+
 func handlePutGraph(b Backend, w http.ResponseWriter, r *http.Request) {
 	var src store.Source
-	if strings.Contains(r.Header.Get("Content-Type"), GraphBinaryContentType) {
-		// Binary upload: the body is the graph.EncodeBinary stream itself,
-		// size-capped through its peekable header exactly as checkGraphHeader
-		// caps text uploads.
-		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
-			return
-		}
-		n, m, err := graph.BinaryHeader(data)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		if n > registry.MaxGraphNodes {
-			writeErr(w, http.StatusBadRequest, fmt.Sprintf("graph declares %d nodes, cap %d", n, registry.MaxGraphNodes))
-			return
-		}
-		if m > registry.MaxGraphEdges {
-			writeErr(w, http.StatusBadRequest, fmt.Sprintf("graph declares %d edges, cap %d", m, registry.MaxGraphEdges))
-			return
-		}
-		g, err := graph.DecodeBinary(data)
+	ctype := r.Header.Get("Content-Type")
+	// The non-JSON uploads all stream: the body decodes through a fixed
+	// I/O buffer straight into a Builder (size caps enforced against the
+	// declared header or during the scan), so a large upload costs the
+	// graph, never body + graph. limitBody has already capped raw size.
+	switch {
+	case strings.Contains(ctype, GraphBinaryContentType):
+		g, err := graph.DecodeBinaryStream(r.Body, registry.MaxGraphNodes, registry.MaxGraphEdges)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "malformed graph: "+err.Error())
 			return
 		}
 		src = store.Source{Graph: g}
-	} else {
+	case strings.Contains(ctype, GraphEdgeListContentType):
+		g, err := graph.ReadEdgeList(r.Body, streamReadOptions)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed edge list: "+err.Error())
+			return
+		}
+		src = store.Source{Graph: g}
+	case strings.Contains(ctype, GraphMatrixMarketContentType):
+		g, err := graph.ReadMatrixMarket(r.Body, streamReadOptions)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "malformed matrix market file: "+err.Error())
+			return
+		}
+		src = store.Source{Graph: g}
+	default:
 		var req GraphRequest
 		if !decodeBody(w, r, &req) {
 			return
@@ -752,11 +800,11 @@ func checkGraphHeader(text string) error {
 	return nil
 }
 
-// decodeBody decodes a bounded JSON request body, writing the error response
-// itself when it reports false.
+// decodeBody decodes a JSON request body, writing the error response itself
+// when it reports false. The body arrives pre-capped by the limitBody
+// middleware both handler constructors install.
 func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(body)
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())

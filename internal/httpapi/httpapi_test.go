@@ -332,8 +332,8 @@ func TestListingAndHealth(t *testing.T) {
 	if len(listing.Algorithms) != 11 {
 		t.Fatalf("listed %d algorithms, want 11", len(listing.Algorithms))
 	}
-	if len(listing.Generators) != 10 {
-		t.Fatalf("listed %d generators, want 10", len(listing.Generators))
+	if len(listing.Generators) != 11 {
+		t.Fatalf("listed %d generators, want 11", len(listing.Generators))
 	}
 
 	hr, err := http.Get(ts.URL + "/healthz")

@@ -108,6 +108,23 @@ var genSpecs = []*GenSpec{
 		},
 	},
 	{
+		Name:    "gnp-sparse",
+		Summary: "Erdős–Rényi G(n, p) via geometric skipping — O(n+m), for large sparse graphs",
+		Params:  []string{"n", "p", "seed"},
+		build: func(p GenParams) (*graph.Graph, error) {
+			if err := needN(p); err != nil {
+				return nil, err
+			}
+			if err := needP(p); err != nil {
+				return nil, err
+			}
+			if exp := float64(p.N) * float64(p.N-1) / 2 * p.P; exp > maxGenEdges {
+				return nil, fmt.Errorf("gnp-sparse with n=%d p=%g expects %.0f edges, cap %d", p.N, p.P, exp, maxGenEdges)
+			}
+			return graph.GNPSparse(p.N, p.P, rng.New(p.Seed)), nil
+		},
+	},
+	{
 		Name:    "regular",
 		Summary: "random d-regular graph (configuration model)",
 		Params:  []string{"n", "d", "seed"},

@@ -82,10 +82,12 @@ type Params struct {
 	Model simul.Model
 	// Seed fixes all randomness; equal seeds reproduce runs exactly.
 	Seed uint64
-	// MaxRounds, BitsFactor and Parallel pass through to simul.Config.
-	MaxRounds  int
-	BitsFactor int
-	Parallel   bool
+	// MaxRounds, BitsFactor, Parallel and CompressedNeighbors pass through
+	// to simul.Config.
+	MaxRounds           int
+	BitsFactor          int
+	Parallel            bool
+	CompressedNeighbors bool
 	// DeterministicColoring switches Algorithm 3 to the Linial reduction.
 	DeterministicColoring bool
 }
@@ -133,7 +135,7 @@ func (s *Spec) CacheKey(p Params) string {
 			fmt.Fprintf(&b, ",det=%t", p.DeterministicColoring)
 		}
 	}
-	fmt.Fprintf(&b, ",maxr=%d,bits=%d,par=%t", p.MaxRounds, p.BitsFactor, p.Parallel)
+	fmt.Fprintf(&b, ",maxr=%d,bits=%d,par=%t,cn=%t", p.MaxRounds, p.BitsFactor, p.Parallel, p.CompressedNeighbors)
 	return b.String()
 }
 
@@ -179,11 +181,12 @@ func (p Params) validate() error {
 
 func (p Params) simConfig() simul.Config {
 	return simul.Config{
-		Model:      p.Model,
-		Seed:       p.Seed,
-		MaxRounds:  p.MaxRounds,
-		BitsFactor: p.BitsFactor,
-		Parallel:   p.Parallel,
+		Model:               p.Model,
+		Seed:                p.Seed,
+		MaxRounds:           p.MaxRounds,
+		BitsFactor:          p.BitsFactor,
+		Parallel:            p.Parallel,
+		CompressedNeighbors: p.CompressedNeighbors,
 	}
 }
 

@@ -101,6 +101,7 @@ func TestParamValidation(t *testing.T) {
 func TestGenerators(t *testing.T) {
 	cases := map[string]GenParams{
 		"gnp":         {N: 20, P: 0.2, Seed: 1},
+		"gnp-sparse":  {N: 40, P: 0.2, Seed: 1},
 		"regular":     {N: 16, D: 4, Seed: 2},
 		"bipartite":   {N: 8, N2: 8, P: 0.3, Seed: 3},
 		"tree":        {N: 12, Seed: 4},

@@ -31,12 +31,17 @@
 //	compact  each live node's inbox slots are compacted in place to the
 //	         prefix of its arena segment, preserving sender order
 //
-// The parallel engine shards nodes into contiguous CSR ranges balanced by
-// degree sum (cache-local, one shard per worker) and runs the step, deliver
-// and compact phases on a persistent worker pool. Both engines are
-// deterministic for a fixed Config.Seed: every node draws randomness from its
-// own rng.Stream, and all cross-node effects are slot-addressed writes that
-// commute, so the sequential and parallel engines produce identical results.
+// The parallel engine cuts the node range into contiguous CSR tiles of
+// roughly Config.TileArcs arcs each, balanced by degree sum — small enough
+// that one tile's slice of the arenas fits in the last-level cache, so each
+// phase streams cache-resident slabs instead of striding a graph ≫ LLC — and
+// a persistent worker pool claims tiles off a shared counter per phase
+// (work stealing, so skewed degree distributions cannot strand a worker).
+// Both engines are deterministic for a fixed Config.Seed: every node draws
+// randomness from its own rng.Stream, all cross-node effects are
+// slot-addressed writes that commute, and per-tile counters fold through
+// commutative sums and maxes, so the sequential and parallel engines produce
+// identical results regardless of which worker ran which tile.
 //
 // Layer (DESIGN.md §2, §2b): simul is the bottom execution layer; only
 // internal/graph and internal/rng sit below it.
@@ -56,6 +61,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -129,6 +135,22 @@ type Config struct {
 	// Parallel selects the sharded worker-pool engine. The execution is
 	// identical to the sequential engine for the same Seed.
 	Parallel bool
+	// TileArcs sets the approximate arcs per parallel work tile (see the
+	// package comment's tiling discussion). Zero selects the default of
+	// 1 << 16 — segments of roughly 64K arcs keep a tile's arena slice
+	// inside the last-level cache while leaving enough tiles for the
+	// work-stealing loop to balance skewed degree distributions. Ignored by
+	// the sequential engine, which is always one tile.
+	TileArcs int
+	// CompressedNeighbors makes the engine's hot loops read adjacency from
+	// a delta-varint CompressedAdjacency (built once at Run start) instead
+	// of the raw 4-byte-per-arc CSR neighbor array, decoding each node's
+	// segment into a per-worker scratch buffer on demand. Results are
+	// bit-identical; the point is memory-bound runs on graphs ≫ LLC, where
+	// 1–2 bytes per arc of streamed reads beat 4, and mmap-backed graphs,
+	// where the raw neighbor pages then stay cold. Costs ~1 varint decode
+	// per arc per round of CPU.
+	CompressedNeighbors bool
 	// RecordRoundLog enables per-round statistics in Result.RoundLog.
 	RecordRoundLog bool
 }
@@ -328,9 +350,12 @@ func (c *Context) Halt(output any) {
 	c.output = output
 }
 
-// shard is one worker's contiguous node range plus its per-round counters.
-// The counters are the engine's telemetry arena: sized once, written only by
-// the owning worker, folded into Metrics at the round barrier.
+// shard is one contiguous node tile plus its per-round counters. The
+// counters are the engine's telemetry arena: sized once, written only by
+// whichever worker runs the tile (tiles are claimed whole, phases are
+// barrier-separated), folded into Metrics at the round barrier. Counter
+// folding sums and maxes over tiles, both commutative, so the fold is
+// deterministic no matter which worker ran which tile.
 type shard struct {
 	lo, hi   int // node range [lo, hi)
 	active   int
@@ -359,7 +384,27 @@ type engine struct {
 	halted       []bool
 	stepped      []bool
 	round        int
-	shards       []shard
+	tiles        []shard
+	workers      int
+	nextTile     atomic.Int64
+	// ca and scratch implement Config.CompressedNeighbors: scratch[w] is
+	// worker w's decode buffer (cap ∆), valid only while that worker is
+	// inside one node's loop body.
+	ca      *graph.CompressedAdjacency
+	scratch [][]int32
+}
+
+// nbrSeg returns node v's neighbor segment: the zero-copy CSR view
+// normally, or the segment decoded into worker w's scratch buffer in
+// compressed mode. The returned slice is only valid until the same worker's
+// next nbrSeg call.
+func (e *engine) nbrSeg(v, w int) []int32 {
+	if e.ca == nil {
+		return e.nbrs[e.offsets[v]:e.offsets[v+1]]
+	}
+	buf := e.ca.AppendNeighbors(v, e.scratch[w][:0])
+	e.scratch[w] = buf[:0]
+	return buf
 }
 
 // Run executes the distributed algorithm defined by build on the graph g.
@@ -406,38 +451,51 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 			id:        v,
 			g:         g,
 			rand:      master.Split(uint64(v)),
-			nbrs:      nbrs[offsets[v]:offsets[v+1]],
 			out:       e.outArena[offsets[v]:offsets[v+1]],
 			outBits:   e.outBitsArena[offsets[v]:offsets[v+1]],
 			inbox:     e.inArena[offsets[v]:offsets[v]],
 			bitBudget: budget,
 		}
+		if !cfg.CompressedNeighbors {
+			e.ctxs[v].nbrs = nbrs[offsets[v]:offsets[v+1]]
+		}
 	}
 
-	workers := 1
+	e.workers = 1
 	if cfg.Parallel {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > n {
-			workers = n
+		e.workers = runtime.GOMAXPROCS(0)
+		if e.workers > n {
+			e.workers = n
 		}
-		if workers < 1 {
-			workers = 1
+		if e.workers < 1 {
+			e.workers = 1
 		}
 	}
-	e.shards = shardByDegree(offsets, n, workers)
+	e.tiles = tileByDegree(offsets, n, e.workers, cfg.TileArcs)
+	if cfg.CompressedNeighbors {
+		e.ca = g.CompressAdjacency()
+		e.scratch = make([][]int32, e.workers)
+		for w := range e.scratch {
+			e.scratch[w] = make([]int32, 0, g.MaxDegree())
+		}
+	}
 
-	// Persistent worker pool: workers 1..k-1 wait on their channel; shard 0
-	// runs on the caller goroutine. Phase funcs are allocated once, so the
-	// per-round cost is a few channel operations and no allocation.
+	// Persistent worker pool: workers 1..k-1 wait on their channel; the
+	// caller goroutine is worker 0. Each phase resets the shared tile
+	// counter and every worker claims tiles from it until the list is
+	// drained — work stealing over contiguous CSR ranges, so a worker stuck
+	// on a dense tile sheds the rest of the list to its peers. Phase funcs
+	// are allocated once, so the per-round cost is a few channel operations
+	// and no allocation.
 	var wg sync.WaitGroup
-	var work []chan func(s *shard)
-	if len(e.shards) > 1 {
-		work = make([]chan func(s *shard), len(e.shards))
-		for w := 1; w < len(e.shards); w++ {
-			work[w] = make(chan func(s *shard), 1)
+	var work []chan func(s *shard, w int)
+	if e.workers > 1 {
+		work = make([]chan func(s *shard, w int), e.workers)
+		for w := 1; w < e.workers; w++ {
+			work[w] = make(chan func(s *shard, w int), 1)
 			go func(w int) {
 				for f := range work[w] {
-					f(&e.shards[w])
+					e.drainTiles(f, w)
 					wg.Done()
 				}
 			}(w)
@@ -448,21 +506,24 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 			}
 		}()
 	}
-	runPhase := func(f func(s *shard)) {
-		if len(e.shards) == 1 {
-			f(&e.shards[0])
+	runPhase := func(f func(s *shard, w int)) {
+		if e.workers == 1 {
+			for i := range e.tiles {
+				f(&e.tiles[i], 0)
+			}
 			return
 		}
-		wg.Add(len(e.shards) - 1)
-		for w := 1; w < len(e.shards); w++ {
+		e.nextTile.Store(0)
+		wg.Add(e.workers - 1)
+		for w := 1; w < e.workers; w++ {
 			work[w] <- f
 		}
-		f(&e.shards[0])
+		e.drainTiles(f, 0)
 		wg.Wait()
 	}
-	stepPhase := func(s *shard) { e.step(s) }
-	deliverPhase := func(s *shard) { e.deliver(s) }
-	compactPhase := func(s *shard) { e.compact(s) }
+	stepPhase := func(s *shard, w int) { e.step(s, w) }
+	deliverPhase := func(s *shard, w int) { e.deliver(s, w) }
+	compactPhase := func(s *shard, w int) { e.compact(s, w) }
 
 	liveCount := n
 	for e.round = 0; liveCount > 0; e.round++ {
@@ -490,8 +551,8 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 		runPhase(compactPhase)
 
 		active, roundMsgs, roundBits := 0, 0, 0
-		for i := range e.shards {
-			s := &e.shards[i]
+		for i := range e.tiles {
+			s := &e.tiles[i]
 			active += s.active
 			roundMsgs += s.messages
 			roundBits += s.bits
@@ -516,15 +577,32 @@ func Run(g *graph.Graph, cfg Config, build func(v int) Automaton) (*Result, erro
 	return res, nil
 }
 
-// step runs every live node of the shard and clears the consumed inbox slots
+// drainTiles claims tiles off the shared counter and runs f on each as
+// worker w until the tile list is exhausted.
+func (e *engine) drainTiles(f func(s *shard, w int), w int) {
+	for {
+		i := int(e.nextTile.Add(1)) - 1
+		if i >= len(e.tiles) {
+			return
+		}
+		f(&e.tiles[i], w)
+	}
+}
+
+// step runs every live node of the tile and clears the consumed inbox slots
 // so the arena is ready for the next delivery into this segment.
-func (e *engine) step(s *shard) {
+func (e *engine) step(s *shard, w int) {
 	for v := s.lo; v < s.hi; v++ {
 		if e.halted[v] {
 			continue
 		}
 		ctx := &e.ctxs[v]
 		ctx.round = e.round
+		if e.ca != nil {
+			// Compressed mode: the context's neighbor view lives in this
+			// worker's scratch for exactly this Step call.
+			ctx.nbrs = e.nbrSeg(v, w)
+		}
 		e.autos[v].Step(ctx, ctx.inbox)
 		for j := range ctx.inbox {
 			ctx.inbox[j] = Envelope{}
@@ -536,18 +614,22 @@ func (e *engine) step(s *shard) {
 
 // deliver copies each stepped node's outbox slots into the receivers' inbox
 // slots via the mirror-arc index and accumulates metrics. Each arena slot is
-// written by exactly one sender, so shards never contend.
-func (e *engine) deliver(s *shard) {
+// written by exactly one sender, so tiles never contend.
+func (e *engine) deliver(s *shard, w int) {
 	for v := s.lo; v < s.hi; v++ {
 		if !e.stepped[v] {
 			continue
 		}
 		e.stepped[v] = false
 		lo, hi := e.offsets[v], e.offsets[v+1]
+		var seg []int32
 		for k := lo; k < hi; k++ {
 			m := e.outArena[k]
 			if m == nil {
 				continue
+			}
+			if seg == nil {
+				seg = e.nbrSeg(v, w)
 			}
 			e.outArena[k] = nil
 			b := int(e.outBitsArena[k])
@@ -556,7 +638,7 @@ func (e *engine) deliver(s *shard) {
 			if b > s.maxBits {
 				s.maxBits = b
 			}
-			if u := e.nbrs[k]; !e.halted[u] {
+			if u := seg[k-lo]; !e.halted[u] {
 				e.inArena[e.mirror[k]] = Envelope{From: v, Msg: m}
 			}
 		}
@@ -567,7 +649,7 @@ func (e *engine) deliver(s *shard) {
 // segment, preserving slot order — slots are keyed by sender position in the
 // sorted CSR segment, so the resulting inbox is ordered by ascending sender
 // ID, the engine's canonical delivery order.
-func (e *engine) compact(s *shard) {
+func (e *engine) compact(s *shard, _ int) {
 	for v := s.lo; v < s.hi; v++ {
 		if e.halted[v] {
 			continue
@@ -588,29 +670,48 @@ func (e *engine) compact(s *shard) {
 	}
 }
 
-// shardByDegree cuts 0..n into `workers` contiguous ranges with roughly equal
-// arc counts (degree sums), so each worker touches a compact, similar-sized
-// region of the arenas.
-func shardByDegree(offsets []int32, n, workers int) []shard {
+// defaultTileArcs is the auto tile size: ~64K arcs of arena slots (an
+// Envelope + Message + int32 per arc ≈ 2.5 MB) sits comfortably inside a
+// last-level cache slice, and on million-node graphs it yields hundreds of
+// tiles for the work-stealing loop to balance.
+const defaultTileArcs = 1 << 16
+
+// tileByDegree cuts 0..n into contiguous ranges of roughly tileArcs arcs
+// each (degree sums, so every tile covers a similar-sized slab of the
+// arenas), at least one tile per worker. Sequential runs use a single tile:
+// the caller iterates nodes in order either way, and one tile skips the
+// claim counter entirely.
+func tileByDegree(offsets []int32, n, workers, tileArcs int) []shard {
 	if workers <= 1 {
 		return []shard{{lo: 0, hi: n}}
 	}
-	// Weight each node by degree+1 so degree-0 stretches still split; cut
-	// whenever the running weight reaches the remaining average.
-	remaining := int(offsets[n]) + n
-	shards := make([]shard, 0, workers)
+	if tileArcs <= 0 {
+		tileArcs = defaultTileArcs
+	}
+	// Weight each node by degree+1 so degree-0 stretches still split.
+	weight := int(offsets[n]) + n
+	tiles := (weight + tileArcs - 1) / tileArcs
+	if tiles < workers {
+		tiles = workers
+	}
+	if tiles > n {
+		tiles = n
+	}
+	// Cut whenever the running weight reaches the remaining average.
+	remaining := weight
+	out := make([]shard, 0, tiles)
 	lo, acc := 0, 0
 	for v := 0; v < n; v++ {
 		acc += int(offsets[v+1]-offsets[v]) + 1
-		left := workers - len(shards)
+		left := tiles - len(out)
 		if left > 1 && acc >= remaining/left {
-			shards = append(shards, shard{lo: lo, hi: v + 1})
+			out = append(out, shard{lo: lo, hi: v + 1})
 			remaining -= acc
 			lo, acc = v+1, 0
 		}
 	}
-	shards = append(shards, shard{lo: lo, hi: n})
-	return shards
+	out = append(out, shard{lo: lo, hi: n})
+	return out
 }
 
 // ceilLog2 returns ⌈log₂ x⌉ for x ≥ 1.

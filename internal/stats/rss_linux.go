@@ -1,0 +1,36 @@
+//go:build linux
+
+package stats
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// PeakRSS reports the process's peak resident set size in bytes, read from
+// the VmHWM line of /proc/self/status. It returns -1 when the value cannot
+// be determined. The high-water mark is monotone over the process lifetime,
+// so callers measuring one phase of a run should treat it as a ceiling over
+// everything executed so far, not a per-phase delta.
+func PeakRSS() int64 {
+	blob, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return -1
+	}
+	for _, line := range bytes.Split(blob, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return -1
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return -1
+		}
+		return kb << 10
+	}
+	return -1
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package stats
+
+// PeakRSS reports the process's peak resident set size in bytes. Only the
+// linux build reads it (from /proc/self/status); elsewhere it returns -1 and
+// callers print the value as unavailable.
+func PeakRSS() int64 { return -1 }

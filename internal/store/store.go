@@ -21,6 +21,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"slices"
 	"strings"
 	"sync"
@@ -40,10 +42,19 @@ var (
 
 // Config sizes the store. Zero values select defaults.
 type Config struct {
-	// MaxGraphs bounds how many names the store holds (default 256). At
-	// capacity, Put evicts the least-recently-used unpinned name; if every
-	// name is pinned, Put fails with ErrFull.
+	// MaxGraphs bounds how many names the store holds resident (default
+	// 256). At capacity, Put evicts the least-recently-used unpinned name;
+	// if every name is pinned, Put fails with ErrFull.
 	MaxGraphs int
+	// SpillDir, when non-empty, turns capacity eviction into spill: the
+	// victim's graph is written once as <fingerprint>.rgd1 (skipped if the
+	// file already exists) and the name moves to a spilled index instead of
+	// vanishing. Get still answers from the index; Acquire transparently
+	// revives the name by mmapping the RGD1 file, so resident cost after
+	// revival is page-cache-managed rather than heap. The directory is a
+	// content-addressed cache: files are never deleted by the store and are
+	// safe to share between store instances or wipe between runs.
+	SpillDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -74,9 +85,12 @@ type Info struct {
 	// or evicted.
 	Pins int
 	// Shared counts how many names (this one included) share the
-	// deduplicated payload.
+	// deduplicated payload. 0 for spilled names.
 	Shared    int
 	CreatedAt time.Time
+	// Spilled marks a name whose graph currently lives in SpillDir rather
+	// than memory; Acquire revives it on demand.
+	Spilled bool
 }
 
 // payload is one deduplicated graph shared by refs names.
@@ -95,21 +109,40 @@ type record struct {
 	lastUsed uint64 // store tick, for LRU eviction
 }
 
-// Store is the named graph registry. Create with New.
-type Store struct {
-	mu    sync.Mutex
-	cfg   Config
-	names map[string]*record
-	byFP  map[string]*payload
-	clock uint64
+// spillRec is the on-disk index entry for a spilled name: enough metadata
+// to answer Get without touching the file, plus the fingerprint that names
+// the RGD1 file to revive from.
+type spillRec struct {
+	fp      string
+	gen     string
+	n, m    int
+	created time.Time
 }
 
-// New returns an empty store.
+// Store is the named graph registry. Create with New.
+type Store struct {
+	mu      sync.Mutex
+	cfg     Config
+	names   map[string]*record
+	byFP    map[string]*payload
+	spilled map[string]spillRec
+	// mapped caches revived mmap-backed graphs by fingerprint so one file
+	// is mapped at most once per process. Entries are never unmapped: a
+	// revived graph may be retained by jobs past any store bookkeeping, and
+	// an idle MAP_PRIVATE mapping costs only reclaimable page cache.
+	mapped map[string]*graph.Graph
+	clock  uint64
+}
+
+// New returns an empty store. When cfg.SpillDir is set, the directory is
+// created on first use.
 func New(cfg Config) *Store {
 	return &Store{
-		cfg:   cfg.withDefaults(),
-		names: make(map[string]*record),
-		byFP:  make(map[string]*payload),
+		cfg:     cfg.withDefaults(),
+		names:   make(map[string]*record),
+		byFP:    make(map[string]*payload),
+		spilled: make(map[string]spillRec),
+		mapped:  make(map[string]*graph.Graph),
 	}
 }
 
@@ -155,6 +188,14 @@ func (s *Store) Put(name string, src Source) (Info, bool, error) {
 		rec.lastUsed = s.clock
 		return s.infoLocked(rec), true, nil
 	}
+	if sp, ok := s.spilled[name]; ok {
+		if sp.fp != fp {
+			return Info{}, false, fmt.Errorf("%w: %s holds %s (spilled)", ErrExists, name, sp.fp)
+		}
+		// Idempotent re-put of a spilled name: the caller just handed us
+		// the resident bytes back, so un-spill with them.
+		delete(s.spilled, name)
+	}
 	if err := s.makeRoomLocked(); err != nil {
 		return Info{}, false, err
 	}
@@ -192,7 +233,8 @@ func buildSource(src Source) (*graph.Graph, string, error) {
 }
 
 // makeRoomLocked evicts the least-recently-used unpinned name when the store
-// is at capacity. Must be called with s.mu held.
+// is at capacity, spilling it to disk first when a SpillDir is configured.
+// Must be called with s.mu held.
 func (s *Store) makeRoomLocked() error {
 	if len(s.names) < s.cfg.MaxGraphs {
 		return nil
@@ -209,8 +251,76 @@ func (s *Store) makeRoomLocked() error {
 	if victim == nil {
 		return ErrFull
 	}
+	if s.cfg.SpillDir != "" {
+		// Best effort: a failed spill (disk full, permissions) degrades to
+		// the pre-spill behavior — plain eviction of a cache entry — rather
+		// than wedging every Put behind a broken directory.
+		if err := s.spillFileLocked(victim.pl); err == nil {
+			s.spilled[victim.name] = spillRec{
+				fp:      victim.pl.fp,
+				gen:     victim.gen,
+				n:       victim.pl.g.N(),
+				m:       victim.pl.g.M(),
+				created: victim.created,
+			}
+		}
+	}
 	s.removeLocked(victim)
 	return nil
+}
+
+func (s *Store) spillPath(fp string) string {
+	return filepath.Join(s.cfg.SpillDir, fp+".rgd1")
+}
+
+// spillFileLocked ensures <SpillDir>/<fp>.rgd1 holds pl's graph. The file is
+// content-addressed, so an existing file is already correct and the write is
+// skipped; revived mmap-backed payloads skip it the same way (their bytes
+// came from that very file).
+func (s *Store) spillFileLocked(pl *payload) error {
+	if _, mappedAlready := s.mapped[pl.fp]; mappedAlready {
+		return nil
+	}
+	path := s.spillPath(pl.fp)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.SpillDir, 0o755); err != nil {
+		return err
+	}
+	return graph.WriteDisk(path, pl.g, graph.DiskOptions{})
+}
+
+// reviveLocked brings a spilled name back into the resident map and returns
+// its record. Cheapest source wins: a still-resident payload with the same
+// fingerprint, then an already-mapped file, then a fresh OpenDisk.
+func (s *Store) reviveLocked(name string, sp spillRec) (*record, error) {
+	g := (*graph.Graph)(nil)
+	if pl, ok := s.byFP[sp.fp]; ok {
+		g = pl.g
+	} else if mg, ok := s.mapped[sp.fp]; ok {
+		g = mg
+	} else {
+		d, err := graph.OpenDisk(s.spillPath(sp.fp))
+		if err != nil {
+			return nil, fmt.Errorf("store: revive %q: %w", name, err)
+		}
+		s.mapped[sp.fp] = d.Graph
+		g = d.Graph
+	}
+	if err := s.makeRoomLocked(); err != nil {
+		return nil, err
+	}
+	pl, dedup := s.byFP[sp.fp]
+	if !dedup {
+		pl = &payload{g: g, fp: sp.fp}
+		s.byFP[sp.fp] = pl
+	}
+	pl.refs++
+	rec := &record{name: name, pl: pl, gen: sp.gen, created: sp.created, lastUsed: s.clock}
+	s.names[name] = rec
+	delete(s.spilled, name)
+	return rec, nil
 }
 
 func (s *Store) removeLocked(rec *record) {
@@ -221,24 +331,42 @@ func (s *Store) removeLocked(rec *record) {
 	}
 }
 
-// Get returns the info of the named graph.
+// Get returns the info of the named graph. Spilled names answer from the
+// spill index without touching the file.
 func (s *Store) Get(name string) (Info, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, ok := s.names[name]
-	if !ok {
-		return Info{}, false
+	if rec, ok := s.names[name]; ok {
+		return s.infoLocked(rec), true
 	}
-	return s.infoLocked(rec), true
+	if sp, ok := s.spilled[name]; ok {
+		return spillInfo(name, sp), true
+	}
+	return Info{}, false
+}
+
+func spillInfo(name string, sp spillRec) Info {
+	return Info{
+		Name:        name,
+		Fingerprint: sp.fp,
+		Nodes:       sp.n,
+		Edges:       sp.m,
+		Gen:         sp.gen,
+		CreatedAt:   sp.created,
+		Spilled:     true,
+	}
 }
 
 // List returns every named graph, sorted by name.
 func (s *Store) List() []Info {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Info, 0, len(s.names))
+	out := make([]Info, 0, len(s.names)+len(s.spilled))
 	for _, rec := range s.names {
 		out = append(out, s.infoLocked(rec))
+	}
+	for name, sp := range s.spilled {
+		out = append(out, spillInfo(name, sp))
 	}
 	slices.SortFunc(out, func(a, b Info) int { return strings.Compare(a.Name, b.Name) })
 	return out
@@ -260,7 +388,14 @@ func (s *Store) Acquire(name string) (*graph.Graph, func(), error) {
 	defer s.mu.Unlock()
 	rec, ok := s.names[name]
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		sp, wasSpilled := s.spilled[name]
+		if !wasSpilled {
+			return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		var err error
+		if rec, err = s.reviveLocked(name, sp); err != nil {
+			return nil, nil, err
+		}
 	}
 	s.clock++
 	rec.lastUsed = s.clock
@@ -283,6 +418,12 @@ func (s *Store) Delete(name string) error {
 	defer s.mu.Unlock()
 	rec, ok := s.names[name]
 	if !ok {
+		if _, wasSpilled := s.spilled[name]; wasSpilled {
+			// The spill file stays: it is content-addressed and may back
+			// other names (or a future re-put of identical content).
+			delete(s.spilled, name)
+			return nil
+		}
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if rec.pins > 0 {
