@@ -8,7 +8,10 @@
 // With -json the same measurements are additionally written as a
 // machine-readable perf record (BENCH_<date>.json by default), including
 // wall-clock time and allocation counts per row, so the repository's
-// performance trajectory accumulates comparable data points over time.
+// performance trajectory accumulates comparable data points over time. The
+// record also carries a separate wal section — append and fsync latency of
+// the durable coordinator's write-ahead log on this machine — which is
+// informational only and never part of the -compare gate.
 //
 // With -compare <file> the fresh measurements are diffed against a previous
 // record: per-row wall_ms and allocs_per_run deltas are printed, and the
@@ -49,6 +52,7 @@ import (
 	"repro"
 	"repro/internal/exact"
 	"repro/internal/stats"
+	"repro/internal/wal"
 )
 
 // rowSpec describes one measured table row: which registry algorithm to run
@@ -80,6 +84,23 @@ type benchRow struct {
 	AllocsPer    uint64  `json:"allocs_per_run"`
 }
 
+// walBench is the WAL micro-benchmark section of the -json record. It lives
+// beside Rows, not in it: -compare matches rows by algorithm and fails on
+// unmatched entries, and the WAL numbers are informational (fsync latency is
+// a property of the runner's disk, not of this repository's code), so they
+// must never trip the allocation gate or force a baseline regeneration.
+type walBench struct {
+	Records      int `json:"records"`
+	PayloadBytes int `json:"payload_bytes"`
+	SyncEvery    int `json:"sync_every"`
+	// AppendNsOp is the group-commit append path (Sync every SyncEvery
+	// records) — the batch ledger's cadence.
+	AppendNsOp float64 `json:"append_ns_op"`
+	AppendMBps float64 `json:"append_mb_s"`
+	// AppendSyncNsOp fsyncs per record — the store's put commit point.
+	AppendSyncNsOp float64 `json:"appendsync_ns_op"`
+}
+
 // benchRecord is the top-level -json document.
 type benchRecord struct {
 	Date      string     `json:"date"`
@@ -89,6 +110,7 @@ type benchRecord struct {
 	Trials    int        `json:"trials"`
 	Seed      uint64     `json:"seed"`
 	Rows      []benchRow `json:"rows"`
+	WAL       *walBench  `json:"wal,omitempty"`
 }
 
 func main() {
@@ -224,6 +246,15 @@ func main() {
 	if err := table.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+	if wb, err := measureWAL(); err != nil {
+		// The WAL row is informational; a read-only or full temp filesystem
+		// should not fail the table run.
+		log.Printf("wal micro-benchmark skipped: %v", err)
+	} else {
+		record.WAL = wb
+		fmt.Printf("\nwal: append %.0f ns/op (%.1f MB/s, sync every %d), appendsync %.0f ns/op (%d B payloads)\n",
+			wb.AppendNsOp, wb.AppendMBps, wb.SyncEvery, wb.AppendSyncNsOp, wb.PayloadBytes)
+	}
 	if *jsonOut || *outPath != "" {
 		path := *outPath
 		if path == "" {
@@ -243,6 +274,65 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// measureWAL times the two WAL commit paths the durable coordinator uses —
+// group-commit Append+Sync (the batch ledger's cadence) and per-record
+// AppendSync (the graph store's put commit point) — against a throwaway log
+// in the OS temp directory. The numbers characterize the runner's disk as
+// much as the code, so they land in the record's separate wal section, never
+// in Rows, and are never gated by -compare.
+func measureWAL() (*walBench, error) {
+	dir, err := os.MkdirTemp("", "benchtab-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	l, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+
+	const (
+		records   = 4096
+		payload   = 256
+		syncEvery = 64
+		syncRecs  = 128
+	)
+	buf := make([]byte, payload)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < records; i++ {
+		if err := l.Append(1, buf); err != nil {
+			return nil, err
+		}
+		if (i+1)%syncEvery == 0 {
+			if err := l.Sync(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	appendDur := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < syncRecs; i++ {
+		if err := l.AppendSync(1, buf); err != nil {
+			return nil, err
+		}
+	}
+	syncDur := time.Since(start)
+
+	return &walBench{
+		Records:        records,
+		PayloadBytes:   payload,
+		SyncEvery:      syncEvery,
+		AppendNsOp:     float64(appendDur.Nanoseconds()) / records,
+		AppendMBps:     float64(records*payload) / appendDur.Seconds() / (1 << 20),
+		AppendSyncNsOp: float64(syncDur.Nanoseconds()) / syncRecs,
+	}, nil
 }
 
 // compareRecords diffs the fresh record against a previous one and returns an

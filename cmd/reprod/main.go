@@ -49,10 +49,20 @@
 // reports fleet health and placement. Single-job endpoints are not served in
 // coordinator mode.
 //
+// Durability: -waldir journals graph bindings and batch progress to
+// checksummed write-ahead logs (with -snapshot-every compaction) so that a
+// restarted server recovers its named graphs and resumes incomplete batches
+// under their original IDs — finished cells are restored from the log, only
+// unfinished ones re-execute. See DESIGN.md §8 and the README recovery
+// cookbook. Without -waldir all state is in-memory, as before.
+//
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
 // connections and drains in-flight requests; single-node mode then drains
 // the job queue, while coordinator mode cancels its running batches (the
-// workers own the jobs and drain on their own shutdown).
+// workers own the jobs and drain on their own shutdown). With -waldir the
+// clean shutdown also writes a final snapshot, so the next start replays a
+// minimal log tail; a SIGKILL (or crash) instead replays the journal, which
+// recovers everything that was acknowledged before the crash.
 package main
 
 import (
@@ -66,6 +76,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -117,7 +128,9 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job timeout")
 	maxGraphs := flag.Int("maxgraphs", 256, "named graph store capacity")
 	maxBody := flag.Int64("maxbody", httpapi.DefaultMaxBodyBytes, "request body size cap in bytes (raise for large graph uploads)")
-	spillDir := flag.String("spilldir", "", "directory for RGD1 graph spill: evicted store entries move to disk and revive via mmap")
+	spillDir := flag.String("spilldir", "", "directory for RGD1 graph spill: evicted store entries move to disk and revive via mmap (defaults to <waldir>/spill when -waldir is set)")
+	walDir := flag.String("waldir", "", "directory for WAL durability: graph registrations and batch state are journaled there and recovered on restart (empty = in-memory only)")
+	snapshotEvery := flag.Int("snapshot-every", 512, "WAL records between snapshot compactions (0 = snapshot only on clean shutdown)")
 	load := flag.String("load", "", "comma-separated graph files to preload into the store (.el/.txt edge list, .mtx Matrix Market, .rgd1 disk CSR, .rgb1 binary); each is named after its base filename")
 	maxCells := flag.Int("maxcells", 4096, "cell cap per batch")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
@@ -143,7 +156,7 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	inert := map[bool][]string{
-		true:  {"pool", "queue", "cache", "timeout", "spilldir", "load"},                 // single-node engine knobs
+		true:  {"pool", "queue", "cache", "timeout", "load"},                             // single-node engine knobs
 		false: {"window", "probe", "poll", "straggler", "hedge", "groupsize", "percell"}, // coordinator knobs
 	}
 	for _, name := range inert[*fleet != ""] {
@@ -156,12 +169,19 @@ func main() {
 	var handler http.Handler
 	var shutdown func()
 	if *fleet != "" {
+		storeWAL := ""
+		if *walDir != "" {
+			storeWAL = filepath.Join(*walDir, "store")
+		}
 		coord, err := cluster.New(cluster.Config{
 			Workers:        strings.Split(*fleet, ","),
 			Window:         *window,
 			ProbeInterval:  *probe,
 			PollInterval:   *poll,
 			MaxGraphs:      *maxGraphs,
+			WALDir:         storeWAL,
+			SpillDir:       *spillDir,
+			SnapshotEvery:  *snapshotEvery,
 			MaxCells:       *maxCells,
 			Logger:         logger,
 			StragglerAfter: *straggler,
@@ -182,8 +202,33 @@ func main() {
 			CacheSize:      *cache,
 			DefaultTimeout: *timeout,
 		})
-		st := store.New(store.Config{MaxGraphs: *maxGraphs, SpillDir: *spillDir})
-		batches := service.NewBatches(svc, st, service.BatchConfig{MaxCells: *maxCells})
+		storeWAL, batchWAL, spill := "", "", *spillDir
+		if *walDir != "" {
+			storeWAL = filepath.Join(*walDir, "store")
+			batchWAL = filepath.Join(*walDir, "batches")
+			if spill == "" {
+				spill = filepath.Join(*walDir, "spill")
+			}
+		}
+		st, err := store.Open(store.Config{
+			MaxGraphs:     *maxGraphs,
+			SpillDir:      spill,
+			WALDir:        storeWAL,
+			SnapshotEvery: *snapshotEvery,
+			Logger:        logger,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		batches, err := service.OpenBatches(svc, st, service.BatchConfig{
+			MaxCells:      *maxCells,
+			WALDir:        batchWAL,
+			SnapshotEvery: *snapshotEvery,
+			Logger:        logger,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		if *load != "" {
 			for _, path := range strings.Split(*load, ",") {
 				name, info, err := loadGraphFile(st, strings.TrimSpace(path))
@@ -194,7 +239,18 @@ func main() {
 			}
 		}
 		handler = httpapi.NewHandler(svc, st, batches, httpapi.WithMaxBodyBytes(*maxBody))
-		shutdown = svc.Close
+		// Drain order matters: stop the job engine first (queued jobs finish
+		// and their terminal notifications reach the ledger), then flush the
+		// ledger and write its final snapshot, then the store's.
+		shutdown = func() {
+			svc.Close()
+			if err := batches.Close(); err != nil {
+				log.Printf("batch ledger close: %v", err)
+			}
+			if err := st.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
+		}
 	}
 	if *pprofOn {
 		handler = mountPprof(handler)

@@ -73,6 +73,16 @@ type Config struct {
 	ProbeInterval time.Duration
 	// MaxGraphs bounds the coordinator's local graph store (store default).
 	MaxGraphs int
+	// WALDir, when non-empty, makes the coordinator's graph store durable:
+	// registrations are journaled and recovered on restart (batch state is
+	// not — the coordinator holds no results of its own; clients resubmit
+	// and the workers' caches and their own WALs make that cheap).
+	WALDir string
+	// SpillDir backs the durable store's graph bytes (defaults to
+	// <WALDir>/spill).
+	SpillDir string
+	// SnapshotEvery compacts the store WAL after this many records.
+	SnapshotEvery int
 	// MaxCells bounds how many cells one batch may expand into (default 4096).
 	MaxCells int
 	// MaxBatches bounds retained finished batches (default 256).
@@ -267,10 +277,20 @@ func New(cfg Config) (*Coordinator, error) {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
+	st, err := store.Open(store.Config{
+		MaxGraphs:     cfg.MaxGraphs,
+		WALDir:        cfg.WALDir,
+		SpillDir:      cfg.SpillDir,
+		SnapshotEvery: cfg.SnapshotEvery,
+		Logger:        logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: graph store: %w", err)
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		log:     logger,
-		st:      store.New(store.Config{MaxGraphs: cfg.MaxGraphs}),
+		st:      st,
 		batches: make(map[string]*cbatch),
 	}
 	seen := make(map[string]bool)
@@ -448,6 +468,9 @@ func (c *Coordinator) Close() {
 	if c.probeStop != nil {
 		close(c.probeStop)
 		<-c.probeDone
+	}
+	if err := c.st.Close(); err != nil {
+		c.log.Warn("store_close_failed", "err", err)
 	}
 }
 

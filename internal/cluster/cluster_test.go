@@ -152,6 +152,19 @@ func TestWorkerKilledMidBatch(t *testing.T) {
 	for _, g := range graphs {
 		putGen(t, coord, g.name, g.src)
 	}
+	// Slow the owner of the first graph BEFORE submitting: without the brake
+	// a fast machine can complete every one of the victim's cells before the
+	// kill below lands, and a dead worker nobody dials again is never marked
+	// unhealthy (the assertion at the bottom would flake). Placement is
+	// decided at PutGraph time, so the victim is known before any dispatch.
+	info, _ := coord.GetGraph("kill-a")
+	victim := coord.owner(info.Fingerprint)
+	if victim == nil {
+		t.Fatal("no owner for kill-a")
+	}
+	vw := findWorker(t, workers, victim.url)
+	vw.proxy.delay = 100 * time.Millisecond
+	vw.proxy.set(faultSlow)
 	v, err := coord.SubmitBatch(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -170,12 +183,7 @@ func TestWorkerKilledMidBatch(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	info, _ := coord.GetGraph("kill-a")
-	victim := coord.owner(info.Fingerprint)
-	if victim == nil {
-		t.Fatal("no owner for kill-a")
-	}
-	findWorker(t, workers, victim.url).proxy.set(faultKill)
+	vw.proxy.set(faultKill)
 
 	fin := waitBatch(t, coord, v.ID)
 	if fin.State != service.BatchDone || fin.Done != fin.Total || fin.Failed != 0 {

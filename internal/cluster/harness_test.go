@@ -11,6 +11,7 @@ package cluster
 import (
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -35,9 +36,10 @@ const (
 
 // faultProxy wraps a worker handler with a switchable fault mode.
 type faultProxy struct {
-	inner http.Handler
-	mode  atomic.Int32
-	delay time.Duration
+	innerMu sync.RWMutex
+	inner   http.Handler
+	mode    atomic.Int32
+	delay   time.Duration
 	// unblock is closed at test cleanup to free parked hang handlers: the
 	// server cannot detect a client disconnect on requests whose body was
 	// never read, so hung handlers would otherwise block httptest's Close.
@@ -45,6 +47,14 @@ type faultProxy struct {
 }
 
 func (p *faultProxy) set(mode int32) { p.mode.Store(mode) }
+
+// swap replaces the proxied worker stack, keeping the listener (and thus
+// the worker's URL) alive across a simulated process restart.
+func (p *faultProxy) swap(h http.Handler) {
+	p.innerMu.Lock()
+	p.inner = h
+	p.innerMu.Unlock()
+}
 
 func (p *faultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch p.mode.Load() {
@@ -67,7 +77,10 @@ func (p *faultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case <-time.After(p.delay):
 		}
 	}
-	p.inner.ServeHTTP(w, r)
+	p.innerMu.RLock()
+	inner := p.inner
+	p.innerMu.RUnlock()
+	inner.ServeHTTP(w, r)
 }
 
 // testWorker is one fleet member: the full single-node stack plus its fault

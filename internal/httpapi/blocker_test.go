@@ -1,0 +1,36 @@
+package httpapi
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/registry"
+)
+
+// registerBlocker registers a test algorithm whose every run signals started
+// and then parks until release is called. It replaces the old "big graph is
+// hopefully slow" blockers with a barrier the test controls, so nothing here
+// depends on wall-clock job duration (which a recovery replay, a race build,
+// or a slow runner would stretch). release is idempotent and also runs in
+// t.Cleanup, before the server fixture's svc.Close — call registerBlocker
+// AFTER newTestServer/newFullServer so the cleanup order works out: a
+// canceled or timed-out parked run keeps its worker occupied until the
+// abandoned computation returns, and Close waits for the workers.
+func registerBlocker(t *testing.T, name string) (started chan struct{}, release func()) {
+	t.Helper()
+	started = make(chan struct{}, 64)
+	gate := make(chan struct{})
+	var once sync.Once
+	release = func() { once.Do(func() { close(gate) }) }
+	unregister := registry.Register(name, registry.IS, func(g *graph.Graph, p registry.Params) (*registry.Result, error) {
+		started <- struct{}{}
+		<-gate
+		return &registry.Result{Kind: registry.IS, InSet: make([]bool, g.N())}, nil
+	})
+	t.Cleanup(func() {
+		release()
+		unregister()
+	})
+	return started, release
+}

@@ -110,24 +110,26 @@ func TestJobGroupLifecycleHTTP(t *testing.T) {
 
 // TestJobGroupCancelHTTP cancels a group waiting on the group semaphore
 // behind a long-running group and checks the whole victim lands canceled.
-// Groups do not ride the job queue, so the blocker must itself be a group
-// (sized like TestCancellation's blockers: each big-graph seed takes ~300ms+
-// even on a single-CPU runner, comfortably outlasting the cancel round trip).
+// Groups do not ride the job queue, so the blocker must itself be a group;
+// its cells park on a channel barrier until the victim's cancel is asserted,
+// so no graph sizing against the runner's speed is involved.
 func TestJobGroupCancelHTTP(t *testing.T) {
 	ts, _, _ := newFullServer(t, service.Config{Workers: 1}, service.BatchConfig{})
+	started, release := registerBlocker(t, "park-group")
 	c := NewClient(ts.URL, nil)
 	ctx := context.Background()
 
-	if _, err := c.PutGraphGen(ctx, "big", GenRequest{Gen: "gnp", N: 1500, P: 0.013, Seed: 1}); err != nil {
+	if _, err := c.PutGraphGen(ctx, "big", GenRequest{Gen: "gnp", N: 32, P: 0.1, Seed: 1, MaxW: 16}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.PutGraphGen(ctx, "gg", GenRequest{Gen: "gnp", N: 32, P: 0.1, Seed: 9, MaxW: 16}); err != nil {
 		t.Fatal(err)
 	}
-	blocker, err := c.SubmitJobGroup(ctx, JobGroupRequest{Algo: "maxis", GraphName: "big", Seeds: []uint64{1, 2, 3}})
+	blocker, err := c.SubmitJobGroup(ctx, JobGroupRequest{Algo: "park-group", GraphName: "big", Seeds: []uint64{1, 2, 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
+	<-started // the blocker group owns the worker before the victim arrives
 	sub, err := c.SubmitJobGroup(ctx, JobGroupRequest{Algo: "maxis", GraphName: "gg", Seeds: []uint64{1, 2, 3}})
 	if err != nil {
 		t.Fatal(err)
@@ -144,6 +146,7 @@ func TestJobGroupCancelHTTP(t *testing.T) {
 			t.Fatalf("cell %d state %s, want canceled", i, cell.State)
 		}
 	}
+	release()
 	if bv := pollGroup(t, c, blocker.ID); bv.State != "done" {
 		t.Fatalf("blocker group state %s, want done", bv.State)
 	}

@@ -382,7 +382,7 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches,
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		if wantsProm(r) {
-			writePromEngine(w, svc.Metrics(), batches.Metrics(), svc.Telemetry())
+			writePromEngine(w, svc.Metrics(), batches.Metrics(), svc.Telemetry(), st, batches)
 			return
 		}
 		writeJSON(w, http.StatusOK, MetricsResponse{svc.Metrics(), batches.Metrics()})

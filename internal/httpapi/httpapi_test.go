@@ -227,21 +227,18 @@ func TestSubmitInlineGraph(t *testing.T) {
 
 func TestCancellation(t *testing.T) {
 	ts, _ := newTestServer(t, service.Config{Workers: 1})
+	started, release := registerBlocker(t, "park-cancel")
 
-	// Keep the lone worker busy for over a second (each blocker takes
-	// ~300ms+ even after the arena-runtime speedups), then cancel a job
-	// queued behind the pile. The sizing must leave the worker clearly
-	// behind the submissions even on a single-CPU runner, where posting
-	// contends with job execution.
-	var blockers []string
-	for i := 0; i < 4; i++ {
-		busy := fmt.Sprintf(`{"algo":"maxis","gen":{"gen":"gnp","n":1500,"p":0.013,"seed":%d}}`, i+1)
-		b, code := postJob(t, ts, busy)
-		if code != http.StatusAccepted {
-			t.Fatalf("busy job status %d", code)
-		}
-		blockers = append(blockers, b.ID)
+	// Park the lone worker on a channel-gated blocker, then cancel a job
+	// queued behind it. The barrier replaces the old "four big graphs are
+	// hopefully slow enough" sizing: the victim provably cannot run until
+	// release, on any runner.
+	b, code := postJob(t, ts, `{"algo":"park-cancel","gen":{"gen":"gnp","n":20,"p":0.2,"seed":1}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("busy job status %d", code)
 	}
+	blockers := []string{b.ID}
+	<-started // the worker is parked
 	victim := `{"algo":"mwm2","gen":{"gen":"gnp","n":20,"p":0.2,"seed":99}}`
 	v, code := postJob(t, ts, victim)
 	if code != http.StatusAccepted {
@@ -260,6 +257,7 @@ func TestCancellation(t *testing.T) {
 	if jr := pollDone(t, ts, v.ID); jr.State != "canceled" {
 		t.Fatalf("victim state %s, want canceled", jr.State)
 	}
+	release()
 	for _, id := range blockers {
 		pollDone(t, ts, id)
 	}

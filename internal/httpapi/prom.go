@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // wantsProm reports whether the request negotiates the Prometheus text
@@ -32,8 +34,10 @@ func wantsProm(r *http.Request) bool {
 }
 
 // writePromEngine renders the single-node /metrics document: service + batch
-// counters and the engine-telemetry aggregates.
-func writePromEngine(w http.ResponseWriter, m service.Metrics, bm service.BatchMetrics, t service.EngineTelemetry) {
+// counters, the engine-telemetry aggregates, and — on durable servers — the
+// WAL families of both logs.
+func writePromEngine(w http.ResponseWriter, m service.Metrics, bm service.BatchMetrics, t service.EngineTelemetry,
+	st *store.Store, batches *service.Batches) {
 	p := obs.NewPromWriter()
 
 	// Engine telemetry: per-run distributions plus lifetime totals over live
@@ -71,7 +75,37 @@ func writePromEngine(w http.ResponseWriter, m service.Metrics, bm service.BatchM
 	p.Counter("repro_batches_canceled_total", "Batches canceled.", float64(bm.BatchesCanceled))
 	p.Counter("repro_batch_cells_total", "Batch member cells expanded.", float64(bm.BatchCells))
 
+	// WAL counters, one label set per log ("store" and "batches"); absent
+	// entirely on non-durable servers.
+	if st != nil {
+		if wm, ok := st.WALMetrics(); ok {
+			writePromWAL(p, "store", wm)
+		}
+	}
+	if batches != nil {
+		if lm, ok := batches.LedgerMetrics(); ok {
+			writePromWAL(p, "batches", lm.Metrics)
+			p.Counter("repro_wal_batches_resumed_total", "Incomplete batches resumed from the ledger at boot.", float64(lm.BatchesResumed), "log", "batches")
+			p.Counter("repro_wal_cells_restored_total", "Finished cells restored from the ledger at boot (never re-executed).", float64(lm.CellsRestored), "log", "batches")
+			p.Counter("repro_wal_records_dropped_total", "Async ledger records dropped on backpressure (re-run after a crash, never lost correctness).", float64(lm.RecordsDropped), "log", "batches")
+		}
+	}
+
 	flushProm(w, p)
+}
+
+// writePromWAL renders one internal/wal log's counter families under a log
+// label, shared by the store WAL and the batch ledger.
+func writePromWAL(p *obs.PromWriter, log string, m wal.Metrics) {
+	p.Counter("repro_wal_appends_total", "Records appended to the WAL.", float64(m.AppendsTotal), "log", log)
+	p.Counter("repro_wal_appended_bytes_total", "Bytes appended to the WAL.", float64(m.AppendedBytes), "log", log)
+	p.Counter("repro_wal_syncs_total", "WAL fsync group commits.", float64(m.SyncsTotal), "log", log)
+	p.Counter("repro_wal_snapshots_total", "WAL snapshots written.", float64(m.SnapshotsTotal), "log", log)
+	p.Counter("repro_wal_segments_created_total", "WAL segments opened.", float64(m.SegmentsCreated), "log", log)
+	p.Counter("repro_wal_replayed_records_total", "Records replayed at boot.", float64(m.ReplayedRecords), "log", log)
+	p.Counter("repro_wal_replayed_snapshots_total", "Snapshots replayed at boot.", float64(m.ReplayedSnapshots), "log", log)
+	p.Counter("repro_wal_replay_torn_tails_total", "Torn segment tails tolerated during replay.", float64(m.ReplayTornTails), "log", log)
+	p.Gauge("repro_wal_records_since_snapshot", "Records appended since the last snapshot.", float64(m.SinceSnapshot), "log", log)
 }
 
 // writePromCluster renders the coordinator-mode /metrics document:

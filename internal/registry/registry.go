@@ -525,6 +525,26 @@ func Get(name string) (*Spec, bool) {
 	return s, ok
 }
 
+// Register adds a runnable spec under name at runtime and returns a function
+// that removes it again. It exists for tests that need a controllable
+// algorithm — e.g. one that parks on a channel until the test releases it,
+// replacing timing-based "big graph ≈ slow job" blockers. The registry
+// tables take no lock, so Register/unregister must not race concurrent
+// lookups: call them while no jobs are being submitted. Duplicate names
+// panic, like duplicates in the static table.
+func Register(name string, kind Kind, run func(g *graph.Graph, p Params) (*Result, error)) func() {
+	if _, dup := byName[name]; dup {
+		panic("registry: duplicate algorithm " + name)
+	}
+	s := &Spec{Name: name, Kind: kind, Summary: "runtime-registered (testing)", run: run}
+	specs = append(specs, s)
+	byName[name] = s
+	return func() {
+		delete(byName, name)
+		specs = slices.DeleteFunc(specs, func(x *Spec) bool { return x == s })
+	}
+}
+
 // All returns every registered spec, sorted by name.
 func All() []*Spec {
 	out := make([]*Spec, len(specs))

@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"slices"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // Batch errors surfaced to clients.
@@ -31,6 +33,19 @@ type BatchConfig struct {
 	// MaxBatches bounds how many finished batches are retained for polling
 	// (default 256); beyond it the oldest finished batches are evicted.
 	MaxBatches int
+	// WALDir, when non-empty, makes the batch engine durable: the batch
+	// lifecycle is journaled there and incomplete batches resume on the next
+	// boot (see ledger.go). New ignores this; use OpenBatches.
+	WALDir string
+	// SnapshotEvery compacts the ledger WAL after this many records (0 =
+	// only the final snapshot written by Close).
+	SnapshotEvery int
+	// WALSegmentBytes overrides the WAL segment rotation size (testing).
+	WALSegmentBytes int64
+	// WALHooks injects crash points into the WAL (testing).
+	WALHooks *wal.TestHooks
+	// Logger, when set, receives wal_replay / batch_resumed events.
+	Logger *slog.Logger
 }
 
 func (c BatchConfig) withDefaults() BatchConfig {
@@ -252,6 +267,10 @@ type Batches struct {
 	terminal []string // finished batch IDs, oldest first, for eviction
 	nextID   uint64
 
+	// ledger is the durability journal, nil for engines built with
+	// NewBatches or opened without a WALDir.
+	ledger *ledger
+
 	submittedCount atomic.Uint64
 	doneCount      atomic.Uint64
 	canceledCount  atomic.Uint64
@@ -364,6 +383,28 @@ func (b *Batches) Submit(spec BatchSpec) (BatchView, error) {
 	b.mu.Lock()
 	b.nextID++
 	bt.id = fmt.Sprintf("b%06d", b.nextID)
+	b.mu.Unlock()
+
+	// Durable before visible: the submit record is fsynced before the batch
+	// is registered or fed, so every later cell record replays against a
+	// known batch. A failed commit (crashed log) burns the reserved ID.
+	if b.ledger != nil {
+		sp := submitPayload{
+			ID: bt.id, TraceID: trace, TimeoutNS: int64(spec.Timeout),
+			Created: bt.created, Cells: make([]cellSpecRec, len(cells)),
+		}
+		for i, c := range cells {
+			sp.Cells[i] = cellSpecRec{Graph: c.Graph, Algo: c.Algo, Params: c.Params}
+		}
+		if err := b.ledger.commit(recBatchSubmit, sp); err != nil {
+			for _, release := range releases {
+				release()
+			}
+			return BatchView{}, err
+		}
+	}
+
+	b.mu.Lock()
 	b.batches[bt.id] = bt
 	b.mu.Unlock()
 	b.submittedCount.Add(1)
@@ -386,6 +427,7 @@ func (bt *batch) markUnsubmitted(i int, state State, errMsg string) {
 	} else {
 		bt.failed++
 	}
+	bt.journalCellLocked(i)
 }
 
 // feed hands the batch's cells to the job engine one by one, backing off
@@ -395,6 +437,12 @@ func (b *Batches) feed(bt *batch, graphs map[string]*graph.Graph) {
 	closed := false
 	for i := range bt.cells {
 		bt.mu.Lock()
+		// A resumed batch restores finished cells from the ledger before the
+		// feeder starts: skip them so they are never re-executed.
+		if bt.cells[i].state.Terminal() {
+			bt.mu.Unlock()
+			continue
+		}
 		cell := bt.cells[i].cell
 		canceled := bt.cancelReq
 		bt.mu.Unlock()
@@ -405,6 +453,12 @@ func (b *Batches) feed(bt *batch, graphs map[string]*graph.Graph) {
 		}
 		if canceled {
 			bt.markUnsubmitted(i, Canceled, "")
+			continue
+		}
+		if graphs[cell.Graph] == nil {
+			// Resume found the graph gone from the store; the cell fails,
+			// the batch still finishes.
+			bt.markUnsubmitted(i, Failed, fmt.Sprintf("%s: %q", store.ErrNotFound, cell.Graph))
 			continue
 		}
 
@@ -484,6 +538,7 @@ func (bt *batch) onMemberDone(i int, v JobView) {
 	if v.CacheHit {
 		bt.cacheHits++
 	}
+	bt.journalCellLocked(i)
 	bt.eng.finalizeLocked(bt)
 }
 
@@ -501,6 +556,9 @@ func (b *Batches) finalizeLocked(bt *batch) {
 		b.doneCount.Add(1)
 	}
 	bt.finished = time.Now()
+	if b.ledger != nil {
+		b.ledger.enqueue(recBatchTerminal, terminalPayload{Batch: bt.id, State: bt.state, Finished: bt.finished})
+	}
 	for _, release := range bt.releases {
 		release()
 	}
@@ -562,6 +620,17 @@ func (b *Batches) Cancel(id string) (BatchView, error) {
 	b.mu.Unlock()
 	if !ok {
 		return BatchView{}, ErrBatchNotFound
+	}
+	bt.mu.Lock()
+	if bt.state.Terminal() {
+		bt.mu.Unlock()
+		return bt.view(), ErrBatchFinished
+	}
+	bt.mu.Unlock()
+	// Durable before effective, like Submit: a crash right after the client
+	// saw the cancel succeed must not resurrect the batch as running.
+	if err := b.ledger.commit(recBatchCancel, cancelPayload{Batch: id}); err != nil {
+		return BatchView{}, err
 	}
 	bt.mu.Lock()
 	if bt.state.Terminal() {

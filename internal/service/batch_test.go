@@ -5,9 +5,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/graph"
 	"repro/internal/registry"
-	"repro/internal/rng"
 	"repro/internal/store"
 )
 
@@ -230,26 +228,22 @@ func TestBatchCancelWhileQueueSaturated(t *testing.T) {
 	// batch feeder spins on ErrQueueFull. Cancel must still terminate the
 	// batch (and release its pin) without waiting for the queue to drain.
 	b, svc, st := newBatchFixture(t, Config{Workers: 1, QueueSize: 1}, BatchConfig{})
+	started, release := registerBlocker(t, "park-satq")
+	t.Cleanup(func() { close(release) }) // after the fixture: runs before svc.Close
 	putGNP(t, st, "g", 16, 1)
 
-	blocker := func(seed uint64) {
-		g, err := graph.RandomRegular(1500, 20, rng.New(seed))
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := svc.Submit(Request{Algo: "maxis", Graph: g}); err != nil {
-			t.Fatal(err)
-		}
+	if _, err := svc.Submit(Request{Algo: "park-satq", Graph: smallGraph(1)}); err != nil {
+		t.Fatal(err)
 	}
-	blocker(1) // occupies the worker
-	blocker(2) // fills the queue
+	<-started // the worker is parked in the first blocker...
+	if _, err := svc.Submit(Request{Algo: "park-satq", Graph: smallGraph(2)}); err != nil {
+		t.Fatal(err) // ...and the second owns the lone queue slot
+	}
 
 	v, err := b.Submit(BatchSpec{Graphs: []string{"g"}, Algos: []string{"mwm2"}, Seeds: []uint64{1, 2, 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Give the feeder a moment to hit the full queue, then cancel.
-	time.Sleep(20 * time.Millisecond)
 	if _, err := b.Cancel(v.ID); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,31 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/registry"
+)
+
+// registerBlocker registers a test algorithm whose every run signals started
+// and then parks until release is closed. It replaces the old "big graph is
+// hopefully slow" blockers with a barrier the test controls, so nothing in
+// these tests depends on wall-clock job duration (which a recovery replay,
+// a race build, or a slow runner would stretch).
+//
+// Callers that Close the service via defer must close release via a LATER
+// defer (so it runs first): a canceled or timed-out parked run keeps its
+// worker occupied until the abandoned computation returns, and Close waits
+// for the workers.
+func registerBlocker(t *testing.T, name string) (started chan struct{}, release chan struct{}) {
+	t.Helper()
+	started = make(chan struct{}, 64)
+	release = make(chan struct{})
+	unregister := registry.Register(name, registry.IS, func(g *graph.Graph, p registry.Params) (*registry.Result, error) {
+		started <- struct{}{}
+		<-release
+		return &registry.Result{Kind: registry.IS, InSet: make([]bool, g.N())}, nil
+	})
+	t.Cleanup(unregister)
+	return started, release
+}

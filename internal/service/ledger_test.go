@@ -1,0 +1,200 @@
+package service
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+// ledgerStack builds a durable store + service + batch engine over one pair
+// of WAL directories, reusable across simulated restarts.
+func ledgerStack(t *testing.T, root string) (*Service, *store.Store, *Batches) {
+	t.Helper()
+	st, err := store.Open(store.Config{
+		WALDir:   filepath.Join(root, "store-wal"),
+		SpillDir: filepath.Join(root, "spill"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{Workers: 2, QueueSize: 64})
+	b, err := OpenBatches(svc, st, BatchConfig{WALDir: filepath.Join(root, "batch-wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		svc.Close()
+		b.Close()
+		st.Close()
+	})
+	return svc, st, b
+}
+
+// TestLedgerRestartRestoresFinishedBatch: a cleanly finished batch survives
+// a restart with the same ID, trace ID, per-cell results and per-group
+// aggregates, and nothing is re-executed (the new incarnation's job
+// counters stay zero).
+func TestLedgerRestartRestoresFinishedBatch(t *testing.T) {
+	root := t.TempDir()
+	_, st, b := ledgerStack(t, root)
+	if _, _, err := st.Put("g", store.Source{Gen: "gnp", GenParams: registry.GenParams{N: 40, P: 0.2, Seed: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Submit(BatchSpec{
+		Graphs: []string{"g"},
+		Algos:  []string{"mwm2", "maxis"},
+		Seeds:  []uint64{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := waitBatch(t, b, v.ID)
+	if before.Done != before.Total {
+		t.Fatalf("pre-restart batch not fully done: %+v", before)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, _, b2 := ledgerStack(t, root)
+	after, ok := b2.Get(v.ID)
+	if !ok {
+		t.Fatalf("batch %s lost across restart", v.ID)
+	}
+	if after.TraceID != before.TraceID || after.State != BatchDone ||
+		after.Done != before.Done || after.Total != before.Total {
+		t.Fatalf("restored batch differs: before=%+v after=%+v", before, after)
+	}
+	for i := range before.Cells {
+		bc, ac := before.Cells[i], after.Cells[i]
+		if bc.TraceID != ac.TraceID || bc.State != ac.State {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, bc, ac)
+		}
+		if bc.Result.Weight != ac.Result.Weight || bc.Result.Size() != ac.Result.Size() {
+			t.Fatalf("cell %d result differs across restart", i)
+		}
+	}
+	if len(after.Groups) != len(before.Groups) {
+		t.Fatalf("groups differ: %d vs %d", len(after.Groups), len(before.Groups))
+	}
+	for i := range before.Groups {
+		bg, ag := before.Groups[i], after.Groups[i]
+		if bg.Weight != ag.Weight || bg.Rounds != ag.Rounds || bg.Done != ag.Done {
+			t.Fatalf("group %d aggregates differ: %+v vs %+v", i, bg, ag)
+		}
+	}
+	if m := svc2.Metrics(); m.Submitted != 0 {
+		t.Fatalf("restart re-executed %d jobs for an already-finished batch", m.Submitted)
+	}
+	lm, ok := b2.LedgerMetrics()
+	if !ok || lm.CellsRestored != uint64(before.Total) {
+		t.Fatalf("CellsRestored = %d, want %d (ok=%v)", lm.CellsRestored, before.Total, ok)
+	}
+}
+
+// TestLedgerRestartResumesIncompleteBatch: a batch whose ledger holds only
+// the submit record (the crash hit before any cell finished) re-runs all
+// cells after restart and converges to the same results.
+func TestLedgerRestartResumesIncompleteBatch(t *testing.T) {
+	root := t.TempDir()
+	_, st, b := ledgerStack(t, root)
+	if _, _, err := st.Put("g", store.Source{Gen: "gnp", GenParams: registry.GenParams{N: 30, P: 0.25, Seed: 9}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference run, then simulate a crash that preserved the submit record
+	// but lost every cell record: kill the ledger WAL right after Submit's
+	// synchronous commit.
+	ref, err := b.Submit(BatchSpec{Graphs: []string{"g"}, Algos: []string{"maxis"}, Seeds: []uint64{4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refView := waitBatch(t, b, ref.ID)
+
+	v, err := b.Submit(BatchSpec{Graphs: []string{"g"}, Algos: []string{"maxis"}, Seeds: []uint64{4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ledger.log.Kill()
+	waitBatch(t, b, v.ID) // in-memory run still finishes; nothing else lands in the log
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, _, b2 := ledgerStack(t, root)
+	after := waitBatch(t, b2, v.ID)
+	if after.State != BatchDone || after.Done != 2 {
+		t.Fatalf("resumed batch did not finish: %+v", after)
+	}
+	if after.TraceID != v.TraceID {
+		t.Fatalf("resumed batch trace %q, want %q", after.TraceID, v.TraceID)
+	}
+	for i, c := range after.Cells {
+		if c.TraceID != v.Cells[i].TraceID {
+			t.Fatalf("cell %d trace changed across resume", i)
+		}
+		if c.Result.Weight != refView.Cells[i].Result.Weight {
+			t.Fatalf("cell %d: resumed weight %d != reference %d", i, c.Result.Weight, refView.Cells[i].Result.Weight)
+		}
+	}
+	if m := svc2.Metrics(); m.Submitted != 2 {
+		t.Fatalf("resume submitted %d jobs, want exactly the 2 unfinished cells", m.Submitted)
+	}
+	// The resumed batch must leave no pins behind once terminal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := b2.st.Delete("g"); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("graph still pinned after resumed batch finished: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLedgerCancelDurable: a canceled batch stays canceled across restart
+// instead of resuming.
+func TestLedgerCancelDurable(t *testing.T) {
+	root := t.TempDir()
+	_, st, b := ledgerStack(t, root)
+	if _, _, err := st.Put("g", store.Source{Gen: "gnp", GenParams: registry.GenParams{N: 20, P: 0.3, Seed: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Submit(BatchSpec{Graphs: []string{"g"}, Algos: []string{"maxis"}, Seeds: []uint64{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Cancel(v.ID); err != nil && err != ErrBatchFinished {
+		t.Fatal(err)
+	}
+	waitBatch(t, b, v.ID)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	svc2, _, b2 := ledgerStack(t, root)
+	after, ok := b2.Get(v.ID)
+	if !ok {
+		t.Fatalf("canceled batch %s lost", v.ID)
+	}
+	if !after.State.Terminal() {
+		after = waitBatch(t, b2, v.ID)
+	}
+	if after.State != BatchCanceled && after.Canceled == 0 {
+		// A cancel that raced completion may legitimately finish Done; but
+		// the durable record must at least prevent un-canceling cells that
+		// were already canceled.
+		t.Fatalf("canceled batch resumed as %+v", after)
+	}
+	_ = svc2
+}

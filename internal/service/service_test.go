@@ -177,15 +177,15 @@ func TestCancelQueued(t *testing.T) {
 }
 
 func TestTimeout(t *testing.T) {
+	// The blocker parks on a channel, so it outlasts its 1ms timeout by
+	// construction — no graph sizing against the runner's speed.
+	_, release := registerBlocker(t, "park-timeout")
 	s := New(Config{Workers: 1})
 	defer s.Close()
-	// The blocker must reliably outlast its 1ms timeout: after the arena
-	// runtime speedups a mid-sized maxis run can finish inside a
-	// millisecond, so size the graph like TestCancellation's blockers
-	// (~hundreds of ms).
+	defer close(release) // before Close: the drained worker needs it
 	v, err := s.Submit(Request{
-		Algo:    "maxis",
-		Graph:   graph.GNP(1500, 0.013, rng.New(5)),
+		Algo:    "park-timeout",
+		Graph:   smallGraph(5),
 		Timeout: time.Millisecond,
 	})
 	if err != nil {

@@ -21,6 +21,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"slices"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/registry"
+	"repro/internal/wal"
 )
 
 // Store errors surfaced to clients.
@@ -55,6 +57,21 @@ type Config struct {
 	// content-addressed cache: files are never deleted by the store and are
 	// safe to share between store instances or wipe between runs.
 	SpillDir string
+	// WALDir, when non-empty, makes the registry durable: name bindings are
+	// journaled to an internal/wal log there and replayed by Open on the
+	// next boot (see durable.go). Requires spill files for the graph bytes,
+	// so SpillDir defaults to <WALDir>/spill when unset. New ignores this;
+	// use Open.
+	WALDir string
+	// SnapshotEvery compacts the WAL after this many records (0 = only the
+	// final snapshot written by Close).
+	SnapshotEvery int
+	// WALSegmentBytes overrides the WAL segment rotation size (testing).
+	WALSegmentBytes int64
+	// WALHooks injects crash points into the WAL (testing).
+	WALHooks *wal.TestHooks
+	// Logger, when set, receives wal_replay / wal_snapshot_failed events.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +149,9 @@ type Store struct {
 	// an idle MAP_PRIVATE mapping costs only reclaimable page cache.
 	mapped map[string]*graph.Graph
 	clock  uint64
+	// wal is the durability journal, nil for stores built with New or
+	// opened without a WALDir. Guarded by mu like everything else.
+	wal *wal.Log
 }
 
 // New returns an empty store. When cfg.SpillDir is set, the directory is
@@ -188,13 +208,16 @@ func (s *Store) Put(name string, src Source) (Info, bool, error) {
 		rec.lastUsed = s.clock
 		return s.infoLocked(rec), true, nil
 	}
+	wasSpilled := false
 	if sp, ok := s.spilled[name]; ok {
 		if sp.fp != fp {
 			return Info{}, false, fmt.Errorf("%w: %s holds %s (spilled)", ErrExists, name, sp.fp)
 		}
 		// Idempotent re-put of a spilled name: the caller just handed us
-		// the resident bytes back, so un-spill with them.
+		// the resident bytes back, so un-spill with them. The binding is
+		// already journaled, so no new WAL record below.
 		delete(s.spilled, name)
+		wasSpilled = true
 	}
 	if err := s.makeRoomLocked(); err != nil {
 		return Info{}, false, err
@@ -202,11 +225,23 @@ func (s *Store) Put(name string, src Source) (Info, bool, error) {
 	pl, dedup := s.byFP[fp]
 	if !dedup {
 		pl = &payload{g: g, fp: fp}
+	}
+	created := time.Now()
+	if !wasSpilled {
+		// Write-ahead: the binding is durable before it is visible.
+		if err := s.journalPutLocked(name, pl, gen, created); err != nil {
+			return Info{}, false, err
+		}
+	}
+	if !dedup {
 		s.byFP[fp] = pl
 	}
 	pl.refs++
-	rec := &record{name: name, pl: pl, gen: gen, created: time.Now(), lastUsed: s.clock}
+	rec := &record{name: name, pl: pl, gen: gen, created: created, lastUsed: s.clock}
 	s.names[name] = rec
+	if s.wal != nil && !wasSpilled {
+		s.maybeSnapshotLocked()
+	}
 	return s.infoLocked(rec), dedup, nil
 }
 
@@ -419,9 +454,13 @@ func (s *Store) Delete(name string) error {
 	rec, ok := s.names[name]
 	if !ok {
 		if _, wasSpilled := s.spilled[name]; wasSpilled {
+			if err := s.journalDeleteLocked(name); err != nil {
+				return err
+			}
 			// The spill file stays: it is content-addressed and may back
 			// other names (or a future re-put of identical content).
 			delete(s.spilled, name)
+			s.maybeSnapshotLocked()
 			return nil
 		}
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -429,7 +468,13 @@ func (s *Store) Delete(name string) error {
 	if rec.pins > 0 {
 		return fmt.Errorf("%w: %q has %d pins", ErrPinned, name, rec.pins)
 	}
+	if err := s.journalDeleteLocked(name); err != nil {
+		return err
+	}
 	s.removeLocked(rec)
+	if s.wal != nil {
+		s.maybeSnapshotLocked()
+	}
 	return nil
 }
 

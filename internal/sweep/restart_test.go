@@ -1,0 +1,207 @@
+package sweep
+
+// Restart-equivalence acceptance test for the durable coordinator: a full
+// 6-experiment sweep is submitted to a WAL-backed single-node server, the
+// server is SIGKILLed (both logs stop persisting instantly, the process
+// image is discarded) at three progress points — right after the submits,
+// at roughly half the cells done, and after everything finished — and each
+// time a fresh incarnation reopens the same -waldir/-spilldir. The CSVs
+// collected from the final incarnation must be byte-identical to an
+// uninterrupted run's.
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// durableStack is one server incarnation over a fixed pair of WAL
+// directories, with handles on its logs so the test can SIGKILL it.
+type durableStack struct {
+	st  *store.Store
+	svc *service.Service
+	b   *service.Batches
+	ts  *httptest.Server
+	c   *httpapi.Client
+
+	mu   sync.Mutex
+	logs []*wal.Log
+}
+
+func openDurable(t *testing.T, root string) *durableStack {
+	t.Helper()
+	ds := &durableStack{}
+	hooks := &wal.TestHooks{OnOpen: func(l *wal.Log) {
+		ds.mu.Lock()
+		ds.logs = append(ds.logs, l)
+		ds.mu.Unlock()
+	}}
+	st, err := store.Open(store.Config{
+		MaxGraphs: 1024,
+		WALDir:    filepath.Join(root, "store-wal"),
+		SpillDir:  filepath.Join(root, "spill"),
+		WALHooks:  hooks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 4, QueueSize: 1024})
+	b, err := service.OpenBatches(svc, st, service.BatchConfig{
+		WALDir:   filepath.Join(root, "batch-wal"),
+		WALHooks: hooks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.st, ds.svc, ds.b = st, svc, b
+	ds.ts = httptest.NewServer(httpapi.NewHandler(svc, st, b))
+	ds.c = httpapi.NewClient(ds.ts.URL, nil)
+	return ds
+}
+
+// kill simulates SIGKILL: every log stops persisting mid-flight (buffered
+// bytes lost, flushed bytes kept), then the process image is discarded. The
+// graceful-drain paths still run — against dead logs they change nothing on
+// disk, exactly like the real signal.
+func (ds *durableStack) kill(t *testing.T) {
+	t.Helper()
+	ds.mu.Lock()
+	for _, l := range ds.logs {
+		l.Kill()
+	}
+	ds.mu.Unlock()
+	ds.discard()
+}
+
+// shutdown is the clean SIGTERM path: drain, snapshot, close.
+func (ds *durableStack) shutdown(t *testing.T) {
+	t.Helper()
+	ds.ts.Close()
+	ds.svc.Close()
+	if err := ds.b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (ds *durableStack) discard() {
+	ds.ts.Close()
+	ds.svc.Close()
+	ds.b.Close()
+	ds.st.Close()
+}
+
+// waitProgress polls until at least frac of all submitted cells are done.
+func waitProgress(t *testing.T, c *httpapi.Client, subs []*Submission, frac float64) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		done, total := 0, 0
+		for _, s := range subs {
+			v, err := c.GetBatch(ctx, s.BatchID, 0)
+			if err != nil {
+				t.Fatalf("poll %s: %v", s.BatchID, err)
+			}
+			done += v.Done
+			total += v.Total
+		}
+		if total > 0 && float64(done) >= frac*float64(total) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("sweep never reached %.0f%% done", frac*100)
+}
+
+func TestSweepRestartEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const trials = 1
+	exps := Experiments()
+
+	// Reference CSVs from an uninterrupted, non-durable server.
+	refSvc := service.New(service.Config{Workers: 4, QueueSize: 1024})
+	defer refSvc.Close()
+	refStore := store.New(store.Config{MaxGraphs: 1024})
+	refTS := httptest.NewServer(httpapi.NewHandler(refSvc, refStore, service.NewBatches(refSvc, refStore, service.BatchConfig{})))
+	defer refTS.Close()
+	refClient := httpapi.NewClient(refTS.URL, nil)
+	ref := map[string][]byte{}
+	for _, exp := range exps {
+		p, err := Build(exp, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Execute(ctx, refClient, exp, p); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := p.CSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		ref[exp] = buf.Bytes()
+	}
+
+	// Incarnation 1: submit every experiment, then die before any collect.
+	root := t.TempDir()
+	ds := openDurable(t, root)
+	plans := map[string]*Plan{}
+	var subs []*Submission
+	for _, exp := range exps {
+		p, err := Build(exp, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Submit(ctx, ds.c, exp, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[exp] = p
+		subs = append(subs, s)
+	}
+	ds.kill(t) // progress point 1: submits durable, little else
+
+	// Incarnation 2: batches resume; die again around half done.
+	ds = openDurable(t, root)
+	waitProgress(t, ds.c, subs, 0.5)
+	ds.kill(t) // progress point 2: mid-batch
+
+	// Incarnation 3: resume the tail; die after everything finished, so the
+	// final incarnation must restore (not re-run) completed batches.
+	ds = openDurable(t, root)
+	waitProgress(t, ds.c, subs, 1.0)
+	ds.kill(t) // progress point 3: all cells done
+
+	// Final incarnation: collect every sweep and compare byte for byte.
+	ds = openDurable(t, root)
+	for _, s := range subs {
+		if err := s.Collect(ctx, ds.c); err != nil {
+			t.Fatalf("collect %s after restarts: %v", s.Exp, err)
+		}
+		var buf bytes.Buffer
+		if err := plans[s.Exp].CSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), ref[s.Exp]) {
+			t.Errorf("%s: restart-resumed CSV differs from uninterrupted run\nwant:\n%s\ngot:\n%s",
+				s.Exp, ref[s.Exp], buf.Bytes())
+		}
+	}
+	// No graphs may linger: Collect deleted the sweep uploads, and resumed
+	// batches released their pins.
+	if n := ds.st.Len(); n != 0 {
+		t.Fatalf("%d graphs left in the store after all sweeps collected", n)
+	}
+	ds.shutdown(t)
+}

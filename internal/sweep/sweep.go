@@ -81,43 +81,61 @@ func Build(exp string, trials int) (*Plan, error) {
 	return build(trials)
 }
 
-// Execute drives a plan through the batch API: upload every run's graph to
-// the store (identical graphs deduplicate server-side), submit one batch of
-// explicit cells in row order, long-poll it, and emit the rows. Canceling
-// ctx abandons the in-flight round trip; cleanup still runs.
-func Execute(ctx context.Context, c *httpapi.Client, exp string, p *Plan) (err error) {
-	// The uploads are per-sweep scratch: delete them however this sweep
-	// ends, or a failed run would leak deterministic sweep-* names into a
-	// remote server's store and 409 every later run that maps the same
-	// name to a different graph.
-	var names []string
-	defer func() {
-		for _, name := range names {
-			if derr := c.DeleteGraph(ctx, name); derr != nil && err == nil {
-				err = fmt.Errorf("cleaning up %s: %w", name, derr)
-			}
-		}
-	}()
+// Submission is an in-flight sweep: the uploaded graph names, the submitted
+// batch ID, and the plan waiting for its rows. Everything it references
+// server-side (the named graphs, the batch) is addressed by durable IDs, so
+// Collect may run against a different client — including one pointed at a
+// server that restarted from its WAL in between.
+type Submission struct {
+	// Exp is the experiment ID the submission was built from.
+	Exp string
+	// BatchID is the server-assigned batch handle Collect polls.
+	BatchID string
+	names   []string
+	plan    *Plan
+}
 
+// Submit uploads every run's graph to the store (identical graphs
+// deduplicate server-side) and submits one batch of explicit cells in row
+// order. On error the uploads are cleaned up before returning.
+func Submit(ctx context.Context, c *httpapi.Client, exp string, p *Plan) (*Submission, error) {
+	s := &Submission{Exp: exp, plan: p}
 	cells := make([]httpapi.BatchCell, len(p.runs))
 	for i, r := range p.runs {
 		var buf bytes.Buffer
 		if err := repro.WriteGraph(&buf, r.g); err != nil {
-			return err
+			s.cleanup(ctx, c)
+			return nil, err
 		}
 		name := fmt.Sprintf("sweep-%s-r%03d", exp, i)
 		if _, err := c.PutGraph(ctx, name, buf.String()); err != nil {
-			return fmt.Errorf("uploading graph for cell %d: %w", i, err)
+			s.cleanup(ctx, c)
+			return nil, fmt.Errorf("uploading graph for cell %d: %w", i, err)
 		}
-		names = append(names, name)
+		s.names = append(s.names, name)
 		params := r.params
 		cells[i] = httpapi.BatchCell{Graph: name, Algo: r.algo, Params: &params}
 	}
 	b, err := c.SubmitBatch(ctx, httpapi.BatchRequest{Cells: cells})
 	if err != nil {
-		return fmt.Errorf("submitting batch: %w", err)
+		s.cleanup(ctx, c)
+		return nil, fmt.Errorf("submitting batch: %w", err)
 	}
-	fin, err := c.WaitBatch(ctx, b.ID, 10*time.Minute)
+	s.BatchID = b.ID
+	return s, nil
+}
+
+// Collect long-polls the submission's batch until it is terminal and emits
+// the plan's rows, then deletes the uploaded graphs. c need not be the
+// client Submit used — only the same logical server (or its restarted
+// incarnation, which recovers the batch and the graphs from its WAL).
+func (s *Submission) Collect(ctx context.Context, c *httpapi.Client) (err error) {
+	defer func() {
+		if cerr := s.cleanup(ctx, c); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	fin, err := c.WaitBatch(ctx, s.BatchID, 10*time.Minute)
 	if err != nil {
 		return err
 	}
@@ -130,9 +148,35 @@ func Execute(ctx context.Context, c *httpapi.Client, exp string, p *Plan) (err e
 		}
 	}
 	for i, cell := range fin.Cells {
-		p.runs[i].emit(p.table, cell.Result)
+		s.plan.runs[i].emit(s.plan.table, cell.Result)
 	}
 	return nil
+}
+
+// cleanup deletes the uploaded graphs. The uploads are per-sweep scratch:
+// delete them however this sweep ends, or a failed run would leak
+// deterministic sweep-* names into a remote server's store and 409 every
+// later run that maps the same name to a different graph.
+func (s *Submission) cleanup(ctx context.Context, c *httpapi.Client) error {
+	var err error
+	for _, name := range s.names {
+		if derr := c.DeleteGraph(ctx, name); derr != nil && err == nil {
+			err = fmt.Errorf("cleaning up %s: %w", name, derr)
+		}
+	}
+	s.names = nil
+	return err
+}
+
+// Execute drives a plan through the batch API end to end: Submit, then
+// Collect on the same client. Canceling ctx abandons the in-flight round
+// trip; cleanup still runs.
+func Execute(ctx context.Context, c *httpapi.Client, exp string, p *Plan) error {
+	s, err := Submit(ctx, c, exp, p)
+	if err != nil {
+		return err
+	}
+	return s.Collect(ctx, c)
 }
 
 func sweepE1(trials int) (*Plan, error) {

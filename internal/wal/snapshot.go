@@ -1,0 +1,131 @@
+package wal
+
+// Snapshots: a snapshot is the consumer's full state rendered as one opaque
+// payload, written with the temp-file + fsync + rename discipline so replay
+// sees either the complete snapshot or none of it. A snapshot with sequence
+// number S supersedes every record in segments numbered below S; those
+// segments are deleted once the rename is durable (and tolerated if a crash
+// leaves them behind — replay prefers the snapshot).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// snapMagic guards against loading a foreign file as a snapshot.
+var snapMagic = [4]byte{'R', 'W', 'S', '1'}
+
+// WriteSnapshot atomically persists payload as the log's new snapshot: the
+// active segment is sealed and a fresh one opened, the snapshot is written
+// beside it temp-file-first, and segments the snapshot supersedes are
+// removed. On success RecordsSinceSnapshot resets to zero.
+func (l *Log) WriteSnapshot(payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return ErrTooLarge
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	// Seal the records the snapshot covers, then move appends to a fresh
+	// segment: the snapshot's sequence number is the new segment's, so
+	// "records ≥ seq" and "snapshot" partition history exactly.
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	seq := l.seq
+
+	tmp := l.snapPath(seq) + ".tmp"
+	if err := writeSnapshotFile(tmp, payload); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if l.crash(PointSnapTemp) {
+		return ErrCrashed
+	}
+	if l.crash(PointSnapPreRename) {
+		return ErrCrashed
+	}
+	if err := os.Rename(tmp, l.snapPath(seq)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	syncDir(l.dir)
+	l.snapshots.Add(1)
+	l.sinceSnap.Store(0)
+	if l.crash(PointSnapPostRename) {
+		return ErrCrashed
+	}
+	if l.crash(PointSnapGC) {
+		return ErrCrashed
+	}
+	// GC superseded files; best effort — replay prefers the newest
+	// snapshot, so leftovers cost disk, not correctness.
+	if entries, err := os.ReadDir(l.dir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if s, ok := parseSeq(name, segPrefix, segSuffix); ok && s < seq {
+				os.Remove(l.segPath(s))
+			} else if s, ok := parseSeq(name, snapPrefix, snapSuffix); ok && s < seq {
+				os.Remove(l.snapPath(s))
+			}
+		}
+	}
+	return nil
+}
+
+func writeSnapshotFile(path string, payload []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot temp: %w", err)
+	}
+	var hdr [12]byte
+	copy(hdr[0:4], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, castagnoli))
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	return f.Close()
+}
+
+// readSnapshot loads and validates one snapshot file; ok is false for any
+// torn, truncated or corrupt content.
+func readSnapshot(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) < 12 {
+		return nil, false
+	}
+	if [4]byte(data[0:4]) != snapMagic {
+		return nil, false
+	}
+	length := binary.LittleEndian.Uint32(data[4:8])
+	if int(length) != len(data)-12 || length > MaxRecordBytes {
+		return nil, false
+	}
+	payload := data[12:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[8:12]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// syncDir fsyncs a directory so a rename is durable; best effort on
+// platforms where directories cannot be fsynced.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
