@@ -236,18 +236,22 @@ type batch struct {
 	cells     []memberState
 	state     BatchState
 	cancelReq bool
-	feedDone  bool
-	submitted int
-	terminal  int
-	done      int
-	failed    int
-	canceled  int
-	cacheHits int
-	created   time.Time
-	finished  time.Time
-	releases  []func()
-	doneCh    chan struct{}
-	groups    []BatchGroup // aggregates, computed once after the terminal transition
+	// cancelAcked records that some cancel commit was acknowledged: a
+	// concurrent Cancel whose own commit failed must not roll cancelReq back
+	// past an acked one.
+	cancelAcked bool
+	feedDone    bool
+	submitted   int
+	terminal    int
+	done        int
+	failed      int
+	canceled    int
+	cacheHits   int
+	created     time.Time
+	finished    time.Time
+	releases    []func()
+	doneCh      chan struct{}
+	groups      []BatchGroup // aggregates, computed once after the terminal transition
 }
 
 // Batches is the batch engine: it expands BatchSpecs over graphs pinned in
@@ -383,11 +387,18 @@ func (b *Batches) Submit(spec BatchSpec) (BatchView, error) {
 	b.mu.Lock()
 	b.nextID++
 	bt.id = fmt.Sprintf("b%06d", b.nextID)
+	// Visible before acked: the batch must be in b.batches before the commit
+	// ack is delivered, because the writer goroutine snapshots b.batches right
+	// after acking and the snapshot supersedes the segment holding the submit
+	// record — a batch registered only after the ack could land in neither. An
+	// unacked batch surviving a crash is fine (the record could be durable
+	// anyway); an acked batch lost is not.
+	b.batches[bt.id] = bt
 	b.mu.Unlock()
 
-	// Durable before visible: the submit record is fsynced before the batch
-	// is registered or fed, so every later cell record replays against a
-	// known batch. A failed commit (crashed log) burns the reserved ID.
+	// Durable before fed: the submit record is fsynced before any cell runs,
+	// so every later cell record replays against a known batch. A failed
+	// commit (crashed log) rolls the registration back and burns the ID.
 	if b.ledger != nil {
 		sp := submitPayload{
 			ID: bt.id, TraceID: trace, TimeoutNS: int64(spec.Timeout),
@@ -397,16 +408,15 @@ func (b *Batches) Submit(spec BatchSpec) (BatchView, error) {
 			sp.Cells[i] = cellSpecRec{Graph: c.Graph, Algo: c.Algo, Params: c.Params}
 		}
 		if err := b.ledger.commit(recBatchSubmit, sp); err != nil {
+			b.mu.Lock()
+			delete(b.batches, bt.id)
+			b.mu.Unlock()
 			for _, release := range releases {
 				release()
 			}
 			return BatchView{}, err
 		}
 	}
-
-	b.mu.Lock()
-	b.batches[bt.id] = bt
-	b.mu.Unlock()
 	b.submittedCount.Add(1)
 	b.cellCount.Add(uint64(len(cells)))
 
@@ -626,18 +636,34 @@ func (b *Batches) Cancel(id string) (BatchView, error) {
 		bt.mu.Unlock()
 		return bt.view(), ErrBatchFinished
 	}
+	// Effective before acked, like Submit's registration: cancelReq must be
+	// set before the commit ack, because the writer snapshots right after
+	// acking and the snapshot supersedes the cancel record's segment — a flag
+	// raised only after the ack could be recorded nowhere, resurrecting an
+	// acknowledged-canceled batch as running after a crash. Rolled back if the
+	// commit fails (and no other Cancel's commit was acked meanwhile).
+	prev := bt.cancelReq
+	bt.cancelReq = true
 	bt.mu.Unlock()
-	// Durable before effective, like Submit: a crash right after the client
-	// saw the cancel succeed must not resurrect the batch as running.
 	if err := b.ledger.commit(recBatchCancel, cancelPayload{Batch: id}); err != nil {
+		bt.mu.Lock()
+		if !prev && !bt.cancelAcked {
+			bt.cancelReq = false
+		}
+		bt.mu.Unlock()
 		return BatchView{}, err
 	}
 	bt.mu.Lock()
+	bt.cancelReq = true // re-assert past any concurrent failed Cancel's rollback
+	bt.cancelAcked = true
 	if bt.state.Terminal() {
+		// cancelReq was raised before the first terminal check released bt.mu,
+		// so any terminal transition since then saw the flag and finalized the
+		// batch as canceled — e.g. the feeder reacting before the commit ack.
+		// That is this cancel succeeding, not ErrBatchFinished.
 		bt.mu.Unlock()
-		return bt.view(), ErrBatchFinished
+		return bt.view(), nil
 	}
-	bt.cancelReq = true
 	var ids []string
 	for i := range bt.cells {
 		if ms := &bt.cells[i]; ms.jobID != "" && !ms.state.Terminal() {

@@ -18,6 +18,13 @@ package service
 // behind one fsync and acks. The writer takes Batches.mu and batch.mu only —
 // never the Service mutex — so it cannot deadlock with notifications.
 //
+// Snapshot safety: the writer may snapshot immediately after acking, and a
+// snapshot supersedes the segments holding the records it just synced — so a
+// synchronous committer MUST make its mutation visible to snapshot state
+// (b.batches, bt.cancelReq) before committing, rolling back on commit
+// failure. State applied only after the ack can end up in neither the
+// snapshot nor any surviving segment, silently losing an acked operation.
+//
 // Replay idempotence: submit records of known IDs, cell records for
 // already-terminal cells, and terminal/cancel records for already-terminal
 // batches are skipped; unknown record types are skipped.

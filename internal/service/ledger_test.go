@@ -2,11 +2,13 @@ package service
 
 import (
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/registry"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // ledgerStack builds a durable store + service + batch engine over one pair
@@ -197,4 +199,120 @@ func TestLedgerCancelDurable(t *testing.T) {
 		t.Fatalf("canceled batch resumed as %+v", after)
 	}
 	_ = svc2
+}
+
+// TestLedgerMutationVisibleBeforeAck: the writer goroutine may snapshot the
+// engine immediately after acking a synchronous commit, and the snapshot
+// supersedes the segment holding the just-synced record — so the mutation a
+// commit describes must already be visible when the record hits disk.
+// The hook observes the engine at sync.post, the instant before the ack is
+// delivered: the submitted batch must already be registered and the canceled
+// batch's cancelReq already raised. Under a commit-then-apply ordering this
+// fires deterministically, not as a rare race.
+func TestLedgerMutationVisibleBeforeAck(t *testing.T) {
+	root := t.TempDir()
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, release := registerBlocker(t, "ledgervisible")
+	svc := New(Config{Workers: 2, QueueSize: 64})
+
+	var (
+		b  *Batches
+		mu sync.Mutex
+		// Armed expectations, checked at every ledger sync.post.
+		expectBatch  string
+		expectCancel string
+		violations   []string
+	)
+	hooks := &wal.TestHooks{CrashAt: func(point string) bool {
+		if point != wal.PointSyncPost {
+			return false
+		}
+		mu.Lock()
+		wantBatch, wantCancel := expectBatch, expectCancel
+		mu.Unlock()
+		if wantBatch != "" {
+			b.mu.Lock()
+			_, ok := b.batches[wantBatch]
+			b.mu.Unlock()
+			if !ok {
+				mu.Lock()
+				violations = append(violations, "submit record synced but batch "+wantBatch+" not registered")
+				mu.Unlock()
+			}
+		}
+		if wantCancel != "" {
+			b.mu.Lock()
+			bt := b.batches[wantCancel]
+			b.mu.Unlock()
+			raised := false
+			if bt != nil {
+				bt.mu.Lock()
+				raised = bt.cancelReq
+				bt.mu.Unlock()
+			}
+			if !raised {
+				mu.Lock()
+				violations = append(violations, "cancel record synced but cancelReq not raised on "+wantCancel)
+				mu.Unlock()
+			}
+		}
+		return false
+	}}
+	b, err = OpenBatches(svc, st, BatchConfig{
+		WALDir:   filepath.Join(root, "batch-wal"),
+		WALHooks: hooks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		svc.Close()
+		b.Close()
+		st.Close()
+	})
+	var once sync.Once
+	releaseAll := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(releaseAll) // LIFO: unpark the workers before svc.Close waits on them
+
+	if _, _, err := st.Put("g", store.Source{Gen: "gnp", GenParams: registry.GenParams{N: 20, P: 0.3, Seed: 7}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine assigns b000001 to the first Submit, so the expectation
+	// can be armed before the ID exists. The cells park on the blocker, so
+	// the only ledger syncs while armed are the ones under test.
+	mu.Lock()
+	expectBatch = "b000001"
+	mu.Unlock()
+	v, err := b.Submit(BatchSpec{Graphs: []string{"g"}, Algos: []string{"ledgervisible"}, Seeds: []uint64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	expectBatch = ""
+	mu.Unlock()
+	if v.ID != "b000001" {
+		t.Fatalf("first batch ID = %q, the armed expectation checked nothing", v.ID)
+	}
+
+	mu.Lock()
+	expectCancel = v.ID
+	mu.Unlock()
+	if _, err := b.Cancel(v.ID); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	expectCancel = ""
+	mu.Unlock()
+
+	releaseAll()
+	waitBatch(t, b, v.ID)
+	mu.Lock()
+	defer mu.Unlock()
+	for _, msg := range violations {
+		t.Error(msg)
+	}
 }

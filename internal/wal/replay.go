@@ -33,6 +33,11 @@ func replayDir(dir string) (Recovery, uint64, error) {
 			segs = append(segs, seq)
 		} else if seq, ok := parseSeq(name, snapPrefix, snapSuffix); ok {
 			snaps = append(snaps, seq)
+		} else if strings.HasSuffix(name, ".tmp") {
+			// A crash between a snapshot's temp write and its rename strands
+			// the .tmp file: it is by definition not a durable snapshot, so
+			// reclaim it here rather than accumulate one per crash.
+			os.Remove(filepath.Join(dir, name))
 		}
 	}
 	slices.Sort(segs)

@@ -118,6 +118,12 @@ var (
 	ErrCrashed = errors.New("wal: log crashed (simulated process death)")
 	// ErrClosed marks a cleanly closed log.
 	ErrClosed = errors.New("wal: log is closed")
+	// ErrFailed marks a log poisoned by a write error: a failed or partial
+	// flush may have left a torn record in the MIDDLE of the active segment,
+	// and replay stops a segment at the first tear — so any record accepted
+	// after that point would be acked yet silently dropped on recovery. The
+	// log refuses all further appends and syncs instead.
+	ErrFailed = errors.New("wal: log failed (prior write error)")
 	// ErrTooLarge rejects records beyond MaxRecordBytes.
 	ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
 )
@@ -198,6 +204,7 @@ type Log struct {
 	written int64  // bytes in the active segment (flushed + buffered)
 	crashed bool
 	closed  bool
+	failed  error // non-nil once a flush error poisoned the log
 
 	appends       atomic.Uint64
 	appendedBytes atomic.Uint64
@@ -349,14 +356,25 @@ func (l *Log) AppendSync(typ byte, payload []byte) error {
 }
 
 // flushLocked writes the user-space buffer through to the active segment.
-// Must be called with l.mu held.
+// Must be called with l.mu held. A write error poisons the log (ErrFailed):
+// the write may have landed a torn record mid-segment, and replay would
+// silently drop anything appended after it — so nothing may be acked after
+// it. The unwritten suffix stays buffered; Close retries it once, which on
+// a transient error mends the tear exactly where it was left.
 func (l *Log) flushLocked() error {
 	if len(l.buf) == 0 {
 		return nil
 	}
-	_, err := l.f.Write(l.buf)
+	n, err := l.f.Write(l.buf)
+	if err != nil {
+		l.buf = l.buf[n:]
+		if l.failed == nil {
+			l.failed = fmt.Errorf("%w: %v", ErrFailed, err)
+		}
+		return err
+	}
 	l.buf = l.buf[:0]
-	return err
+	return nil
 }
 
 // Sync flushes buffered records and fsyncs the active segment.
@@ -416,6 +434,8 @@ func (l *Log) usableLocked() error {
 		return ErrCrashed
 	case l.closed:
 		return ErrClosed
+	case l.failed != nil:
+		return l.failed
 	}
 	return nil
 }

@@ -262,3 +262,32 @@ func BenchmarkAppendSync(b *testing.B) {
 		}
 	}
 }
+
+// TestOpenRemovesStaleSnapshotTemp: a crash between a snapshot's temp write
+// and its rename strands a .tmp file that replay ignores; Open must reclaim
+// it instead of accumulating one orphan per crash.
+func TestOpenRemovesStaleSnapshotTemp(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, wal.Options{})
+	if err := l.AppendSync(1, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "snap-00000007.snap.tmp")
+	if err := os.WriteFile(stale, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openT(t, dir, wal.Options{})
+	if rec.Snapshot != nil {
+		t.Fatal("stale temp file was loaded as a snapshot")
+	}
+	if got := payloads(rec.Records); len(got) != 1 || got[0] != "1:keep" {
+		t.Fatalf("recovered %v, want the one real record", got)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale snapshot temp survived Open (stat err = %v)", err)
+	}
+}
