@@ -56,10 +56,23 @@
 // unfinished ones re-execute. See DESIGN.md §8 and the README recovery
 // cookbook. Without -waldir all state is in-memory, as before.
 //
-// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// connections and drains in-flight requests; single-node mode then drains
-// the job queue, while coordinator mode cancels its running batches (the
-// workers own the jobs and drain on their own shutdown). With -waldir the
+// Multi-tenant mode: -keys names a file of per-tenant API keys (one
+// "<tenant> <sha256-of-key>" line each, with optional weight=/rate=/burst=/
+// cells=/queue=/waiters= knobs — see internal/tenant). With -keys every
+// request must authenticate (X-API-Key or Authorization: Bearer), mutating
+// requests spend the tenant's token bucket, graphs and batches are scoped
+// per tenant, and the job queue becomes a weighted fair queue so one
+// tenant's backlog cannot starve another's. SIGHUP re-reads the key file
+// without a restart (on parse errors the previous keys stay in effect).
+// Coordinator deployments pass -worker-key to authenticate against workers
+// that run with -keys themselves.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops admitting
+// new jobs (submissions 503 with code "draining"), waits up to -drain for
+// in-flight work — single-node mode finishes running cells and journals
+// them to the WAL, leaving the queued remainder for the restart to resume;
+// coordinator mode lets dispatched groups finish on their workers — then
+// stops accepting connections and flushes the ledger. With -waldir the
 // clean shutdown also writes a final snapshot, so the next start replays a
 // minimal log tail; a SIGKILL (or crash) instead replays the journal, which
 // recovers everything that was acknowledged before the crash.
@@ -85,6 +98,7 @@ import (
 	"repro/internal/httpapi"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // newLogger builds the structured logger behind -log: "text" and "json"
@@ -143,6 +157,9 @@ func main() {
 	hedge := flag.Bool("hedge", false, "coordinator mode: speculatively re-dispatch straggling groups to a second worker; first result wins")
 	groupSize := flag.Int("groupsize", 16, "coordinator mode: max seeds per dispatched job group")
 	perCell := flag.Bool("percell", false, "coordinator mode: dispatch one job per cell instead of grouped job groups (benchmark baseline)")
+	keysFile := flag.String("keys", "", "per-tenant API key file; enables multi-tenant mode (auth, rate limits, fair-share admission); SIGHUP reloads it")
+	drainFor := flag.Duration("drain", 30*time.Second, "graceful-drain bound on SIGINT/SIGTERM: how long to wait for in-flight work before forcing shutdown")
+	workerKey := flag.String("worker-key", "", "coordinator mode: API key sent to workers running with -keys")
 	flag.Parse()
 
 	logger, err := newLogger(*logFormat)
@@ -166,8 +183,36 @@ func main() {
 		}
 	}
 
+	// Multi-tenant front door: load the key file once at startup and swap in
+	// fresh tables on SIGHUP. A nil keyring leaves the API open (single-user
+	// mode) with the exact pre-tenant wire format.
+	var keyring *tenant.Keyring
+	if *keysFile != "" {
+		kr, err := tenant.Load(*keysFile)
+		if err != nil {
+			log.Fatalf("-keys %s: %v", *keysFile, err)
+		}
+		keyring = kr
+		log.Printf("multi-tenant mode: %d tenant keys from %s", kr.Len(), *keysFile)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := kr.Reload(); err != nil {
+					log.Printf("SIGHUP key reload failed (previous keys kept): %v", err)
+				} else {
+					log.Printf("SIGHUP: reloaded %d tenant keys from %s", kr.Len(), *keysFile)
+				}
+			}
+		}()
+	}
+
 	var handler http.Handler
 	var shutdown func()
+	// drain is the mode-specific graceful phase run on SIGINT/SIGTERM before
+	// the listener closes: stop admitting, let in-flight work settle (bounded
+	// by -drain), and report whether everything finished in time.
+	var drain func(time.Duration) bool
 	if *fleet != "" {
 		storeWAL := ""
 		if *walDir != "" {
@@ -188,20 +233,33 @@ func main() {
 			Hedge:          *hedge,
 			GroupSize:      *groupSize,
 			PerCell:        *perCell,
+			WorkerAPIKey:   *workerKey,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("coordinator mode over %d workers", len(strings.Split(*fleet, ",")))
-		handler = httpapi.NewClusterHandler(coord, httpapi.WithMaxBodyBytes(*maxBody))
+		handler = httpapi.NewClusterHandler(coord, httpapi.WithMaxBodyBytes(*maxBody), httpapi.WithKeyring(keyring))
 		shutdown = coord.Close
+		drain = coord.Drain
 	} else {
-		svc := service.New(service.Config{
+		cfg := service.Config{
 			Workers:        *pool,
 			QueueSize:      *queue,
 			CacheSize:      *cache,
 			DefaultTimeout: *timeout,
-		})
+		}
+		if keyring != nil {
+			kr := keyring
+			cfg.TenantLimits = func(id string) service.TenantLimits {
+				t, ok := kr.ByID(id)
+				if !ok {
+					return service.TenantLimits{}
+				}
+				return service.TenantLimits{Weight: t.Weight, MaxRunning: t.MaxCells, QueueSize: t.QueueSize}
+			}
+		}
+		svc := service.New(cfg)
 		storeWAL, batchWAL, spill := "", "", *spillDir
 		if *walDir != "" {
 			storeWAL = filepath.Join(*walDir, "store")
@@ -238,7 +296,8 @@ func main() {
 				log.Printf("loaded %s as %q: %d nodes, %d edges", path, name, info.Nodes, info.Edges)
 			}
 		}
-		handler = httpapi.NewHandler(svc, st, batches, httpapi.WithMaxBodyBytes(*maxBody))
+		handler = httpapi.NewHandler(svc, st, batches, httpapi.WithMaxBodyBytes(*maxBody), httpapi.WithKeyring(keyring))
+		drain = svc.Drain
 		// Drain order matters: stop the job engine first (queued jobs finish
 		// and their terminal notifications reach the ledger), then flush the
 		// ledger and write its final snapshot, then the store's.
@@ -282,7 +341,15 @@ func main() {
 	// process rather than be swallowed.
 	stop()
 
-	log.Print("shutting down")
+	// Drain before closing the listener: new submissions already 503 with
+	// code "draining", but clients can keep polling and streaming results
+	// for work that is still settling. Only then stop serving and flush.
+	log.Printf("shutting down: draining in-flight work (up to %s)", *drainFor)
+	if drain(*drainFor) {
+		log.Print("drain complete")
+	} else {
+		log.Printf("drain timed out after %s; unfinished work resumes from the WAL on restart", *drainFor)
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -38,6 +38,7 @@ type cbatch struct {
 	// worker) under the child trace "<traceID>.<i>", so one grep over
 	// coordinator and worker logs follows a cell across retries and hosts.
 	traceID string
+	tenant  string
 	timeout time.Duration
 	// ctx is canceled by CancelBatch and Close; every slot wait and poll
 	// select observes it.
@@ -59,7 +60,19 @@ type cbatch struct {
 	finished   time.Time
 	releases   []func()
 	doneCh     chan struct{}
-	groups     []service.BatchGroup
+	// progress is closed and replaced on every cell-terminal transition so
+	// streaming waiters (WaitCell) wake without polling.
+	progress chan struct{}
+	groups   []service.BatchGroup
+}
+
+// signalProgressLocked wakes streaming waiters after cell-terminal
+// transitions. Must be called with bt.mu held.
+func (bt *cbatch) signalProgressLocked() {
+	if bt.progress != nil {
+		close(bt.progress)
+		bt.progress = make(chan struct{})
+	}
 }
 
 // SubmitBatch validates and launches a sharded batch: the spec expands
@@ -68,6 +81,12 @@ type cbatch struct {
 // dispatch goroutine per cell runs it on the owning worker (gated by that
 // worker's in-flight window). Poll GetBatch or WaitBatch for progress.
 func (c *Coordinator) SubmitBatch(spec service.BatchSpec) (service.BatchView, error) {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return service.BatchView{}, service.ErrDraining
+	}
+	c.mu.Unlock()
 	// Expansion, validation and pinning are the literal single-node code
 	// path, so coordinator and worker accept exactly the same specs. The
 	// pins are what keep retried cells re-placeable after a worker dies.
@@ -88,6 +107,7 @@ func (c *Coordinator) SubmitBatch(spec service.BatchSpec) (service.BatchView, er
 	ctx, cancel := context.WithCancel(context.Background())
 	bt := &cbatch{
 		traceID:  trace,
+		tenant:   spec.Tenant,
 		timeout:  spec.Timeout,
 		ctx:      ctx,
 		cancel:   cancel,
@@ -97,6 +117,7 @@ func (c *Coordinator) SubmitBatch(spec service.BatchSpec) (service.BatchView, er
 		created:  time.Now(),
 		releases: releases,
 		doneCh:   make(chan struct{}),
+		progress: make(chan struct{}),
 	}
 	for i, cell := range cells {
 		bt.cells[i] = cmember{cell: cell, state: service.Queued}
@@ -110,7 +131,7 @@ func (c *Coordinator) SubmitBatch(spec service.BatchSpec) (service.BatchView, er
 	c.batchesSubmitted.Add(1)
 	c.batchCells.Add(uint64(len(cells)))
 	c.log.Info("batch submitted", "event", "batch_submit",
-		"batch", bt.id, "trace", bt.traceID, "cells", len(cells))
+		"batch", bt.id, "trace", bt.traceID, "tenant", bt.tenant, "cells", len(cells))
 
 	c.runWG.Add(1)
 	go c.run(bt)
@@ -171,7 +192,7 @@ func (c *Coordinator) run(bt *cbatch) {
 
 	bt.mu.Lock()
 	c.log.Info("batch finished", "event", "batch_done",
-		"batch", bt.id, "trace", bt.traceID, "state", string(bt.state),
+		"batch", bt.id, "trace", bt.traceID, "tenant", bt.tenant, "state", string(bt.state),
 		"done", bt.done, "failed", bt.failed, "canceled", bt.canceled,
 		"duration", bt.finished.Sub(bt.created))
 	bt.mu.Unlock()
@@ -833,6 +854,7 @@ func (bt *cbatch) finishCells(dg *dgroup, outs []cellOutcome) {
 			bt.cacheHits++
 		}
 	}
+	bt.signalProgressLocked()
 }
 
 // noteDispatched records where a cell is running, for cancel fan-out and the
@@ -874,6 +896,7 @@ func (bt *cbatch) finishCell(i int, out cellOutcome) {
 	if out.cacheHit {
 		bt.cacheHits++
 	}
+	bt.signalProgressLocked()
 }
 
 // GetBatch returns a snapshot of the batch with the given ID.
@@ -903,6 +926,43 @@ func (c *Coordinator) WaitBatch(id string, d time.Duration) (service.BatchView, 
 		}
 	}
 	return bt.view(), true
+}
+
+// WaitCell blocks until cell index of batch id is terminal, the whole batch
+// is terminal, or d has elapsed, then returns that cell's snapshot. The
+// second return is false only when the batch or index does not exist. This
+// is the long-poll primitive behind incremental result streaming: the
+// streaming handler walks indices in order, parking here until each settles.
+func (c *Coordinator) WaitCell(id string, index int, d time.Duration) (service.BatchCellView, bool) {
+	c.mu.Lock()
+	bt, ok := c.batches[id]
+	c.mu.Unlock()
+	if !ok {
+		return service.BatchCellView{}, false
+	}
+	deadline := time.Now().Add(d)
+	for {
+		bt.mu.Lock()
+		if index < 0 || index >= len(bt.cells) {
+			bt.mu.Unlock()
+			return service.BatchCellView{}, false
+		}
+		cv := bt.cellViewLocked(index)
+		settled := cv.State.Terminal() || bt.state.Terminal()
+		progress := bt.progress
+		bt.mu.Unlock()
+		remain := time.Until(deadline)
+		if settled || remain <= 0 {
+			return cv, true
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-progress:
+		case <-bt.doneCh:
+		case <-timer.C:
+		}
+		timer.Stop()
+	}
 }
 
 // ListBatches returns a summary snapshot of every retained batch, oldest
@@ -976,6 +1036,7 @@ func (bt *cbatch) summary() service.BatchView {
 	return service.BatchView{
 		ID:         bt.id,
 		TraceID:    bt.traceID,
+		Tenant:     bt.tenant,
 		State:      bt.state,
 		Total:      len(bt.cells),
 		Submitted:  bt.dispatched,
@@ -988,12 +1049,30 @@ func (bt *cbatch) summary() service.BatchView {
 	}
 }
 
+// cellViewLocked snapshots one cell; bt.mu must be held.
+func (bt *cbatch) cellViewLocked(i int) service.BatchCellView {
+	m := &bt.cells[i]
+	return service.BatchCellView{
+		Index:    i,
+		Graph:    m.cell.Graph,
+		Algo:     m.cell.Algo,
+		Params:   m.cell.Params,
+		JobID:    m.jobRef,
+		TraceID:  obs.ChildTraceID(bt.traceID, i),
+		State:    m.state,
+		CacheHit: m.cacheHit,
+		Error:    m.err,
+		Result:   m.result,
+	}
+}
+
 func (bt *cbatch) view() service.BatchView {
 	bt.mu.Lock()
 	defer bt.mu.Unlock()
 	v := service.BatchView{
 		ID:         bt.id,
 		TraceID:    bt.traceID,
+		Tenant:     bt.tenant,
 		State:      bt.state,
 		Total:      len(bt.cells),
 		Submitted:  bt.dispatched,
@@ -1006,19 +1085,7 @@ func (bt *cbatch) view() service.BatchView {
 		Cells:      make([]service.BatchCellView, len(bt.cells)),
 	}
 	for i := range bt.cells {
-		m := &bt.cells[i]
-		v.Cells[i] = service.BatchCellView{
-			Index:    i,
-			Graph:    m.cell.Graph,
-			Algo:     m.cell.Algo,
-			Params:   m.cell.Params,
-			JobID:    m.jobRef,
-			TraceID:  obs.ChildTraceID(bt.traceID, i),
-			State:    m.state,
-			CacheHit: m.cacheHit,
-			Error:    m.err,
-			Result:   m.result,
-		}
+		v.Cells[i] = bt.cellViewLocked(i)
 	}
 	if bt.state.Terminal() {
 		// Cells are immutable once terminal; aggregate once with the same

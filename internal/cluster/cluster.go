@@ -92,6 +92,9 @@ type Config struct {
 	// HTTPClient overrides the worker HTTP client (tests); nil selects a
 	// client with RequestTimeout.
 	HTTPClient *http.Client
+	// WorkerAPIKey is sent with every worker request when the fleet runs
+	// with API keys (-keys on the workers); empty sends none.
+	WorkerAPIKey string
 	// Logger receives the coordinator's structured span events (dispatch,
 	// retry, re-placement, worker down/revived, straggler, hedge), each
 	// tagged with the batch and cell trace IDs. Nil discards them.
@@ -195,6 +198,7 @@ type Coordinator struct {
 	batches  map[string]*cbatch
 	terminal []string // finished batch IDs, oldest first, for eviction
 	nextID   uint64
+	draining bool // set by Drain: SubmitBatch refuses with ErrDraining
 
 	runWG     sync.WaitGroup // live batch runners, drained by Close
 	probeStop chan struct{}
@@ -310,7 +314,7 @@ func New(cfg Config) (*Coordinator, error) {
 		w := &worker{
 			id:        i,
 			url:       u,
-			client:    httpapi.NewClient(u, hc),
+			client:    httpapi.NewClient(u, hc).WithAPIKey(cfg.WorkerAPIKey),
 			slots:     make(chan struct{}, cfg.Window),
 			healthy:   true,
 			uploaded:  make(map[string]string),
@@ -449,6 +453,29 @@ func (c *Coordinator) probeLoop() {
 		case <-t.C:
 			c.Probe()
 		}
+	}
+}
+
+// Drain stops admission (SubmitBatch returns service.ErrDraining) and waits
+// up to timeout for in-flight batches to finish on their workers. It returns
+// true when every batch reached a terminal state in time; on false the
+// caller should fall through to Close, which cancels the stragglers. Unlike
+// Close it never cancels work: cells already dispatched keep running, so a
+// SIGTERM during a sweep loses no finished results.
+func (c *Coordinator) Drain(timeout time.Duration) bool {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.runWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
 	}
 }
 

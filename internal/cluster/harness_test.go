@@ -93,8 +93,9 @@ type testWorker struct {
 }
 
 // newFleet spins up n in-process workers and a coordinator over them. mut,
-// when non-nil, adjusts the coordinator config before construction.
-func newFleet(t *testing.T, n int, mut func(*Config)) (*Coordinator, []*testWorker) {
+// when non-nil, adjusts the coordinator config before construction;
+// workerOpts are applied to every worker's HTTP handler (e.g. a body cap).
+func newFleet(t *testing.T, n int, mut func(*Config), workerOpts ...httpapi.HandlerOption) (*Coordinator, []*testWorker) {
 	t.Helper()
 	workers := make([]*testWorker, n)
 	urls := make([]string, n)
@@ -102,7 +103,7 @@ func newFleet(t *testing.T, n int, mut func(*Config)) (*Coordinator, []*testWork
 		svc := service.New(service.Config{Workers: 2, QueueSize: 64})
 		st := store.New(store.Config{})
 		batches := service.NewBatches(svc, st, service.BatchConfig{})
-		proxy := &faultProxy{inner: httpapi.NewHandler(svc, st, batches), unblock: make(chan struct{})}
+		proxy := &faultProxy{inner: httpapi.NewHandler(svc, st, batches, workerOpts...), unblock: make(chan struct{})}
 		ts := httptest.NewServer(proxy)
 		workers[i] = &testWorker{ts: ts, svc: svc, st: st, proxy: proxy}
 		urls[i] = ts.URL

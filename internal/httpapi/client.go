@@ -22,8 +22,9 @@ import (
 // round trip when it is canceled — the cluster coordinator relies on this to
 // cut losing hedge attempts loose promptly.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	apiKey string
 }
 
 // NewClient returns a client for the API rooted at base (e.g.
@@ -33,6 +34,25 @@ func NewClient(base string, hc *http.Client) *Client {
 		hc = http.DefaultClient
 	}
 	return &Client{base: base, hc: hc}
+}
+
+// WithAPIKey returns a copy of the client that sends key with every request
+// (multi-tenant servers; see WithKeyring). An empty key returns the
+// receiver unchanged.
+func (c *Client) WithAPIKey(key string) *Client {
+	if key == "" {
+		return c
+	}
+	cp := *c
+	cp.apiKey = key
+	return &cp
+}
+
+// auth stamps the client's API key onto req; a no-op without one.
+func (c *Client) auth(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set(APIKeyHeader, c.apiKey)
+	}
 }
 
 // APIError is a non-2xx response decoded from the server's error envelope.
@@ -73,6 +93,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			req.Header.Set(TraceHeader, id)
 		}
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -109,6 +130,7 @@ func (c *Client) PutGraphBinary(ctx context.Context, name string, data []byte) (
 		return GraphInfo{}, 0, err
 	}
 	req.Header.Set("Content-Type", GraphBinaryContentType)
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return GraphInfo{}, 0, err
@@ -178,6 +200,7 @@ func (c *Client) PromMetrics(ctx context.Context) (string, error) {
 		return "", err
 	}
 	req.Header.Set("Accept", "text/plain")
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return "", err
@@ -249,6 +272,7 @@ func (c *Client) GetJobGroup(ctx context.Context, id string) (JobGroupResponse, 
 		return JobGroupResponse{}, err
 	}
 	req.Header.Set("Accept", GroupBinaryContentType+", application/json")
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return JobGroupResponse{}, err

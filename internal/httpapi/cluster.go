@@ -142,6 +142,6 @@ func NewClusterHandler(b ClusterBackend, opts ...HandlerOption) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", unsupported)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", unsupported)
 
-	registerBackendRoutes(mux, b)
-	return limitBody(mux, cfg.maxBody)
+	registerBackendRoutes(mux, cfg, b)
+	return cfg.tenantMiddleware(limitBody(mux, cfg.maxBody))
 }

@@ -78,19 +78,27 @@ func (g *JobGroupResponse) Terminal() bool {
 // registerGroupRoutes mounts the job-group endpoints. Only the single-node
 // handler serves them: in coordinator mode groups are an internal dispatch
 // unit, not a client surface.
-func registerGroupRoutes(mux *http.ServeMux, svc *service.Service, st *store.Store) {
+func registerGroupRoutes(mux *http.ServeMux, cfg *handlerConfig, svc *service.Service, st *store.Store) {
 	mux.HandleFunc("POST /v1/jobgroups", func(w http.ResponseWriter, r *http.Request) {
-		handleSubmitGroup(svc, st, w, r)
+		handleSubmitGroup(cfg, svc, st, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobgroups/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t := tenantFrom(r)
 		v, ok := svc.GetGroup(r.PathValue("id"))
-		if !ok {
+		if !ok || (cfg.keyring != nil && v.Tenant != t.ID) {
 			writeErr(w, http.StatusNotFound, "no such job group")
 			return
 		}
 		writeGroup(w, r, http.StatusOK, toGroupResponse(v))
 	})
 	mux.HandleFunc("DELETE /v1/jobgroups/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t := tenantFrom(r)
+		if cfg.keyring != nil {
+			if v, ok := svc.GetGroup(r.PathValue("id")); !ok || v.Tenant != t.ID {
+				writeErr(w, http.StatusNotFound, "no such job group")
+				return
+			}
+		}
 		v, err := svc.CancelGroup(r.PathValue("id"))
 		switch {
 		case errors.Is(err, service.ErrGroupNotFound):
@@ -105,7 +113,8 @@ func registerGroupRoutes(mux *http.ServeMux, svc *service.Service, st *store.Sto
 	})
 }
 
-func handleSubmitGroup(svc *service.Service, st *store.Store, w http.ResponseWriter, r *http.Request) {
+func handleSubmitGroup(cfg *handlerConfig, svc *service.Service, st *store.Store, w http.ResponseWriter, r *http.Request) {
+	t := tenantFrom(r)
 	var req JobGroupRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -118,7 +127,7 @@ func handleSubmitGroup(svc *service.Service, st *store.Store, w http.ResponseWri
 		writeErr(w, http.StatusBadRequest, "missing graph_name: job groups run against stored graphs")
 		return
 	}
-	g, release, err := st.Acquire(req.GraphName)
+	g, release, err := st.Acquire(cfg.scopeGraph(t, req.GraphName))
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, store.ErrNotFound) {
@@ -148,8 +157,11 @@ func handleSubmitGroup(svc *service.Service, st *store.Store, w http.ResponseWri
 		Traces:  req.Traces,
 		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
 		TraceID: trace,
+		Tenant:  t.ID,
 	})
 	switch {
+	case errors.Is(err, service.ErrDraining):
+		writeErrCode(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
 	case errors.Is(err, service.ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:

@@ -29,13 +29,22 @@
 //	POST   /v1/batches         submit a batch (stored graphs × parameter grid)
 //	GET    /v1/batches         list batches
 //	GET    /v1/batches/{id}    poll a batch; ?wait=5s long-polls until terminal
+//	GET    /v1/batches/{id}/stream  stream cell results incrementally (SSE, or
+//	                           binary with Accept: application/x-repro-batchstream;
+//	                           resumable via Last-Event-ID)
 //	DELETE /v1/batches/{id}    cancel a batch (fans out to member jobs)
 //	GET    /v1/algorithms      list registered algorithms and generators
 //	GET    /healthz            liveness
 //	GET    /metrics            service + batch counters and latency percentiles
+//
+// Multi-tenant mode (tenant.go): WithKeyring turns on API-key auth, token-
+// bucket rate limits, tenant-scoped graph/batch visibility and per-tenant
+// admission; without it the surface is byte-identical to the single-tenant
+// server.
 package httpapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,6 +59,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // DefaultMaxBodyBytes is the request-body bound (inline graphs included)
@@ -61,12 +71,14 @@ type HandlerOption func(*handlerConfig)
 
 type handlerConfig struct {
 	maxBody int64
+	keyring *tenant.Keyring
+	waiters *waiterGate
 }
 
-func buildHandlerConfig(opts []HandlerOption) handlerConfig {
-	cfg := handlerConfig{maxBody: DefaultMaxBodyBytes}
+func buildHandlerConfig(opts []HandlerOption) *handlerConfig {
+	cfg := &handlerConfig{maxBody: DefaultMaxBodyBytes, waiters: newWaiterGate()}
 	for _, o := range opts {
-		o(&cfg)
+		o(cfg)
 	}
 	return cfg
 }
@@ -80,6 +92,16 @@ func WithMaxBodyBytes(n int64) HandlerOption {
 		if n > 0 {
 			c.maxBody = n
 		}
+	}
+}
+
+// WithKeyring turns on multi-tenant mode: every request (except GET
+// /healthz) must carry a valid API key, mutating requests spend the tenant's
+// token bucket, and graphs/jobs/batches are scoped to the submitting tenant.
+// A nil keyring keeps the open single-tenant behavior.
+func WithKeyring(kr *tenant.Keyring) HandlerOption {
+	return func(c *handlerConfig) {
+		c.keyring = kr
 	}
 }
 
@@ -345,6 +367,9 @@ type Backend interface {
 	WaitBatch(id string, d time.Duration) (service.BatchView, bool)
 	ListBatches() []service.BatchView
 	CancelBatch(id string) (service.BatchView, error)
+	// WaitCell long-polls one cell until it (or the whole batch) is
+	// terminal or d elapses — the primitive behind the streaming endpoint.
+	WaitCell(id string, index int, d time.Duration) (service.BatchCellView, bool)
 }
 
 // engineBackend adapts the single-node store + batch engine to Backend.
@@ -370,6 +395,9 @@ func (e engineBackend) ListBatches() []service.BatchView { return e.batches.List
 func (e engineBackend) CancelBatch(id string) (service.BatchView, error) {
 	return e.batches.Cancel(id)
 }
+func (e engineBackend) WaitCell(id string, index int, d time.Duration) (service.BatchCellView, bool) {
+	return e.batches.WaitCell(id, index, d)
+}
 
 // NewHandler wires the HTTP API around the job service, the graph store and
 // the batch engine. It is a plain http.Handler so tests and in-process
@@ -390,17 +418,27 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches,
 	mux.HandleFunc("GET /v1/algorithms", handleAlgorithms)
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		handleSubmit(svc, st, w, r)
+		handleSubmit(cfg, svc, st, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t := tenantFrom(r)
 		v, ok := svc.Get(r.PathValue("id"))
-		if !ok {
+		if !ok || (cfg.keyring != nil && v.Tenant != t.ID) {
 			writeErr(w, http.StatusNotFound, "no such job")
 			return
 		}
 		writeJSON(w, http.StatusOK, toJobResponse(v))
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t := tenantFrom(r)
+		if cfg.keyring != nil {
+			// Cross-tenant cancels 404 before touching the job, so DELETE
+			// leaks no more than GET does.
+			if v, ok := svc.Get(r.PathValue("id")); !ok || v.Tenant != t.ID {
+				writeErr(w, http.StatusNotFound, "no such job")
+				return
+			}
+		}
 		v, err := svc.Cancel(r.PathValue("id"))
 		switch {
 		case errors.Is(err, service.ErrNotFound):
@@ -414,38 +452,48 @@ func NewHandler(svc *service.Service, st *store.Store, batches *service.Batches,
 		}
 	})
 
-	registerGroupRoutes(mux, svc, st)
-	registerBackendRoutes(mux, engineBackend{st: st, batches: batches})
-	return limitBody(mux, cfg.maxBody)
+	registerGroupRoutes(mux, cfg, svc, st)
+	registerBackendRoutes(mux, cfg, engineBackend{st: st, batches: batches})
+	return cfg.tenantMiddleware(limitBody(mux, cfg.maxBody))
 }
 
 // registerBackendRoutes mounts the graph-store and batch routes over a
 // Backend — the one wire surface shared verbatim by the single-node handler
 // and the cluster coordinator handler.
-func registerBackendRoutes(mux *http.ServeMux, b Backend) {
+func registerBackendRoutes(mux *http.ServeMux, cfg *handlerConfig, b Backend) {
 	mux.HandleFunc("PUT /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
-		handlePutGraph(b, w, r)
+		handlePutGraph(cfg, b, w, r)
 	})
 	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		t := tenantFrom(r)
 		infos := b.ListGraphs()
 		out := struct {
 			Graphs []GraphInfo `json:"graphs"`
-		}{Graphs: make([]GraphInfo, len(infos))}
-		for i, info := range infos {
-			out.Graphs[i] = toGraphInfo(info, false)
+		}{Graphs: make([]GraphInfo, 0, len(infos))}
+		for _, info := range infos {
+			if cfg.scoped(t) && !strings.HasPrefix(info.Name, t.ID+"/") {
+				continue
+			}
+			gi := toGraphInfo(info, false)
+			gi.Name = cfg.unscopeGraph(t, gi.Name)
+			out.Graphs = append(out.Graphs, gi)
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
-		info, ok := b.GetGraph(r.PathValue("name"))
+		t := tenantFrom(r)
+		info, ok := b.GetGraph(cfg.scopeGraph(t, r.PathValue("name")))
 		if !ok {
 			writeErr(w, http.StatusNotFound, "no such graph")
 			return
 		}
-		writeJSON(w, http.StatusOK, toGraphInfo(info, false))
+		gi := toGraphInfo(info, false)
+		gi.Name = cfg.unscopeGraph(t, gi.Name)
+		writeJSON(w, http.StatusOK, gi)
 	})
 	mux.HandleFunc("DELETE /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
-		err := b.DeleteGraph(r.PathValue("name"))
+		t := tenantFrom(r)
+		err := b.DeleteGraph(cfg.scopeGraph(t, r.PathValue("name")))
 		switch {
 		case errors.Is(err, store.ErrNotFound):
 			writeErr(w, http.StatusNotFound, "no such graph")
@@ -459,32 +507,67 @@ func registerBackendRoutes(mux *http.ServeMux, b Backend) {
 	})
 
 	mux.HandleFunc("POST /v1/batches", func(w http.ResponseWriter, r *http.Request) {
-		handleSubmitBatch(b, w, r)
+		handleSubmitBatch(cfg, b, w, r)
 	})
 	mux.HandleFunc("GET /v1/batches", func(w http.ResponseWriter, r *http.Request) {
+		t := tenantFrom(r)
 		views := b.ListBatches()
 		out := struct {
 			Batches []BatchResponse `json:"batches"`
-		}{Batches: make([]BatchResponse, len(views))}
-		for i, v := range views {
-			out.Batches[i] = toBatchResponse(v, false)
+		}{Batches: make([]BatchResponse, 0, len(views))}
+		for _, v := range views {
+			if !cfg.ownsBatch(t, v) {
+				continue
+			}
+			out.Batches = append(out.Batches, toBatchResponse(v, false))
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("GET /v1/batches/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t := tenantFrom(r)
+		id := r.PathValue("id")
 		wait, err := parseWait(r.URL.Query().Get("wait"))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		v, ok := b.WaitBatch(r.PathValue("id"), wait)
+		if cfg.keyring != nil {
+			if v, ok := b.GetBatch(id); !ok || !cfg.ownsBatch(t, v) {
+				writeErr(w, http.StatusNotFound, "no such batch")
+				return
+			}
+		}
+		// The waiter gate bounds parked long-polls per tenant: over the
+		// bound the request degrades to an immediate snapshot with
+		// Retry-After, so a waiter flood costs fast polls, not goroutines.
+		if wait > 0 {
+			if cfg.waiters.acquire(t) {
+				defer cfg.waiters.release(t)
+			} else {
+				wait = 0
+				w.Header().Set("Retry-After", "1")
+			}
+		}
+		v, ok := b.WaitBatch(id, wait)
 		if !ok {
 			writeErr(w, http.StatusNotFound, "no such batch")
 			return
 		}
-		writeJSON(w, http.StatusOK, toBatchResponse(v, true))
+		out := toBatchResponse(v, true)
+		cfg.stripBatchTenant(t, &out)
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/batches/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		handleStreamBatch(cfg, b, w, r)
 	})
 	mux.HandleFunc("DELETE /v1/batches/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t := tenantFrom(r)
+		if cfg.keyring != nil {
+			if v, ok := b.GetBatch(r.PathValue("id")); !ok || !cfg.ownsBatch(t, v) {
+				writeErr(w, http.StatusNotFound, "no such batch")
+				return
+			}
+		}
 		v, err := b.CancelBatch(r.PathValue("id"))
 		switch {
 		case errors.Is(err, service.ErrBatchNotFound):
@@ -494,7 +577,9 @@ func registerBackendRoutes(mux *http.ServeMux, b Backend) {
 		case err != nil:
 			writeErr(w, http.StatusInternalServerError, err.Error())
 		default:
-			writeJSON(w, http.StatusOK, toBatchResponse(v, true))
+			out := toBatchResponse(v, true)
+			cfg.stripBatchTenant(t, &out)
+			writeJSON(w, http.StatusOK, out)
 		}
 	})
 }
@@ -539,7 +624,8 @@ func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, r *http.Request) {
+func handleSubmit(cfg *handlerConfig, svc *service.Service, st *store.Store, w http.ResponseWriter, r *http.Request) {
+	t := tenantFrom(r)
 	var req SubmitRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -549,7 +635,11 @@ func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, 
 		return
 	}
 
-	g, release, err := resolveGraph(st, req.Graph, req.GraphName, req.Gen)
+	name := req.GraphName
+	if name != "" {
+		name = cfg.scopeGraph(t, name)
+	}
+	g, release, err := resolveGraph(st, req.Graph, name, req.Gen)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, store.ErrNotFound) {
@@ -580,13 +670,18 @@ func handleSubmit(svc *service.Service, st *store.Store, w http.ResponseWriter, 
 		Params:  params,
 		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
 		TraceID: trace,
+		Tenant:  t.ID,
 	})
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
 		// The code lets clients (the cluster coordinator) distinguish queue
 		// saturation — retryable on this server — from other 5xx without
-		// parsing the message text.
+		// parsing the message text. With a keyring the bound is the
+		// tenant's own fair-queue slice, so one tenant's saturation never
+		// 503s another.
 		writeErrCode(w, http.StatusServiceUnavailable, CodeQueueFull, err.Error())
+	case errors.Is(err, service.ErrDraining):
+		writeErrCode(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
 	case errors.Is(err, service.ErrClosed):
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
@@ -607,7 +702,14 @@ var streamReadOptions = graph.ReadOptions{
 	DedupEdges:    true,
 }
 
-func handlePutGraph(b Backend, w http.ResponseWriter, r *http.Request) {
+func handlePutGraph(cfg *handlerConfig, b Backend, w http.ResponseWriter, r *http.Request) {
+	t := tenantFrom(r)
+	// "/" is the store's internal namespace separator (tenant scoping);
+	// user-supplied names never contain it, keyed mode or not.
+	if strings.Contains(r.PathValue("name"), "/") {
+		writeErr(w, http.StatusBadRequest, "graph name may only contain [A-Za-z0-9._-]")
+		return
+	}
 	var src store.Source
 	ctype := r.Header.Get("Content-Type")
 	// The non-JSON uploads all stream: the body decodes through a fixed
@@ -618,21 +720,21 @@ func handlePutGraph(b Backend, w http.ResponseWriter, r *http.Request) {
 	case strings.Contains(ctype, GraphBinaryContentType):
 		g, err := graph.DecodeBinaryStream(r.Body, registry.MaxGraphNodes, registry.MaxGraphEdges)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "malformed graph: "+err.Error())
+			writeBodyErr(w, err, "malformed graph")
 			return
 		}
 		src = store.Source{Graph: g}
 	case strings.Contains(ctype, GraphEdgeListContentType):
 		g, err := graph.ReadEdgeList(r.Body, streamReadOptions)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "malformed edge list: "+err.Error())
+			writeBodyErr(w, err, "malformed edge list")
 			return
 		}
 		src = store.Source{Graph: g}
 	case strings.Contains(ctype, GraphMatrixMarketContentType):
 		g, err := graph.ReadMatrixMarket(r.Body, streamReadOptions)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "malformed matrix market file: "+err.Error())
+			writeBodyErr(w, err, "malformed matrix market file")
 			return
 		}
 		src = store.Source{Graph: g}
@@ -647,7 +749,7 @@ func handlePutGraph(b Backend, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	info, dedup, err := b.PutGraph(r.PathValue("name"), src)
+	info, dedup, err := b.PutGraph(cfg.scopeGraph(t, r.PathValue("name")), src)
 	switch {
 	case errors.Is(err, store.ErrExists):
 		writeErr(w, http.StatusConflict, err.Error())
@@ -660,11 +762,14 @@ func handlePutGraph(b Backend, w http.ResponseWriter, r *http.Request) {
 		if dedup {
 			code = http.StatusOK
 		}
-		writeJSON(w, code, toGraphInfo(info, dedup))
+		gi := toGraphInfo(info, dedup)
+		gi.Name = cfg.unscopeGraph(t, gi.Name)
+		writeJSON(w, code, gi)
 	}
 }
 
-func handleSubmitBatch(b Backend, w http.ResponseWriter, r *http.Request) {
+func handleSubmitBatch(cfg *handlerConfig, b Backend, w http.ResponseWriter, r *http.Request) {
+	t := tenantFrom(r)
 	var req BatchRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -673,8 +778,15 @@ func handleSubmitBatch(b Backend, w http.ResponseWriter, r *http.Request) {
 	if trace == "" {
 		trace = r.Header.Get(TraceHeader)
 	}
+	graphs := req.Graphs
+	if cfg.scoped(t) {
+		graphs = make([]string, len(req.Graphs))
+		for i, g := range req.Graphs {
+			graphs[i] = cfg.scopeGraph(t, g)
+		}
+	}
 	spec := service.BatchSpec{
-		Graphs:  req.Graphs,
+		Graphs:  graphs,
 		Algos:   req.Algos,
 		Eps:     req.Eps,
 		K:       req.K,
@@ -683,6 +795,7 @@ func handleSubmitBatch(b Backend, w http.ResponseWriter, r *http.Request) {
 		Seeds:   req.Seeds,
 		Timeout: time.Duration(req.TimeoutMs) * time.Millisecond,
 		TraceID: trace,
+		Tenant:  t.ID,
 	}
 	for i, c := range req.Cells {
 		params, err := c.Params.params()
@@ -690,17 +803,22 @@ func handleSubmitBatch(b Backend, w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Sprintf("cell %d: %v", i, err))
 			return
 		}
-		spec.Cells = append(spec.Cells, service.BatchCell{Graph: c.Graph, Algo: c.Algo, Params: params})
+		spec.Cells = append(spec.Cells, service.BatchCell{
+			Graph: cfg.scopeGraph(t, c.Graph), Algo: c.Algo, Params: params})
 	}
 	v, err := b.SubmitBatch(spec)
 	switch {
 	case errors.Is(err, store.ErrNotFound):
 		writeErr(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, service.ErrDraining):
+		writeErrCode(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, err.Error())
 	default:
 		w.Header().Set(TraceHeader, v.TraceID)
-		writeJSON(w, http.StatusAccepted, toBatchResponse(v, true))
+		out := toBatchResponse(v, true)
+		cfg.stripBatchTenant(t, &out)
+		writeJSON(w, http.StatusAccepted, out)
 	}
 }
 
@@ -800,14 +918,39 @@ func checkGraphHeader(text string) error {
 	return nil
 }
 
+// bodyTooLarge reports whether err is the limitBody cap firing. The typed
+// *http.MaxBytesError is the contract; the string fallback covers decoders
+// that flatten the cause into their own error text (fmt.Errorf("...: %v")).
+func bodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return true
+	}
+	return err != nil && strings.Contains(err.Error(), "request body too large")
+}
+
+// writeBodyErr writes the error for a failed body decode: a machine-readable
+// 413 when the size cap fired — deterministic for the payload, so clients
+// must not retry and the cluster coordinator fails the cell rather than the
+// worker — and a 400 otherwise.
+func writeBodyErr(w http.ResponseWriter, err error, what string) {
+	if bodyTooLarge(err) {
+		writeErrCode(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			"request body exceeds the server's size limit")
+		return
+	}
+	writeErr(w, http.StatusBadRequest, what+": "+err.Error())
+}
+
 // decodeBody decodes a JSON request body, writing the error response itself
 // when it reports false. The body arrives pre-capped by the limitBody
-// middleware both handler constructors install.
+// middleware both handler constructors install; overruns surface as 413, not
+// 400, so clients can tell a permanent payload problem from a malformed one.
 func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeBodyErr(w, err, "bad request body")
 		return false
 	}
 	return true
@@ -918,10 +1061,23 @@ func toBatchResponse(v service.BatchView, detail bool) BatchResponse {
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Pre-encode to a buffer so an encoding failure surfaces as a clean 500
+	// instead of a 200 status line followed by a torn body: WriteHeader is
+	// only called once the full payload exists. Streaming responses (SSE,
+	// binary chunks) bypass writeJSON by design — they commit to the status
+	// before the payload is known.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		log.Printf("httpapi: encoding response: %v", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error":"internal: response encoding failed"}` + "\n"))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("httpapi: encoding response: %v", err)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("httpapi: writing response: %v", err)
 	}
 }
 

@@ -69,6 +69,20 @@ func writePromEngine(w http.ResponseWriter, m service.Metrics, bm service.BatchM
 	p.Gauge("repro_job_latency_ms", "", m.LatencyP90Ms, "quantile", "0.9")
 	p.Gauge("repro_job_latency_ms", "", m.LatencyP99Ms, "quantile", "0.99")
 
+	// Per-tenant families (multi-tenant servers only; the anonymous tenant
+	// is never tracked). One label set per tenant, in sorted ID order so
+	// the exposition is deterministic.
+	for _, id := range obs.SortedKeys(m.Tenants) {
+		tm := m.Tenants[id]
+		p.Counter("repro_tenant_jobs_submitted_total", "Jobs submitted by the tenant.", float64(tm.Submitted), "tenant", id)
+		p.Counter("repro_tenant_jobs_completed_total", "Tenant jobs completed.", float64(tm.Completed), "tenant", id)
+		p.Counter("repro_tenant_jobs_failed_total", "Tenant jobs failed.", float64(tm.Failed), "tenant", id)
+		p.Counter("repro_tenant_jobs_canceled_total", "Tenant jobs canceled.", float64(tm.Canceled), "tenant", id)
+		p.Counter("repro_tenant_jobs_rejected_total", "Tenant submissions refused by the tenant's queue bound.", float64(tm.Rejected), "tenant", id)
+		p.Gauge("repro_tenant_jobs_queued", "Tenant jobs waiting in the fair queue.", float64(tm.Queued), "tenant", id)
+		p.Gauge("repro_tenant_jobs_running", "Tenant jobs currently executing.", float64(tm.Running), "tenant", id)
+	}
+
 	// Batch-engine counters.
 	p.Counter("repro_batches_submitted_total", "Batches submitted.", float64(bm.BatchesSubmitted))
 	p.Counter("repro_batches_done_total", "Batches finished.", float64(bm.BatchesDone))

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// drainOrder pops every queued job synchronously (the backlog is fully
+// admitted, so no pop blocks) and returns the tenants in dispatch order,
+// releasing each running slot immediately so caps never stall the scan.
+func drainOrder(t *testing.T, fq *fairQueue, n int) []string {
+	t.Helper()
+	order := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		jb, ok := fq.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue stopped with backlog remaining", i)
+		}
+		order = append(order, jb.tenant)
+		fq.release(jb.tenant)
+	}
+	return order
+}
+
+// TestFairQueueInterleavesTenants is the DRR core property: with equal
+// weights, a tenant with one job is served on the first round-robin pass,
+// not behind another tenant's entire backlog.
+func TestFairQueueInterleavesTenants(t *testing.T) {
+	fq := newFairQueue(64, nil)
+	for i := 0; i < 6; i++ {
+		if err := fq.push(&job{tenant: "big"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fq.push(&job{tenant: "small"}); err != nil {
+		t.Fatal(err)
+	}
+	order := drainOrder(t, fq, 7)
+	pos := -1
+	for i, tn := range order {
+		if tn == "small" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 1 {
+		t.Fatalf("small tenant served at position %d of %v, want within the first round", pos, order)
+	}
+}
+
+// TestFairQueueWeights verifies the quantum: weight 3 vs weight 1 serves
+// three of a's jobs per visit to one of b's.
+func TestFairQueueWeights(t *testing.T) {
+	weights := map[string]TenantLimits{
+		"a": {Weight: 3},
+		"b": {Weight: 1},
+	}
+	fq := newFairQueue(64, func(id string) TenantLimits { return weights[id] })
+	for i := 0; i < 6; i++ {
+		if err := fq.push(&job{tenant: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := fq.push(&job{tenant: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainOrder(t, fq, 8)
+	want := []string{"a", "a", "a", "b", "a", "a", "a", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestFairQueuePerTenantBounds pins the backpressure split: one tenant
+// hitting its queue bound gets ErrQueueFull while another tenant still
+// admits, and a MaxRunning cap parks dispatch until a slot releases.
+func TestFairQueuePerTenantBounds(t *testing.T) {
+	limits := map[string]TenantLimits{
+		"capped": {QueueSize: 2, MaxRunning: 1},
+	}
+	fq := newFairQueue(64, func(id string) TenantLimits { return limits[id] })
+	for i := 0; i < 2; i++ {
+		if err := fq.push(&job{tenant: "capped"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fq.push(&job{tenant: "capped"}); err != ErrQueueFull {
+		t.Fatalf("third push: %v, want ErrQueueFull", err)
+	}
+	if err := fq.push(&job{tenant: "other"}); err != nil {
+		t.Fatalf("other tenant rejected alongside capped one: %v", err)
+	}
+
+	// Occupy capped's single running slot; the next pop must serve the
+	// other tenant, skipping capped's backlog.
+	jb, ok := fq.pop()
+	if !ok || jb.tenant != "capped" {
+		t.Fatalf("first pop %v/%v", jb, ok)
+	}
+	jb2, ok := fq.pop()
+	if !ok || jb2.tenant != "other" {
+		t.Fatalf("pop with capped at MaxRunning served %q, want other", jb2.tenant)
+	}
+	fq.release("other")
+
+	// With only capped backlog left and its slot still held, pop parks until
+	// release.
+	popped := make(chan string, 1)
+	go func() {
+		jb, ok := fq.pop()
+		if ok {
+			popped <- jb.tenant
+		}
+	}()
+	select {
+	case tn := <-popped:
+		t.Fatalf("pop dispatched %q past the MaxRunning cap", tn)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fq.release("capped")
+	select {
+	case tn := <-popped:
+		if tn != "capped" {
+			t.Fatalf("released pop served %q", tn)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pop never woke after release")
+	}
+	fq.release("capped")
+}
+
+// TestFairQueueCloseVsAbort pins the two stop modes: close lets the backlog
+// drain, abort abandons it (the Drain path — un-run jobs are re-run from the
+// WAL on restart).
+func TestFairQueueCloseVsAbort(t *testing.T) {
+	fq := newFairQueue(64, nil)
+	for i := 0; i < 3; i++ {
+		if err := fq.push(&job{tenant: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fq.close()
+	if err := fq.push(&job{tenant: "t"}); err != ErrClosed {
+		t.Fatalf("push after close: %v, want ErrClosed", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := fq.pop(); !ok {
+			t.Fatalf("pop %d after close: queue stopped before draining", i)
+		}
+		fq.release("t")
+	}
+	if _, ok := fq.pop(); ok {
+		t.Fatal("pop past the drained backlog")
+	}
+
+	fq2 := newFairQueue(64, nil)
+	for i := 0; i < 3; i++ {
+		if err := fq2.push(&job{tenant: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fq2.abort()
+	if _, ok := fq2.pop(); ok {
+		t.Fatal("pop returned a job after abort")
+	}
+}

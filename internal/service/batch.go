@@ -108,6 +108,10 @@ type BatchSpec struct {
 	// derived child ID obs.ChildTraceID(TraceID, i). Empty means the engine
 	// generates one at submit.
 	TraceID string
+	// Tenant is the submitting tenant's ID ("" = anonymous). It is
+	// journaled with the batch, selects the fair-share lane for every
+	// member job, and scopes visibility at the HTTP layer.
+	Tenant string
 }
 
 // Expand returns the deterministic cell expansion of the spec: explicit
@@ -204,6 +208,7 @@ type BatchGroup struct {
 type BatchView struct {
 	ID         string
 	TraceID    string
+	Tenant     string
 	State      BatchState
 	Total      int
 	Submitted  int // members handed to the job engine so far
@@ -229,6 +234,7 @@ type memberState struct {
 type batch struct {
 	id      string
 	traceID string
+	tenant  string
 	eng     *Batches
 	timeout time.Duration
 
@@ -251,7 +257,19 @@ type batch struct {
 	finished    time.Time
 	releases    []func()
 	doneCh      chan struct{}
-	groups      []BatchGroup // aggregates, computed once after the terminal transition
+	// progress is closed and replaced on every cell-terminal transition so
+	// streaming waiters (WaitCell) wake without polling.
+	progress chan struct{}
+	groups   []BatchGroup // aggregates, computed once after the terminal transition
+}
+
+// signalProgressLocked wakes streaming waiters after a cell's terminal
+// transition. Must be called with bt.mu held.
+func (bt *batch) signalProgressLocked() {
+	if bt.progress != nil {
+		close(bt.progress)
+		bt.progress = make(chan struct{})
+	}
 }
 
 // Batches is the batch engine: it expands BatchSpecs over graphs pinned in
@@ -373,12 +391,14 @@ func (b *Batches) Submit(spec BatchSpec) (BatchView, error) {
 	bt := &batch{
 		eng:      b,
 		traceID:  trace,
+		tenant:   spec.Tenant,
 		timeout:  spec.Timeout,
 		cells:    make([]memberState, len(cells)),
 		state:    BatchRunning,
 		created:  time.Now(),
 		releases: releases,
 		doneCh:   make(chan struct{}),
+		progress: make(chan struct{}),
 	}
 	for i, c := range cells {
 		bt.cells[i] = memberState{cell: c, state: Queued}
@@ -401,7 +421,7 @@ func (b *Batches) Submit(spec BatchSpec) (BatchView, error) {
 	// commit (crashed log) rolls the registration back and burns the ID.
 	if b.ledger != nil {
 		sp := submitPayload{
-			ID: bt.id, TraceID: trace, TimeoutNS: int64(spec.Timeout),
+			ID: bt.id, TraceID: trace, Tenant: bt.tenant, TimeoutNS: int64(spec.Timeout),
 			Created: bt.created, Cells: make([]cellSpecRec, len(cells)),
 		}
 		for i, c := range cells {
@@ -438,6 +458,7 @@ func (bt *batch) markUnsubmitted(i int, state State, errMsg string) {
 		bt.failed++
 	}
 	bt.journalCellLocked(i)
+	bt.signalProgressLocked()
 }
 
 // feed hands the batch's cells to the job engine one by one, backing off
@@ -478,6 +499,7 @@ func (b *Batches) feed(bt *batch, graphs map[string]*graph.Graph) {
 			Params:  cell.Params,
 			Timeout: bt.timeout,
 			TraceID: obs.ChildTraceID(bt.traceID, i),
+			Tenant:  bt.tenant,
 		}
 		i := i
 		var v JobView
@@ -500,6 +522,12 @@ func (b *Batches) feed(bt *batch, graphs map[string]*graph.Graph) {
 		switch {
 		case canceled:
 			bt.markUnsubmitted(i, Canceled, "")
+		case errors.Is(err, ErrDraining):
+			// Graceful drain: stop feeding WITHOUT journaling the remaining
+			// cells terminal — they were never handed to the engine, so the
+			// WAL resume after restart re-feeds them. feedDone stays false,
+			// keeping the batch open for that resume.
+			return
 		case errors.Is(err, ErrClosed):
 			closed = true
 			bt.markUnsubmitted(i, Failed, err.Error())
@@ -549,6 +577,7 @@ func (bt *batch) onMemberDone(i int, v JobView) {
 		bt.cacheHits++
 	}
 	bt.journalCellLocked(i)
+	bt.signalProgressLocked()
 	bt.eng.finalizeLocked(bt)
 }
 
@@ -698,6 +727,48 @@ func (b *Batches) Wait(id string, d time.Duration) (BatchView, bool) {
 	return bt.view(), true
 }
 
+// WaitCell blocks until cell index of batch id reaches a terminal state,
+// the batch itself is terminal, or d elapses, then returns the cell's
+// snapshot — the per-cell long-poll primitive behind the streaming endpoint
+// GET /v1/batches/{id}/stream. The second result is false when the batch or
+// the index does not exist. A non-terminal snapshot after d means "still
+// running": callers emit a keepalive and wait again.
+func (b *Batches) WaitCell(id string, index int, d time.Duration) (BatchCellView, bool) {
+	b.mu.Lock()
+	bt, ok := b.batches[id]
+	b.mu.Unlock()
+	if !ok {
+		return BatchCellView{}, false
+	}
+	deadline := time.Now().Add(d)
+	for {
+		bt.mu.Lock()
+		if index < 0 || index >= len(bt.cells) {
+			bt.mu.Unlock()
+			return BatchCellView{}, false
+		}
+		cv := bt.cellViewLocked(index)
+		// A resumed-then-terminal batch can hold non-terminal cells (their
+		// records were dropped before the crash); batch-terminal settles the
+		// wait so streams converge on exactly what the terminal GET shows.
+		settled := cv.State.Terminal() || bt.state.Terminal()
+		progress := bt.progress
+		doneCh := bt.doneCh
+		bt.mu.Unlock()
+		remain := time.Until(deadline)
+		if settled || remain <= 0 {
+			return cv, true
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-progress:
+		case <-doneCh:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
 // summary is view without the cell and group detail: cheap enough for
 // listings over large retained batches.
 func (bt *batch) summary() BatchView {
@@ -706,6 +777,7 @@ func (bt *batch) summary() BatchView {
 	return BatchView{
 		ID:         bt.id,
 		TraceID:    bt.traceID,
+		Tenant:     bt.tenant,
 		State:      bt.state,
 		Total:      len(bt.cells),
 		Submitted:  bt.submitted,
@@ -724,6 +796,7 @@ func (bt *batch) view() BatchView {
 	v := BatchView{
 		ID:         bt.id,
 		TraceID:    bt.traceID,
+		Tenant:     bt.tenant,
 		State:      bt.state,
 		Total:      len(bt.cells),
 		Submitted:  bt.submitted,
@@ -736,19 +809,7 @@ func (bt *batch) view() BatchView {
 		Cells:      make([]BatchCellView, len(bt.cells)),
 	}
 	for i := range bt.cells {
-		ms := &bt.cells[i]
-		v.Cells[i] = BatchCellView{
-			Index:    i,
-			TraceID:  obs.ChildTraceID(bt.traceID, i),
-			Graph:    ms.cell.Graph,
-			Algo:     ms.cell.Algo,
-			Params:   ms.cell.Params,
-			JobID:    ms.jobID,
-			State:    ms.state,
-			CacheHit: ms.cacheHit,
-			Error:    ms.err,
-			Result:   ms.result,
-		}
+		v.Cells[i] = bt.cellViewLocked(i)
 	}
 	if bt.state.Terminal() {
 		// Cells are immutable once the batch is terminal; aggregate once
@@ -760,6 +821,23 @@ func (bt *batch) view() BatchView {
 		v.Groups = bt.groups
 	}
 	return v
+}
+
+// cellViewLocked snapshots one member. Must be called with bt.mu held.
+func (bt *batch) cellViewLocked(i int) BatchCellView {
+	ms := &bt.cells[i]
+	return BatchCellView{
+		Index:    i,
+		TraceID:  obs.ChildTraceID(bt.traceID, i),
+		Graph:    ms.cell.Graph,
+		Algo:     ms.cell.Algo,
+		Params:   ms.cell.Params,
+		JobID:    ms.jobID,
+		State:    ms.state,
+		CacheHit: ms.cacheHit,
+		Error:    ms.err,
+		Result:   ms.result,
+	}
 }
 
 // GroupCells aggregates terminal cells by (graph, algo, params modulo seed),

@@ -51,6 +51,11 @@ type GroupRequest struct {
 	Timeout time.Duration
 	// TraceID identifies the group; empty means the service generates one.
 	TraceID string
+	// Tenant is the submitting tenant's ID ("" = anonymous), recorded for
+	// visibility scoping at the HTTP layer. Groups execute on the group
+	// semaphore, not the fair-share queue: they are the coordinator-to-
+	// worker fast path, already shaped by the coordinator's own admission.
+	Tenant string
 }
 
 // GroupCellView is an immutable snapshot of one seed's run inside a group.
@@ -67,6 +72,7 @@ type GroupCellView struct {
 type GroupView struct {
 	ID          string
 	TraceID     string
+	Tenant      string
 	Algo        string
 	Params      registry.Params
 	State       State
@@ -89,6 +95,7 @@ type groupCell struct {
 type group struct {
 	id      string
 	traceID string
+	tenant  string
 	spec    *registry.Spec
 	g       *graph.Graph
 	fp      string
@@ -138,6 +145,9 @@ func (s *Service) SubmitGroup(req GroupRequest) (GroupView, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return GroupView{}, ErrDraining
+	}
 	if s.closed {
 		return GroupView{}, ErrClosed
 	}
@@ -150,6 +160,7 @@ func (s *Service) SubmitGroup(req GroupRequest) (GroupView, error) {
 	gr := &group{
 		id:        fmt.Sprintf("g%08d", s.nextGroupID),
 		traceID:   trace,
+		tenant:    req.Tenant,
 		spec:      spec,
 		g:         req.Graph,
 		fp:        fp,
@@ -347,6 +358,7 @@ func (gr *group) view() GroupView {
 	v := GroupView{
 		ID:          gr.id,
 		TraceID:     gr.traceID,
+		Tenant:      gr.tenant,
 		Algo:        gr.spec.Name,
 		Params:      gr.params,
 		State:       gr.state,

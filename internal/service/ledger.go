@@ -61,6 +61,7 @@ type cellSpecRec struct {
 type submitPayload struct {
 	ID        string        `json:"id"`
 	TraceID   string        `json:"trace"`
+	Tenant    string        `json:"tenant,omitempty"`
 	TimeoutNS int64         `json:"timeout_ns,omitempty"`
 	Created   time.Time     `json:"created"`
 	Cells     []cellSpecRec `json:"cells"`
@@ -255,6 +256,7 @@ func (bt *batch) snapshotRec() batchSnapshot {
 		Submit: submitPayload{
 			ID:        bt.id,
 			TraceID:   bt.traceID,
+			Tenant:    bt.tenant,
 			TimeoutNS: int64(bt.timeout),
 			Created:   bt.created,
 			Cells:     make([]cellSpecRec, len(bt.cells)),
@@ -422,14 +424,16 @@ func (b *Batches) replaySubmit(p submitPayload) *batch {
 		return bt
 	}
 	bt := &batch{
-		id:      p.ID,
-		eng:     b,
-		traceID: p.TraceID,
-		timeout: time.Duration(p.TimeoutNS),
-		cells:   make([]memberState, len(p.Cells)),
-		state:   BatchRunning,
-		created: p.Created,
-		doneCh:  make(chan struct{}),
+		id:       p.ID,
+		eng:      b,
+		traceID:  p.TraceID,
+		tenant:   p.Tenant,
+		timeout:  time.Duration(p.TimeoutNS),
+		cells:    make([]memberState, len(p.Cells)),
+		state:    BatchRunning,
+		created:  p.Created,
+		doneCh:   make(chan struct{}),
+		progress: make(chan struct{}),
 	}
 	for i, c := range p.Cells {
 		bt.cells[i] = memberState{cell: BatchCell{Graph: c.Graph, Algo: c.Algo, Params: c.Params}, state: Queued}

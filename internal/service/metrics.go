@@ -40,6 +40,30 @@ type Metrics struct {
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
 	LatencyP90Ms float64 `json:"latency_p90_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	// Tenants breaks the counters down per named tenant (multi-tenant mode
+	// only; absent in open mode so the JSON stays byte-stable for existing
+	// clients). The anonymous "" tenant is never tracked here.
+	Tenants map[string]TenantMetrics `json:"tenants,omitempty"`
+}
+
+// TenantMetrics is one tenant's slice of the service counters: cumulative
+// job totals plus the live fair-queue occupancy.
+type TenantMetrics struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	// Rejected counts submissions refused by the tenant's queue bound
+	// (per-tenant backpressure, surfaced as 503 queue_full).
+	Rejected uint64 `json:"rejected"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+}
+
+// tenantCounters is the mutable per-tenant state behind TenantMetrics;
+// the Service guards it with its mutex.
+type tenantCounters struct {
+	submitted, completed, failed, canceled, rejected uint64
 }
 
 // counters is the mutable metrics state; the Service guards it with its

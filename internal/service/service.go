@@ -55,6 +55,13 @@ type Config struct {
 	// (default 4096); beyond it the oldest finished jobs are evicted so a
 	// long-running service cannot grow without bound.
 	MaxJobs int
+	// TenantLimits resolves per-tenant admission limits by tenant ID for
+	// the fair-share queue. nil means every tenant (including the anonymous
+	// "" tenant of open mode) gets the defaults: weight 1, the shared
+	// QueueSize bound, no concurrent-running cap. The resolver is called on
+	// the submit path and must be fast and lock-free (the HTTP layer backs
+	// it with an atomically-swapped keyring).
+	TenantLimits func(tenant string) TenantLimits
 }
 
 func (c Config) withDefaults() Config {
@@ -105,12 +112,16 @@ type Request struct {
 	// cells). Empty means the service generates one at submit, so every
 	// job is traceable whether or not the client participates.
 	TraceID string
+	// Tenant is the submitting tenant's ID ("" = anonymous). It selects the
+	// fair-share queue lane and scopes visibility at the HTTP layer.
+	Tenant string
 }
 
 // JobView is an immutable snapshot of a job.
 type JobView struct {
 	ID          string
 	TraceID     string
+	Tenant      string
 	Algo        string
 	Params      registry.Params
 	State       State
@@ -125,6 +136,7 @@ type JobView struct {
 type job struct {
 	id       string
 	traceID  string
+	tenant   string
 	spec     *registry.Spec
 	g        *graph.Graph
 	params   registry.Params
@@ -154,6 +166,7 @@ type job struct {
 var (
 	ErrQueueFull = errors.New("service: job queue is full")
 	ErrClosed    = errors.New("service: service is closed")
+	ErrDraining  = errors.New("service: service is draining")
 	ErrNotFound  = errors.New("service: no such job")
 	ErrFinished  = errors.New("service: job already finished")
 )
@@ -161,7 +174,7 @@ var (
 // Service is the job engine. Create with New, release with Close.
 type Service struct {
 	cfg   Config
-	queue chan *job
+	queue *fairQueue
 	wg    sync.WaitGroup
 
 	// groupSem bounds how many job groups execute concurrently (one engine
@@ -173,16 +186,30 @@ type Service struct {
 
 	mu             sync.Mutex
 	closed         bool
+	draining       bool // closed via Drain: submissions get ErrDraining
 	jobs           map[string]*job
 	terminal       []string // finished job IDs, oldest first, for eviction
 	groups         map[string]*group
 	terminalGroups []string // finished group IDs, oldest first, for eviction
 	cache          *lruCache
 	met            counters
-	queued         int // jobs waiting in the channel, minus canceled ones
+	tenantMet      map[string]*tenantCounters // per-tenant totals, "" excluded
+	queued         int                        // jobs admitted but not yet running, minus canceled ones
 	running        int
 	nextID         uint64
 	nextGroupID    uint64
+}
+
+// tenantCounter lazily creates the per-tenant counter row. Must be called
+// with s.mu held; the anonymous tenant is not tracked (open-mode metrics
+// stay byte-identical to previous releases).
+func (s *Service) tenantCounter(tenant string) *tenantCounters {
+	tc := s.tenantMet[tenant]
+	if tc == nil {
+		tc = &tenantCounters{}
+		s.tenantMet[tenant] = tc
+	}
+	return tc
 }
 
 // markTerminal must be called with s.mu held once a job reaches a terminal
@@ -192,6 +219,17 @@ type Service struct {
 func (s *Service) markTerminal(jb *job) {
 	jb.g = nil
 	jb.finished = time.Now()
+	if jb.tenant != "" {
+		tc := s.tenantCounter(jb.tenant)
+		switch jb.state {
+		case Done:
+			tc.completed++
+		case Failed:
+			tc.failed++
+		case Canceled:
+			tc.canceled++
+		}
+	}
 	s.terminal = append(s.terminal, jb.id)
 	for len(s.terminal) > s.cfg.MaxJobs {
 		delete(s.jobs, s.terminal[0])
@@ -206,12 +244,13 @@ func (s *Service) markTerminal(jb *job) {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:      cfg,
-		queue:    make(chan *job, cfg.QueueSize),
-		jobs:     make(map[string]*job),
-		groups:   make(map[string]*group),
-		groupSem: make(chan struct{}, cfg.Workers),
-		cache:    newLRUCache(cfg.CacheSize),
+		cfg:       cfg,
+		queue:     newFairQueue(cfg.QueueSize, cfg.TenantLimits),
+		jobs:      make(map[string]*job),
+		groups:    make(map[string]*group),
+		groupSem:  make(chan struct{}, cfg.Workers),
+		cache:     newLRUCache(cfg.CacheSize),
+		tenantMet: make(map[string]*tenantCounters),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -250,6 +289,9 @@ func (s *Service) submit(req Request, fromBatch bool, notify func(JobView)) (Job
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return JobView{}, ErrDraining
+	}
 	if s.closed {
 		return JobView{}, ErrClosed
 	}
@@ -261,6 +303,7 @@ func (s *Service) submit(req Request, fromBatch bool, notify func(JobView)) (Job
 	jb := &job{
 		id:        fmt.Sprintf("j%08d", s.nextID),
 		traceID:   trace,
+		tenant:    req.Tenant,
 		spec:      spec,
 		g:         req.Graph,
 		params:    params,
@@ -274,6 +317,9 @@ func (s *Service) submit(req Request, fromBatch bool, notify func(JobView)) (Job
 	s.met.submitted++
 	if fromBatch {
 		s.met.batchMembers++
+	}
+	if jb.tenant != "" {
+		s.tenantCounter(jb.tenant).submitted++
 	}
 
 	if res, hit := s.cache.get(key); hit {
@@ -297,15 +343,28 @@ func (s *Service) submit(req Request, fromBatch bool, notify func(JobView)) (Job
 		s.met.cacheMisses++
 	}
 
-	select {
-	case s.queue <- jb:
-	default:
+	if err := s.queue.push(jb); err != nil {
 		s.met.submitted--
 		if fromBatch {
 			s.met.batchMembers--
 			s.met.batchCacheMisses--
 		} else {
 			s.met.cacheMisses--
+		}
+		if jb.tenant != "" {
+			tc := s.tenantCounter(jb.tenant)
+			tc.submitted--
+			if errors.Is(err, ErrQueueFull) {
+				tc.rejected++
+			}
+		}
+		if errors.Is(err, ErrClosed) {
+			// Raced with Close/Drain between the closed check and the push;
+			// surface the same error the check would have.
+			if s.draining {
+				return JobView{}, ErrDraining
+			}
+			return JobView{}, ErrClosed
 		}
 		return JobView{}, ErrQueueFull
 	}
@@ -339,7 +398,7 @@ func (s *Service) Cancel(id string) (JobView, error) {
 	case Queued:
 		jb.state = Canceled
 		s.met.canceled++
-		s.queued-- // still in the channel; the worker will skip it
+		s.queued-- // still in the fair queue; the worker will skip it
 		s.markTerminal(jb)
 	case Running:
 		if jb.cancel != nil {
@@ -380,7 +439,33 @@ func (s *Service) Metrics() Metrics {
 	if lookups := m.BatchCacheHits + m.BatchCacheMisses; lookups > 0 {
 		m.BatchCacheHitRate = float64(m.BatchCacheHits) / float64(lookups)
 	}
+	m.Tenants = s.tenantMetricsLocked()
 	return m
+}
+
+// tenantMetricsLocked merges the cumulative per-tenant counters with the
+// fair queue's live occupancy. Must be called with s.mu held. Returns nil
+// when no named tenant has ever submitted (open mode), keeping the JSON
+// metrics byte-identical to previous releases.
+func (s *Service) tenantMetricsLocked() map[string]TenantMetrics {
+	stats := s.queue.stats()
+	if len(s.tenantMet) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantMetrics, len(s.tenantMet))
+	for name, tc := range s.tenantMet {
+		st := stats[name]
+		out[name] = TenantMetrics{
+			Submitted: tc.submitted,
+			Completed: tc.completed,
+			Failed:    tc.failed,
+			Canceled:  tc.canceled,
+			Rejected:  tc.rejected,
+			Queued:    st.Queued,
+			Running:   st.Running,
+		}
+	}
+	return out
 }
 
 // Telemetry returns a snapshot of the engine-telemetry aggregates (round
@@ -402,15 +487,48 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.queue)
+	s.queue.close()
 	s.wg.Wait()
 	s.groupWG.Wait()
 }
 
+// Drain stops admission immediately (submissions fail with ErrDraining),
+// abandons queued-but-not-started jobs, and waits up to timeout for running
+// jobs and groups to finish. Abandoned jobs were never journaled terminal,
+// so a WAL resume after restart re-runs them — this is the SIGTERM
+// checkpoint path, where Close's run-everything semantics would block
+// shutdown behind an arbitrarily deep backlog. Returns true when all
+// in-flight work finished within the timeout. Safe to call more than once
+// and after Close.
+func (s *Service) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.abort()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.groupWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for jb := range s.queue {
+	for {
+		jb, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.runJob(jb)
+		s.queue.release(jb.tenant)
 	}
 }
 
@@ -512,6 +630,7 @@ func (j *job) view() JobView {
 	return JobView{
 		ID:          j.id,
 		TraceID:     j.traceID,
+		Tenant:      j.tenant,
 		Algo:        j.spec.Name,
 		Params:      j.params,
 		State:       j.state,

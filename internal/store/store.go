@@ -167,18 +167,33 @@ func New(cfg Config) *Store {
 }
 
 // ValidName reports whether name is usable as a graph handle: 1–128
-// characters from [A-Za-z0-9._-], so names embed safely in URLs and logs.
+// characters of "/"-separated non-empty segments from [A-Za-z0-9._-], so
+// names embed safely in URLs and logs. The "/" is reserved for namespace
+// prefixes (the multi-tenant front door stores tenant graphs as
+// "<tenant>/<name>"); the HTTP layer rejects it in user-supplied names, so
+// only internal callers create multi-segment handles. Names never become
+// filesystem paths — spill files are keyed by fingerprint — so the
+// separator carries no traversal risk.
 func ValidName(name string) error {
 	if name == "" || len(name) > 128 {
 		return fmt.Errorf("store: name must be 1–128 characters, got %d", len(name))
 	}
+	prev := '/'
 	for _, r := range name {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '.', r == '_', r == '-':
+		case r == '/':
+			if prev == '/' {
+				return fmt.Errorf("store: name %q has an empty segment", name)
+			}
 		default:
-			return fmt.Errorf("store: name %q may only contain [A-Za-z0-9._-]", name)
+			return fmt.Errorf("store: name %q may only contain [A-Za-z0-9._-] and /", name)
 		}
+		prev = r
+	}
+	if prev == '/' {
+		return fmt.Errorf("store: name %q has an empty segment", name)
 	}
 	return nil
 }

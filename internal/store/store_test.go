@@ -170,13 +170,18 @@ func TestCapacityEvictsLRUButNeverPinned(t *testing.T) {
 
 func TestNameValidation(t *testing.T) {
 	s := New(Config{})
-	for _, bad := range []string{"", "has space", "sla/sh", "ünicode", string(make([]byte, 200))} {
+	for _, bad := range []string{"", "has space", "ünicode", "/lead", "trail/", "a//b", string(make([]byte, 200))} {
 		if _, _, err := s.Put(bad, gnpSource(8, 1)); err == nil {
 			t.Errorf("name %q accepted", bad)
 		}
 	}
-	if _, _, err := s.Put("ok-Name_1.v2", gnpSource(8, 1)); err != nil {
-		t.Fatal(err)
+	// "/"-separated segments are legal store handles: the multi-tenant front
+	// door scopes graphs as "<tenant>/<name>" (the HTTP layer keeps "/" out
+	// of user-supplied names).
+	for _, ok := range []string{"ok-Name_1.v2", "tenant/graph"} {
+		if _, _, err := s.Put(ok, gnpSource(8, 1)); err != nil {
+			t.Fatalf("name %q rejected: %v", ok, err)
+		}
 	}
 }
 

@@ -1,0 +1,169 @@
+package sweep
+
+// Acceptance tests for the multi-tenant front door's streaming and drain
+// contracts: (1) for every §5 experiment, the rows Collect emits over the
+// incremental result stream are byte-identical to CollectTerminal's
+// long-poll rendering of the finished batch; (2) a graceful drain
+// (SIGTERM-style: stop admission, finish in-flight cells, checkpoint, clean
+// close) mid-sweep resumes from the WAL on restart and still produces CSVs
+// byte-identical to an uninterrupted run.
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// TestSweepStreamedEqualsTerminal runs each experiment twice against the
+// same server — once collected over the stream, once over the terminal
+// long-poll — and requires the two CSVs to match byte for byte.
+func TestSweepStreamedEqualsTerminal(t *testing.T) {
+	ctx := context.Background()
+	const trials = 1
+
+	svc := service.New(service.Config{Workers: 4, QueueSize: 1024})
+	defer svc.Close()
+	st := store.New(store.Config{MaxGraphs: 1024})
+	ts := httptest.NewServer(httpapi.NewHandler(svc, st, service.NewBatches(svc, st, service.BatchConfig{})))
+	defer ts.Close()
+	c := httpapi.NewClient(ts.URL, nil)
+
+	for _, exp := range Experiments() {
+		// Terminal reference first: sweep graph names are deterministic per
+		// experiment, so the runs must be sequential (each Collect* cleans up
+		// its uploads before the next Submit reuses the names).
+		pTerm, err := Build(exp, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sTerm, err := Submit(ctx, c, exp, pTerm)
+		if err != nil {
+			t.Fatalf("%s: submit (terminal): %v", exp, err)
+		}
+		if err := sTerm.CollectTerminal(ctx, c); err != nil {
+			t.Fatalf("%s: terminal collect: %v", exp, err)
+		}
+		var want bytes.Buffer
+		if err := pTerm.CSV(&want); err != nil {
+			t.Fatal(err)
+		}
+
+		pStream, err := Build(exp, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sStream, err := Submit(ctx, c, exp, pStream)
+		if err != nil {
+			t.Fatalf("%s: submit (stream): %v", exp, err)
+		}
+		if err := sStream.Collect(ctx, c); err != nil {
+			t.Fatalf("%s: streamed collect: %v", exp, err)
+		}
+		var got bytes.Buffer
+		if err := pStream.CSV(&got); err != nil {
+			t.Fatal(err)
+		}
+
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("%s: streamed CSV differs from terminal CSV\nwant:\n%s\ngot:\n%s",
+				exp, want.Bytes(), got.Bytes())
+		}
+	}
+	if n := st.Len(); n != 0 {
+		t.Fatalf("%d graphs left in the store after all sweeps collected", n)
+	}
+}
+
+// drain is the graceful SIGTERM path on a durable stack: stop admission and
+// wait for in-flight cells (bounded), then snapshot and close cleanly.
+// Queued-but-unstarted cells are abandoned; the WAL re-runs them on reopen.
+func (ds *durableStack) drain(t *testing.T, d time.Duration) {
+	t.Helper()
+	if !ds.svc.Drain(d) {
+		t.Fatalf("drain did not settle in-flight work within %s", d)
+	}
+	ds.shutdown(t)
+}
+
+// TestSweepDrainResume drains a durable server mid-sweep (the SIGTERM path:
+// in-flight cells finish and are journaled, queued cells are abandoned),
+// restarts it on the same WAL root, and requires the resumed sweep's CSVs to
+// be byte-identical to an uninterrupted run — and the streamed Collect to
+// resume its cursor across the restart.
+func TestSweepDrainResume(t *testing.T) {
+	ctx := context.Background()
+	const trials = 1
+	exps := Experiments()
+
+	// Reference CSVs from an uninterrupted, non-durable server.
+	refSvc := service.New(service.Config{Workers: 4, QueueSize: 1024})
+	defer refSvc.Close()
+	refStore := store.New(store.Config{MaxGraphs: 1024})
+	refTS := httptest.NewServer(httpapi.NewHandler(refSvc, refStore, service.NewBatches(refSvc, refStore, service.BatchConfig{})))
+	defer refTS.Close()
+	refClient := httpapi.NewClient(refTS.URL, nil)
+	ref := map[string][]byte{}
+	for _, exp := range exps {
+		p, err := Build(exp, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Execute(ctx, refClient, exp, p); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := p.CSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		ref[exp] = buf.Bytes()
+	}
+
+	// Incarnation 1: submit everything, let it get partway, then drain.
+	root := t.TempDir()
+	ds := openDurable(t, root)
+	plans := map[string]*Plan{}
+	var subs []*Submission
+	for _, exp := range exps {
+		p, err := Build(exp, trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Submit(ctx, ds.c, exp, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[exp] = p
+		subs = append(subs, s)
+	}
+	waitProgress(t, ds.c, subs, 0.3)
+	ds.drain(t, 60*time.Second)
+
+	// Incarnation 2: the WAL restores settled cells under their original
+	// indices and re-runs the abandoned tail; collect over the stream and
+	// compare byte for byte.
+	ds = openDurable(t, root)
+	waitProgress(t, ds.c, subs, 1.0)
+	for _, s := range subs {
+		if err := s.Collect(ctx, ds.c); err != nil {
+			t.Fatalf("collect %s after drain+restart: %v", s.Exp, err)
+		}
+		var buf bytes.Buffer
+		if err := plans[s.Exp].CSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), ref[s.Exp]) {
+			t.Errorf("%s: drain-resumed CSV differs from uninterrupted run\nwant:\n%s\ngot:\n%s",
+				s.Exp, ref[s.Exp], buf.Bytes())
+		}
+	}
+	if n := ds.st.Len(); n != 0 {
+		t.Fatalf("%d graphs left in the store after all sweeps collected", n)
+	}
+	ds.shutdown(t)
+}

@@ -2,7 +2,9 @@
 // §5 against the batch API. Each experiment is a Plan: a table layout plus
 // an ordered list of runs, executed by uploading every run's graph to the
 // server's named store (fingerprint-deduplicated), submitting one batch of
-// explicit cells, long-polling it, and emitting one row per cell.
+// explicit cells, streaming its results as they settle (resuming from the
+// last received cell on dropped connections — see CollectTerminal for the
+// legacy long-poll path), and emitting one row per cell.
 //
 // The package is shared by cmd/sweep (which renders the CSV to stdout) and
 // the internal/cluster tests (which assert that a multi-worker coordinator
@@ -125,11 +127,75 @@ func Submit(ctx context.Context, c *httpapi.Client, exp string, p *Plan) (*Submi
 	return s, nil
 }
 
-// Collect long-polls the submission's batch until it is terminal and emits
-// the plan's rows, then deletes the uploaded graphs. c need not be the
-// client Submit used — only the same logical server (or its restarted
-// incarnation, which recovers the batch and the graphs from its WAL).
+// collectRetries bounds how many times Collect re-opens a dropped result
+// stream before giving up. Each reconnect resumes from the cursor, so a
+// retry never re-waits for cells already received.
+const collectRetries = 5
+
+// Collect consumes the submission's batch incrementally over the result
+// stream (GET /v1/batches/{id}/stream) and emits the plan's rows as cells
+// settle, then deletes the uploaded graphs. A dropped connection resumes
+// from the last received cell index, so rows survive server restarts and
+// proxy timeouts without re-polling from scratch. c need not be the client
+// Submit used — only the same logical server (or its restarted incarnation,
+// which recovers the batch and the graphs from its WAL).
+//
+// The rows Collect emits are byte-identical to CollectTerminal's: the
+// stream replays every settled cell in index order with the same rendering
+// as the terminal GET.
 func (s *Submission) Collect(ctx context.Context, c *httpapi.Client) (err error) {
+	defer func() {
+		if cerr := s.cleanup(ctx, c); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	cells := make([]httpapi.BatchCellView, len(s.plan.runs))
+	seen := make([]bool, len(s.plan.runs))
+	from := 0
+	for attempt := 0; ; attempt++ {
+		_, err = c.StreamBatch(ctx, s.BatchID, from, func(cv httpapi.BatchCellView) error {
+			if cv.Index < 0 || cv.Index >= len(cells) {
+				return fmt.Errorf("stream returned out-of-range cell index %d (batch has %d)", cv.Index, len(cells))
+			}
+			cells[cv.Index] = cv
+			seen[cv.Index] = true
+			if cv.Index+1 > from {
+				from = cv.Index + 1
+			}
+			return nil
+		})
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || attempt >= collectRetries {
+			return fmt.Errorf("streaming batch %s: %w", s.BatchID, err)
+		}
+		select { // transient drop: back off, then resume from the cursor
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	for i, cell := range cells {
+		if !seen[i] {
+			return fmt.Errorf("stream ended without cell %d", i)
+		}
+		if cell.State != "done" {
+			return fmt.Errorf("cell %d (%s on %s): %s: %s",
+				cell.Index, cell.Algo, cell.Graph, cell.State, cell.Error)
+		}
+	}
+	for i, cell := range cells {
+		s.plan.runs[i].emit(s.plan.table, cell.Result)
+	}
+	return nil
+}
+
+// CollectTerminal is the pre-streaming collection path: long-poll the batch
+// until it is terminal and emit every row from the final GET. It is kept as
+// the reference for the streamed-equals-terminal acceptance tests and for
+// clients behind proxies that buffer streaming responses.
+func (s *Submission) CollectTerminal(ctx context.Context, c *httpapi.Client) (err error) {
 	defer func() {
 		if cerr := s.cleanup(ctx, c); cerr != nil && err == nil {
 			err = cerr

@@ -1,0 +1,177 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeKeys(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadLookupAndOptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys")
+	writeKeys(t, path, `
+# comment and blank lines are skipped
+
+alice `+HashKey("alice-secret")+` weight=4 rate=2.5 burst=7 cells=3 queue=9 waiters=2
+bob `+HashKey("bob-secret")+`
+`)
+	kr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", kr.Len())
+	}
+	a, ok := kr.Lookup("alice-secret")
+	if !ok || a.ID != "alice" {
+		t.Fatalf("Lookup(alice-secret) = %+v, %t", a, ok)
+	}
+	if a.Weight != 4 || a.Rate != 2.5 || a.Burst != 7 || a.MaxCells != 3 || a.QueueSize != 9 || a.MaxWaiters != 2 {
+		t.Fatalf("alice options %+v", a)
+	}
+	b, ok := kr.ByID("bob")
+	if !ok || b.Weight != 0 || b.Rate != 0 {
+		t.Fatalf("ByID(bob) = %+v, %t (zero limits expected)", b, ok)
+	}
+	if _, ok := kr.Lookup("wrong-secret"); ok {
+		t.Fatal("unknown key resolved to a tenant")
+	}
+	if _, ok := kr.Lookup(HashKey("alice-secret")); ok {
+		t.Fatal("the stored hash itself must not work as a key")
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"missing hash":    "alice\n",
+		"short hash":      "alice abc123\n",
+		"non-hex hash":    "alice " + strings.Repeat("z", 64) + "\n",
+		"bad id charset":  "al/ice " + HashKey("k") + "\n",
+		"bad option":      "alice " + HashKey("k") + " turbo=1\n",
+		"bare option":     "alice " + HashKey("k") + " weight\n",
+		"negative option": "alice " + HashKey("k") + " weight=-2\n",
+		"duplicate id":    "alice " + HashKey("k1") + "\nalice " + HashKey("k2") + "\n",
+		"duplicate hash":  "alice " + HashKey("k") + "\nbob " + HashKey("k") + "\n",
+	}
+	dir := t.TempDir()
+	for name, content := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "-"))
+		writeKeys(t, path, content)
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: loaded without error", name)
+		}
+	}
+}
+
+// TestReloadSwapsKeysAndKeepsBuckets covers the SIGHUP contract: a reload
+// rotates keys atomically, a parse error keeps the previous table, and a
+// surviving tenant's token bucket is NOT refilled by the reload.
+func TestReloadSwapsKeysAndKeepsBuckets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys")
+	writeKeys(t, path, "alice "+HashKey("old-key")+" rate=0.001 burst=1\n")
+	kr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kr.Allow("alice") {
+		t.Fatal("first request should spend the single burst token")
+	}
+	if kr.Allow("alice") {
+		t.Fatal("bucket should be empty after the burst")
+	}
+
+	// Rotate the key; the drained bucket must survive the reload.
+	writeKeys(t, path, "alice "+HashKey("new-key")+" rate=0.001 burst=1\n")
+	if err := kr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kr.Lookup("old-key"); ok {
+		t.Fatal("rotated-out key still resolves")
+	}
+	if _, ok := kr.Lookup("new-key"); !ok {
+		t.Fatal("rotated-in key does not resolve")
+	}
+	if kr.Allow("alice") {
+		t.Fatal("reload refilled a drained bucket")
+	}
+
+	// A parse error must keep the previous table in effect.
+	writeKeys(t, path, "broken line without hash\n")
+	if err := kr.Reload(); err == nil {
+		t.Fatal("reload of a broken file succeeded")
+	}
+	if _, ok := kr.Lookup("new-key"); !ok {
+		t.Fatal("failed reload dropped the previous table")
+	}
+
+	// Removing the tenant prunes its bucket state.
+	writeKeys(t, path, "bob "+HashKey("bob-key")+"\n")
+	if err := kr.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if kr.Len() != 1 {
+		t.Fatalf("Len() after removal = %d, want 1", kr.Len())
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	b := newBucket(2, 2)
+	now := time.Unix(1000, 0)
+	if !b.allow(now, 2, 2) || !b.allow(now, 2, 2) {
+		t.Fatal("burst of 2 should admit two immediate requests")
+	}
+	if b.allow(now, 2, 2) {
+		t.Fatal("third immediate request should be rejected")
+	}
+	// Half a second at 2/s refills one token; the level stays capped at burst.
+	if !b.allow(now.Add(500*time.Millisecond), 2, 2) {
+		t.Fatal("refilled token rejected")
+	}
+	if !b.allow(now.Add(time.Hour), 2, 2) || !b.allow(now.Add(time.Hour), 2, 2) {
+		t.Fatal("long idle should refill to burst")
+	}
+	if b.allow(now.Add(time.Hour), 2, 2) {
+		t.Fatal("burst cap exceeded after long idle")
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for _, ok := range []string{"a", "alice", "A-b_c.9"} {
+		if !ValidID(ok) {
+			t.Errorf("ValidID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "a b", "ключ", "a\n"} {
+		if ValidID(bad) {
+			t.Errorf("ValidID(%q) = true", bad)
+		}
+	}
+}
+
+// TestAllowUnlimitedAndUnknown pins two deliberate permissive cases: a
+// tenant with no rate is never limited, and an ID missing from the table
+// (reload race) is allowed rather than 429ed.
+func TestAllowUnlimitedAndUnknown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys")
+	writeKeys(t, path, "free "+HashKey("free-key")+"\n")
+	kr, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !kr.Allow("free") {
+			t.Fatal("unlimited tenant was rate limited")
+		}
+	}
+	if !kr.Allow("ghost") {
+		t.Fatal("unknown tenant must not be limited")
+	}
+}
